@@ -1,0 +1,307 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one benchmark
+// family per table/figure; DESIGN.md §4 is the index). Each benchmark runs
+// the real out-of-core pipeline over quick-scale datasets and reports the
+// simulated-disk metrics as custom benchmark outputs:
+//
+//	exec-ms    simulated execution time (I/O model time + measured compute)
+//	io-KiB     total I/O traffic
+//
+// Comparative shapes (who wins, by how much) are the reproduction target;
+// wall-clock ns/op mostly measures the host filesystem and is not the
+// figure of merit.
+package graphsd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/baseline"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/harness"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// benchGraph returns the quick-scale stand-in for a Table 3 dataset.
+func benchGraph(b *testing.B, name string) *graph.Graph {
+	b.Helper()
+	for _, d := range harness.Datasets(true) {
+		if d.Name == name {
+			g, err := d.Build(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return g
+		}
+	}
+	b.Fatalf("unknown dataset %s", name)
+	return nil
+}
+
+func benchLayout(b *testing.B, g *graph.Graph, sys string) *partition.Layout {
+	b.Helper()
+	dev, err := storage.OpenDevice(b.TempDir(), storage.ScaledHDD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var build func(*storage.Device, *graph.Graph, int) (*partition.Layout, error)
+	switch sys {
+	case "graphsd":
+		build = partition.Build
+	case "husgraph":
+		build = partition.BuildHUSGraph
+	case "lumos":
+		build = partition.BuildLumos
+	}
+	l, err := build(dev, g, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+func reportResult(b *testing.B, res *core.Result) {
+	b.Helper()
+	b.ReportMetric(float64(res.ExecTime().Microseconds())/1000, "exec-ms")
+	b.ReportMetric(float64(res.IO.TotalBytes())/1024, "io-KiB")
+}
+
+func paperAlgs() []harness.Algorithm { return harness.PaperAlgorithms() }
+
+// BenchmarkTable3Generate regenerates the Table 3 datasets.
+func BenchmarkTable3Generate(b *testing.B) {
+	for _, d := range harness.Datasets(true) {
+		b.Run(d.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g, err := d.Build(1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(g.NumEdges()), "edges")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5Table4 regenerates the Figure 5 / Table 4 matrix: every
+// dataset × algorithm × system execution.
+func BenchmarkFig5Table4(b *testing.B) {
+	for _, ds := range []string{"twitter-sim", "sk-sim", "uk-sim", "ukunion-sim", "kron-sim"} {
+		g := benchGraph(b, ds)
+		gw := gen.Weighted(g.Clone(), 16, 2)
+		for _, alg := range paperAlgs() {
+			in := g
+			if alg.Weighted {
+				in = gw
+			}
+			b.Run(fmt.Sprintf("%s/%s/graphsd", ds, alg.Name), func(b *testing.B) {
+				l := benchLayout(b, in, "graphsd")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(l, alg.New(0), core.Options{DefaultBuffer: true})
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportResult(b, res)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/%s/husgraph", ds, alg.Name), func(b *testing.B) {
+				l := benchLayout(b, in, "husgraph")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := baseline.RunHUSGraph(l, alg.New(0), baseline.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportResult(b, res)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/%s/lumos", ds, alg.Name), func(b *testing.B) {
+				l := benchLayout(b, in, "lumos")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := baseline.RunLumos(l, alg.New(0), baseline.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportResult(b, res)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Breakdown regenerates the Figure 6 runtime breakdown on the
+// Twitter stand-in, reporting the I/O and compute shares separately.
+func BenchmarkFig6Breakdown(b *testing.B) {
+	g := benchGraph(b, "twitter-sim")
+	for _, alg := range paperAlgs() {
+		if alg.Weighted {
+			continue // twitter breakdown in the paper uses unweighted runs plus SSSP; keep unweighted here
+		}
+		b.Run(alg.Name, func(b *testing.B) {
+			l := benchLayout(b, g, "graphsd")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(l, alg.New(0), core.Options{DefaultBuffer: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.IOTime().Microseconds())/1000, "io-ms")
+				b.ReportMetric(float64(res.ComputeTime.Microseconds())/1000, "update-ms")
+			}
+		})
+	}
+}
+
+// BenchmarkFig7Traffic regenerates the Figure 7 I/O traffic comparison.
+func BenchmarkFig7Traffic(b *testing.B) {
+	for _, ds := range []string{"twitter-sim", "uk-sim"} {
+		g := benchGraph(b, ds)
+		for _, sys := range []string{"graphsd", "husgraph", "lumos"} {
+			b.Run(ds+"/CC/"+sys, func(b *testing.B) {
+				l := benchLayout(b, g, sys)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var res *core.Result
+					var err error
+					switch sys {
+					case "graphsd":
+						res, err = core.Run(l, &algorithms.ConnectedComponents{}, core.Options{DefaultBuffer: true})
+					case "husgraph":
+						res, err = baseline.RunHUSGraph(l, &algorithms.ConnectedComponents{}, baseline.Options{})
+					case "lumos":
+						res, err = baseline.RunLumos(l, &algorithms.ConnectedComponents{}, baseline.Options{})
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportResult(b, res)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8Preprocess regenerates the Figure 8 preprocessing
+// comparison: per-system layout builds.
+func BenchmarkFig8Preprocess(b *testing.B) {
+	g := benchGraph(b, "ukunion-sim")
+	for _, sys := range []string{"graphsd", "husgraph", "lumos"} {
+		b.Run(sys, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dev, err := storage.OpenDevice(b.TempDir(), storage.ScaledHDD)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				var l *partition.Layout
+				switch sys {
+				case "graphsd":
+					l, err = partition.Build(dev, g, 6)
+				case "husgraph":
+					l, err = partition.BuildHUSGraph(dev, g, 6)
+				case "lumos":
+					l, err = partition.BuildLumos(dev, g, 6)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := dev.Stats()
+				b.ReportMetric(float64((s.TotalTime()+l.PrepCPU).Microseconds())/1000, "prep-ms")
+				b.ReportMetric(float64(s.WriteBytes())/1024, "written-KiB")
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Ablations regenerates the Figure 9 update-strategy
+// ablations on the Twitter stand-in (CC workload).
+func BenchmarkFig9Ablations(b *testing.B) {
+	g := benchGraph(b, "twitter-sim")
+	variants := map[string]core.Options{
+		"graphsd": {DefaultBuffer: true},
+		"b1":      {DefaultBuffer: true, DisableCrossIteration: true},
+		"b2":      {DefaultBuffer: true, ForceModel: core.ForceFull},
+	}
+	for name, opts := range variants {
+		b.Run(name, func(b *testing.B) {
+			l := benchLayout(b, g, "graphsd")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(l, &algorithms.ConnectedComponents{}, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportResult(b, res)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Scheduling regenerates the Figure 10 comparison: CC on the
+// UKUnion stand-in under the adaptive scheduler and both forced models.
+func BenchmarkFig10Scheduling(b *testing.B) {
+	g := benchGraph(b, "ukunion-sim")
+	variants := map[string]core.Options{
+		"adaptive":       {DefaultBuffer: true},
+		"full-only":      {DefaultBuffer: true, ForceModel: core.ForceFull},
+		"on-demand-only": {ForceModel: core.ForceOnDemand},
+	}
+	for name, opts := range variants {
+		b.Run(name, func(b *testing.B) {
+			l := benchLayout(b, g, "graphsd")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(l, &algorithms.ConnectedComponents{}, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportResult(b, res)
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Overhead regenerates the Figure 11 measurement: the cost
+// of the per-iteration benefit evaluation itself.
+func BenchmarkFig11Overhead(b *testing.B) {
+	g := benchGraph(b, "twitter-sim")
+	l := benchLayout(b, g, "graphsd")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(l, &algorithms.PageRankDelta{Iterations: 20, Tolerance: 1e-6}, core.Options{DefaultBuffer: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SchedulerOverhead.Microseconds()), "sched-µs")
+		b.ReportMetric(float64(res.IOTime().Microseconds())/1000, "io-ms")
+	}
+}
+
+// BenchmarkFig12Buffering regenerates the Figure 12 buffering experiment
+// on the UKUnion stand-in (PR workload, forced full so FCIU dominates).
+func BenchmarkFig12Buffering(b *testing.B) {
+	g := benchGraph(b, "ukunion-sim")
+	variants := map[string]core.Options{
+		"buffered":   {DefaultBuffer: true, ForceModel: core.ForceFull},
+		"unbuffered": {ForceModel: core.ForceFull},
+	}
+	for name, opts := range variants {
+		b.Run(name, func(b *testing.B) {
+			l := benchLayout(b, g, "graphsd")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(l, &algorithms.PageRank{Iterations: 6}, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportResult(b, res)
+			}
+		})
+	}
+}

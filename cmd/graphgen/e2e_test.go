@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var genBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "graphgen-e2e-*")
+	if err != nil {
+		panic(err)
+	}
+	genBin = filepath.Join(dir, "graphgen")
+	out, err := exec.Command("go", "build", "-o", genBin,
+		"github.com/graphsd/graphsd/cmd/graphgen").CombinedOutput()
+	if err != nil {
+		panic(string(out))
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func TestGenerateAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"rmat", "erdos", "powerlaw", "weblike", "ba", "chain", "star", "clustered"} {
+		out := filepath.Join(dir, kind+".bin")
+		cmd := exec.Command(genBin, "-kind", kind, "-scale", "8", "-edgefactor", "4",
+			"-n", "200", "-m", "800", "-o", out)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("%s: %v\n%s", kind, err, msg)
+		}
+		fi, err := os.Stat(out)
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("%s: empty output (%v)", kind, err)
+		}
+	}
+}
+
+func TestGeneratePresetTextWeighted(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "p.txt")
+	msg, err := exec.Command(genBin, "-preset", "twitter-sim", "-format", "text",
+		"-weighted", "-o", out).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, msg)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "#") {
+		t.Fatalf("text output missing header: %.60s", data)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if out, err := exec.Command(genBin, "-kind", "nope", "-o", "/tmp/x").CombinedOutput(); err == nil {
+		t.Fatalf("unknown kind succeeded:\n%s", out)
+	}
+	if out, err := exec.Command(genBin).CombinedOutput(); err == nil {
+		t.Fatalf("missing -o succeeded:\n%s", out)
+	}
+	if out, err := exec.Command(genBin, "-preset", "nope", "-o", "/tmp/x").CombinedOutput(); err == nil {
+		t.Fatalf("unknown preset succeeded:\n%s", out)
+	}
+}

@@ -1,0 +1,107 @@
+// Command graphgen produces synthetic graphs in the binary or text edge
+// list format consumed by the graphsd CLI.
+//
+// Usage:
+//
+//	graphgen -kind rmat -scale 16 -edgefactor 16 -o graph.bin
+//	graphgen -kind powerlaw -n 100000 -m 1600000 -o graph.txt -format text
+//	graphgen -preset twitter-sim -o twitter.bin
+//	graphgen -kind weblike -n 50000 -m 800000 -weighted -o roads.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "rmat", "generator: rmat, erdos, powerlaw, weblike, ba, chain, star, complete, clustered")
+		preset     = flag.String("preset", "", "named Table 3 stand-in (twitter-sim, sk-sim, uk-sim, ukunion-sim, kron-sim); overrides -kind")
+		scale      = flag.Int("scale", 14, "rmat: log2 of vertex count")
+		edgeFactor = flag.Int("edgefactor", 16, "rmat: edges per vertex")
+		n          = flag.Int("n", 10000, "vertex count (non-rmat generators)")
+		m          = flag.Int("m", 160000, "edge count (non-rmat generators)")
+		zipf       = flag.Float64("zipf", 1.9, "powerlaw: zipf exponent (>1)")
+		locality   = flag.Float64("locality", 0.8, "weblike: fraction of local links")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		weighted   = flag.Bool("weighted", false, "assign pseudo-random edge weights in (1,16]")
+		format     = flag.String("format", "binary", "output format: binary or text")
+		out        = flag.String("o", "", "output file (required)")
+	)
+	flag.Parse()
+
+	if *out == "" {
+		fatalf("-o is required")
+	}
+
+	var g *graph.Graph
+	var err error
+	if *preset != "" {
+		var p gen.Preset
+		p, err = gen.ByName(*preset)
+		if err == nil {
+			g, err = p.Build(*seed)
+		}
+	} else {
+		switch *kind {
+		case "rmat":
+			g, err = gen.RMAT(*scale, *edgeFactor, gen.Graph500, *seed)
+		case "erdos":
+			g, err = gen.ErdosRenyi(*n, *m, *seed)
+		case "powerlaw":
+			g, err = gen.PowerLaw(*n, *m, *zipf, *seed)
+		case "weblike":
+			g, err = gen.WebLike(*n, *m, *locality, *seed)
+		case "ba", "barabasi":
+			attach := *m / *n
+			if attach < 1 {
+				attach = 1
+			}
+			g, err = gen.BarabasiAlbert(*n, attach, *seed)
+		case "chain":
+			g = gen.Chain(*n)
+		case "star":
+			g = gen.Star(*n)
+		case "complete":
+			g = gen.Complete(*n)
+		case "clustered":
+			g, err = gen.Clustered(8, *n/8, *m/8, *n/100+1, *seed)
+		default:
+			fatalf("unknown generator %q", *kind)
+		}
+	}
+	if err != nil {
+		fatalf("generating: %v", err)
+	}
+	if *weighted {
+		gen.Weighted(g, 16, *seed+1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatalf("creating %s: %v", *out, err)
+	}
+	defer f.Close()
+	switch *format {
+	case "binary":
+		err = graph.WriteBinary(f, g)
+	case "text":
+		err = graph.WriteEdgeList(f, g)
+	default:
+		fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatalf("writing: %v", err)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges, weighted=%t\n", *out, g.NumVertices, g.NumEdges(), g.Weighted)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "graphgen: "+format+"\n", args...)
+	os.Exit(1)
+}

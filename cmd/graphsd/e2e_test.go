@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end CLI tests: build the real binaries once and drive the
+// documented workflows. These are the closest thing to a user session the
+// test suite has.
+
+var (
+	graphsdBin  string
+	graphgenBin string
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "graphsd-e2e-*")
+	if err != nil {
+		panic(err)
+	}
+	graphsdBin = filepath.Join(dir, "graphsd")
+	graphgenBin = filepath.Join(dir, "graphgen")
+	for bin, pkg := range map[string]string{
+		graphsdBin:  "github.com/graphsd/graphsd/cmd/graphsd",
+		graphgenBin: "github.com/graphsd/graphsd/cmd/graphgen",
+	} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			panic(string(out))
+		}
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func runExpectFail(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", filepath.Base(bin), args, out)
+	}
+	return string(out)
+}
+
+func TestEndToEndWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	layoutDir := filepath.Join(dir, "layout")
+
+	// Generate.
+	out := run(t, graphgenBin, "-kind", "rmat", "-scale", "10", "-edgefactor", "8", "-o", graphPath)
+	if !strings.Contains(out, "1024 vertices") {
+		t.Fatalf("graphgen output: %s", out)
+	}
+
+	// Preprocess.
+	out = run(t, graphsdBin, "preprocess", "-graph", graphPath, "-layout", layoutDir, "-p", "4")
+	if !strings.Contains(out, "system=graphsd P=4") {
+		t.Fatalf("preprocess output: %s", out)
+	}
+
+	// Run with scheduler trace and an I/O trace.
+	tracePath := filepath.Join(dir, "run.trace")
+	out = run(t, graphsdBin, "run", "-layout", layoutDir, "-algorithm", "cc",
+		"-trace", "-top", "3", "-iotrace", tracePath)
+	if !strings.Contains(out, "converged=true") || !strings.Contains(out, "per-iteration trace") {
+		t.Fatalf("run output: %s", out)
+	}
+
+	// Analyze the trace.
+	out = run(t, graphsdBin, "trace", "-file", tracePath, "-top", "2")
+	if !strings.Contains(out, "sequential ops") {
+		t.Fatalf("trace output: %s", out)
+	}
+
+	// Verify against the oracle.
+	out = run(t, graphsdBin, "verify", "-graph", graphPath, "-layout", layoutDir, "-algorithm", "cc")
+	if !strings.Contains(out, "OK:") {
+		t.Fatalf("verify output: %s", out)
+	}
+
+	// Layout stats.
+	out = run(t, graphsdBin, "stats", "-layout", layoutDir)
+	if !strings.Contains(out, "vertices:  1024") {
+		t.Fatalf("stats output: %s", out)
+	}
+}
+
+func TestEndToEndExternalPreprocessAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	run(t, graphgenBin, "-kind", "ba", "-n", "800", "-m", "2400", "-o", graphPath)
+
+	layoutDir := filepath.Join(dir, "ext-layout")
+	out := run(t, graphsdBin, "preprocess", "-graph", graphPath, "-layout", layoutDir, "-p", "3", "-external")
+	if !strings.Contains(out, "system=graphsd P=3") {
+		t.Fatalf("external preprocess output: %s", out)
+	}
+	out = run(t, graphsdBin, "verify", "-graph", graphPath, "-layout", layoutDir, "-algorithm", "bfs", "-source", "799")
+	if !strings.Contains(out, "OK:") {
+		t.Fatalf("verify output: %s", out)
+	}
+
+	out = run(t, graphsdBin, "compare", "-graph", graphPath, "-algorithm", "cc", "-p", "3")
+	for _, sys := range []string{"graphsd", "husgraph", "lumos", "gridgraph"} {
+		if !strings.Contains(out, sys) {
+			t.Fatalf("compare output missing %s:\n%s", sys, out)
+		}
+	}
+}
+
+func TestEndToEndWeightedSSSP(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "w.bin")
+	run(t, graphgenBin, "-kind", "weblike", "-n", "500", "-m", "3000", "-weighted", "-o", graphPath)
+	layoutDir := filepath.Join(dir, "layout")
+	run(t, graphsdBin, "preprocess", "-graph", graphPath, "-layout", layoutDir, "-p", "3")
+	out := run(t, graphsdBin, "run", "-layout", layoutDir, "-algorithm", "sssp", "-source", "0", "-top", "1")
+	if !strings.Contains(out, "sssp:") {
+		t.Fatalf("sssp output: %s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Missing required flags.
+	runExpectFail(t, graphsdBin, "run", "-layout", dir)
+	runExpectFail(t, graphsdBin, "preprocess", "-graph", "nope")
+	// Unknown subcommand exits non-zero.
+	runExpectFail(t, graphsdBin, "frobnicate")
+	// Unknown algorithm.
+	graphPath := filepath.Join(dir, "g.bin")
+	run(t, graphgenBin, "-kind", "chain", "-n", "10", "-o", graphPath)
+	layoutDir := filepath.Join(dir, "layout")
+	run(t, graphsdBin, "preprocess", "-graph", graphPath, "-layout", layoutDir, "-p", "2")
+	out := runExpectFail(t, graphsdBin, "run", "-layout", layoutDir, "-algorithm", "nope")
+	if !strings.Contains(out, "unknown algorithm") {
+		t.Fatalf("error output: %s", out)
+	}
+	// Weighted algorithm on unweighted layout.
+	out = runExpectFail(t, graphsdBin, "run", "-layout", layoutDir, "-algorithm", "sssp")
+	if !strings.Contains(out, "weights") {
+		t.Fatalf("error output: %s", out)
+	}
+}

@@ -1,0 +1,561 @@
+// Command graphsd is the CLI front-end of the GraphSD out-of-core graph
+// processing system.
+//
+// Subcommands:
+//
+//	graphsd preprocess -graph g.bin -layout DIR [-p N] [-system graphsd|husgraph|lumos] [-external]
+//	graphsd run        -layout DIR -algorithm pr|prd|cc|sssp|bfs|widestpath|reach [-source V] [flags]
+//	graphsd compare    -graph g.bin -algorithm bfs [-p N]   (all systems, one table)
+//	graphsd verify     -graph g.bin -layout DIR -algorithm cc (engine vs in-memory oracle)
+//	graphsd stats      -layout DIR                          (layout inventory)
+//	graphsd trace      -file run.trace                      (I/O trace summary)
+//	graphsd measure    -dir DIR                             (fio-like profile probe)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/baseline"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/iotrace"
+	"github.com/graphsd/graphsd/internal/metrics"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "preprocess":
+		err = cmdPreprocess(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "measure":
+		err = cmdMeasure(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "graphsd: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphsd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: graphsd <subcommand> [flags]
+
+subcommands:
+  preprocess  partition a graph into an on-disk layout
+  run         execute an algorithm over a preprocessed layout
+  compare     run one algorithm under every system and print a comparison
+  verify      check an out-of-core run against the in-memory BSP oracle
+  stats       describe a preprocessed layout
+  trace       summarize a JSONL I/O trace produced by 'run -iotrace'
+  measure     probe the local filesystem's bandwidth profile
+
+run 'graphsd <subcommand> -h' for flags.`)
+	os.Exit(2)
+}
+
+func profileByName(name string) (storage.Profile, error) {
+	switch name {
+	case "hdd":
+		return storage.HDD, nil
+	case "scaled-hdd":
+		return storage.ScaledHDD, nil
+	case "ssd":
+		return storage.SSD, nil
+	case "pmem":
+		return storage.PMem, nil
+	default:
+		return storage.Profile{}, fmt.Errorf("unknown profile %q (have hdd, scaled-hdd, ssd, pmem)", name)
+	}
+}
+
+func loadGraph(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	// Try binary first; fall back to text edge list.
+	if g, err := graph.ReadBinary(f); err == nil {
+		return g, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, err
+	}
+	return graph.ReadEdgeList(f, false)
+}
+
+func cmdPreprocess(args []string) error {
+	fs := flag.NewFlagSet("preprocess", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "input graph (binary or text edge list)")
+	layoutDir := fs.String("layout", "", "output layout directory")
+	p := fs.Int("p", 0, "number of vertex intervals (0: auto from -membudget)")
+	memBudget := fs.Int64("membudget", 0, "memory budget in bytes (default: 5% of edge data, as in the paper)")
+	system := fs.String("system", "graphsd", "layout format: graphsd, husgraph, lumos")
+	profile := fs.String("profile", "scaled-hdd", "disk model: hdd, scaled-hdd, ssd, pmem")
+	external := fs.Bool("external", false, "use the bounded-memory external preprocessor (graphsd layouts only)")
+	fs.Parse(args)
+	if *graphPath == "" || *layoutDir == "" {
+		return fmt.Errorf("preprocess: -graph and -layout are required")
+	}
+	prof, err := profileByName(*profile)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return fmt.Errorf("loading graph: %w", err)
+	}
+	dev, err := storage.OpenDevice(*layoutDir, prof)
+	if err != nil {
+		return err
+	}
+	intervals := *p
+	if intervals == 0 {
+		budget := *memBudget
+		if budget == 0 {
+			budget = g.Bytes() / 20
+		}
+		intervals = partition.ChooseP(g.Bytes(), budget, 64)
+	}
+	var build func(*storage.Device, *graph.Graph, int) (*partition.Layout, error)
+	switch {
+	case *external && *system == "graphsd":
+		build = func(dev *storage.Device, g *graph.Graph, p int) (*partition.Layout, error) {
+			return partition.BuildExternal(dev, graph.NewSliceStream(g.Edges), g.NumVertices, g.Weighted, p)
+		}
+	case *external:
+		return fmt.Errorf("-external is only implemented for the graphsd layout")
+	case *system == "graphsd":
+		build = partition.Build
+	case *system == "husgraph":
+		build = partition.BuildHUSGraph
+	case *system == "lumos":
+		build = partition.BuildLumos
+	default:
+		return fmt.Errorf("unknown system %q", *system)
+	}
+	start := time.Now()
+	l, err := build(dev, g, intervals)
+	if err != nil {
+		return err
+	}
+	s := dev.Stats()
+	fmt.Printf("layout %s: system=%s P=%d vertices=%d edges=%d\n",
+		*layoutDir, l.Meta.System, l.Meta.P, l.Meta.NumVertices, l.Meta.NumEdges)
+	fmt.Printf("preprocessing: wall=%v cpu=%v written=%s simulated-io=%v\n",
+		time.Since(start).Round(time.Millisecond), l.PrepCPU.Round(time.Millisecond),
+		storage.FormatBytes(s.WriteBytes()), s.TotalTime().Round(time.Millisecond))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	layoutDir := fs.String("layout", "", "preprocessed layout directory")
+	alg := fs.String("algorithm", "", "algorithm: pr, prd, cc, sssp, bfs")
+	source := fs.Uint("source", 0, "source vertex for sssp/bfs")
+	iters := fs.Int("iterations", 0, "override the iteration bound")
+	profile := fs.String("profile", "scaled-hdd", "disk model: hdd, scaled-hdd, ssd, pmem")
+	noCross := fs.Bool("no-cross-iteration", false, "disable cross-iteration updates (ablation b1)")
+	force := fs.String("force-model", "", "pin the I/O model: full (b3) or on-demand (b4)")
+	bufBytes := fs.Int64("buffer", -1, "secondary sub-block buffer bytes (-1: auto, 0: disabled)")
+	top := fs.Int("top", 10, "print the top-N vertices by output value")
+	trace := fs.Bool("trace", false, "print the per-iteration scheduler trace")
+	tracePath := fs.String("iotrace", "", "record a JSONL I/O trace to this file")
+	fs.Parse(args)
+	if *layoutDir == "" || *alg == "" {
+		return fmt.Errorf("run: -layout and -algorithm are required")
+	}
+	prof, err := profileByName(*profile)
+	if err != nil {
+		return err
+	}
+	dev, err := storage.OpenDevice(*layoutDir, prof)
+	if err != nil {
+		return err
+	}
+	l, err := partition.Load(dev)
+	if err != nil {
+		return err
+	}
+	prog, err := algorithms.ByName(*alg, graph.VertexID(*source))
+	if err != nil {
+		return err
+	}
+
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("creating trace file: %w", err)
+		}
+		rec := iotrace.NewRecorder(tf)
+		rec.Attach(dev)
+		defer func() {
+			dev.SetTracer(nil)
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "graphsd: flushing trace: %v\n", err)
+			}
+			tf.Close()
+			fmt.Printf("I/O trace (%d events) written to %s\n", rec.Events(), *tracePath)
+		}()
+	}
+
+	opts := core.Options{MaxIterations: *iters}
+	switch {
+	case *bufBytes < 0:
+		opts.DefaultBuffer = true
+	default:
+		opts.BufferBytes = *bufBytes
+	}
+	opts.DisableCrossIteration = *noCross
+	switch *force {
+	case "":
+	case "full":
+		opts.ForceModel = core.ForceFull
+	case "on-demand":
+		opts.ForceModel = core.ForceOnDemand
+	default:
+		return fmt.Errorf("unknown -force-model %q", *force)
+	}
+
+	var res *core.Result
+	switch l.Meta.System {
+	case "graphsd":
+		res, err = core.Run(l, prog, opts)
+	case "husgraph":
+		res, err = baseline.RunHUSGraph(l, prog, baseline.Options{MaxIterations: *iters})
+	case "lumos":
+		res, err = baseline.RunLumos(l, prog, baseline.Options{MaxIterations: *iters})
+	default:
+		return fmt.Errorf("layout has unknown system %q", l.Meta.System)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(res)
+	fmt.Printf("I/O: %s\n", res.IO)
+	if *trace {
+		tr := metrics.NewTable("per-iteration trace", "iter", "path", "active", "bytes", "io time", "compute")
+		for _, st := range res.IterStats {
+			tr.AddRow(fmt.Sprint(st.Index), st.Path, fmt.Sprint(st.Active),
+				storage.FormatBytes(st.IO.TotalBytes()), metrics.Dur(st.IOTime), metrics.Dur(st.ComputeTime))
+		}
+		if err := tr.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	printTop(res.Outputs, *top)
+	return nil
+}
+
+func printTop(values []float64, n int) {
+	if n <= 0 {
+		return
+	}
+	type vv struct {
+		v   int
+		val float64
+	}
+	all := make([]vv, len(values))
+	for i, v := range values {
+		all[i] = vv{i, v}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].val > all[b].val })
+	if n > len(all) {
+		n = len(all)
+	}
+	fmt.Printf("top %d vertices by output value:\n", n)
+	for _, e := range all[:n] {
+		fmt.Printf("  v%-8d %g\n", e.v, e.val)
+	}
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "input graph (binary or text edge list)")
+	alg := fs.String("algorithm", "bfs", "algorithm: pr, prd, cc, sssp, bfs")
+	source := fs.Uint("source", 0, "source vertex for sssp/bfs")
+	p := fs.Int("p", 8, "number of vertex intervals")
+	profile := fs.String("profile", "scaled-hdd", "disk model")
+	workdir := fs.String("workdir", "", "scratch dir (default: temp)")
+	fs.Parse(args)
+	if *graphPath == "" {
+		return fmt.Errorf("compare: -graph is required")
+	}
+	prof, err := profileByName(*profile)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	dir := *workdir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "graphsd-compare-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	mkProg := func() (core.Program, error) { return algorithms.ByName(*alg, graph.VertexID(*source)) }
+	probe, err := mkProg()
+	if err != nil {
+		return err
+	}
+	if probe.Weighted() && !g.Weighted {
+		return fmt.Errorf("%s needs a weighted graph (graphgen -weighted)", *alg)
+	}
+
+	t := metrics.NewTable(fmt.Sprintf("system comparison: %s on %s (P=%d)", *alg, *graphPath, *p),
+		"system", "exec time", "io time", "compute", "traffic", "iterations")
+	addRow := func(name string, res *core.Result) {
+		t.AddRow(name, metrics.Dur(res.ExecTime()), metrics.Dur(res.IOTime()),
+			metrics.Dur(res.ComputeTime), storage.FormatBytes(res.IO.TotalBytes()),
+			fmt.Sprint(res.Iterations))
+	}
+
+	gsdDev, err := storage.OpenDevice(dir+"/graphsd", prof)
+	if err != nil {
+		return err
+	}
+	gsdL, err := partition.Build(gsdDev, g, *p)
+	if err != nil {
+		return err
+	}
+	prog, _ := mkProg()
+	res, err := core.Run(gsdL, prog, core.Options{DefaultBuffer: true})
+	if err != nil {
+		return err
+	}
+	addRow("graphsd", res)
+
+	husDev, err := storage.OpenDevice(dir+"/husgraph", prof)
+	if err != nil {
+		return err
+	}
+	husL, err := partition.BuildHUSGraph(husDev, g, *p)
+	if err != nil {
+		return err
+	}
+	prog, _ = mkProg()
+	res, err = baseline.RunHUSGraph(husL, prog, baseline.Options{})
+	if err != nil {
+		return err
+	}
+	addRow("husgraph", res)
+
+	lumDev, err := storage.OpenDevice(dir+"/lumos", prof)
+	if err != nil {
+		return err
+	}
+	lumL, err := partition.BuildLumos(lumDev, g, *p)
+	if err != nil {
+		return err
+	}
+	prog, _ = mkProg()
+	res, err = baseline.RunLumos(lumL, prog, baseline.Options{})
+	if err != nil {
+		return err
+	}
+	addRow("lumos", res)
+
+	prog, _ = mkProg()
+	res, err = baseline.RunGridGraph(lumL, prog, baseline.Options{})
+	if err != nil {
+		return err
+	}
+	addRow("gridgraph", res)
+
+	xDev, err := storage.OpenDevice(dir+"/xstream", prof)
+	if err != nil {
+		return err
+	}
+	xL, err := baseline.BuildXStream(xDev, g, *p)
+	if err != nil {
+		return err
+	}
+	prog, _ = mkProg()
+	res, err = baseline.RunXStream(xL, prog, baseline.Options{})
+	if err != nil {
+		return err
+	}
+	addRow("xstream", res)
+
+	return t.Render(os.Stdout)
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "original input graph (binary or text edge list)")
+	layoutDir := fs.String("layout", "", "preprocessed graphsd layout")
+	alg := fs.String("algorithm", "bfs", "algorithm: pr, prd, cc, sssp, bfs, widestpath, reach")
+	source := fs.Uint("source", 0, "source vertex for traversal algorithms")
+	tol := fs.Float64("tolerance", 1e-9, "relative tolerance for sum-based algorithms")
+	fs.Parse(args)
+	if *graphPath == "" || *layoutDir == "" {
+		return fmt.Errorf("verify: -graph and -layout are required")
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	dev, err := storage.OpenDevice(*layoutDir, storage.ScaledHDD)
+	if err != nil {
+		return err
+	}
+	l, err := partition.Load(dev)
+	if err != nil {
+		return err
+	}
+	if l.Meta.NumVertices != g.NumVertices || int(l.Meta.NumEdges) != g.NumEdges() {
+		return fmt.Errorf("layout (%d vertices, %d edges) does not match graph (%d, %d)",
+			l.Meta.NumVertices, l.Meta.NumEdges, g.NumVertices, g.NumEdges())
+	}
+	prog, err := algorithms.ByName(*alg, graph.VertexID(*source))
+	if err != nil {
+		return err
+	}
+	oracleProg, err := algorithms.ByName(*alg, graph.VertexID(*source))
+	if err != nil {
+		return err
+	}
+	res, err := core.Run(l, prog, core.Options{DefaultBuffer: true})
+	if err != nil {
+		return err
+	}
+	want, iters := core.RunReference(g, oracleProg, 0)
+	mismatches := 0
+	worst := 0.0
+	for v := range want {
+		d := relDiff(res.Outputs[v], want[v])
+		if d > worst {
+			worst = d
+		}
+		if d > *tol {
+			mismatches++
+			if mismatches <= 5 {
+				fmt.Printf("MISMATCH vertex %d: engine %v, oracle %v\n", v, res.Outputs[v], want[v])
+			}
+		}
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d/%d vertices differ beyond tolerance %g", mismatches, len(want), *tol)
+	}
+	fmt.Printf("OK: %s over %d vertices matches the in-memory oracle (engine %d iters, oracle %d; worst rel-diff %.2e)\n",
+		*alg, len(want), res.Iterations, iters, worst)
+	return nil
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return 0
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m == 0 {
+		return d
+	}
+	return d / m
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	layoutDir := fs.String("layout", "", "layout directory")
+	fs.Parse(args)
+	if *layoutDir == "" {
+		return fmt.Errorf("stats: -layout is required")
+	}
+	dev, err := storage.OpenDevice(*layoutDir, storage.ScaledHDD)
+	if err != nil {
+		return err
+	}
+	l, err := partition.Load(dev)
+	if err != nil {
+		return err
+	}
+	m := l.Meta
+	fmt.Printf("system:    %s\nvertices:  %d\nedges:     %d\nP:         %d\nweighted:  %t\nedge data: %s\n",
+		m.System, m.NumVertices, m.NumEdges, m.P, m.Weighted, storage.FormatBytes(m.EdgeBytesTotal()))
+	if m.System == "graphsd" || m.System == "lumos" {
+		var diag, upper, lower int64
+		for i := 0; i < m.P; i++ {
+			for j := 0; j < m.P; j++ {
+				switch {
+				case i == j:
+					diag += m.SubBlockEdges(i, j)
+				case i < j:
+					upper += m.SubBlockEdges(i, j)
+				default:
+					lower += m.SubBlockEdges(i, j)
+				}
+			}
+		}
+		fmt.Printf("grid:      diagonal %d edges, upper %d, lower (secondary) %d\n", diag, upper, lower)
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	file := fs.String("file", "", "JSONL trace file from 'run -iotrace'")
+	top := fs.Int("top", 10, "show the N busiest files")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("trace: -file is required")
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum, err := iotrace.Analyze(f, *top)
+	if err != nil {
+		return err
+	}
+	return sum.Render(os.Stdout)
+}
+
+func cmdMeasure(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	dir := fs.String("dir", ".", "directory to probe")
+	size := fs.Int("size", 64<<20, "sample size in bytes")
+	fs.Parse(args)
+	p, err := storage.MeasureProfile(*dir, *size)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured profile for %s:\n", *dir)
+	fmt.Printf("  seq read:   %.1f MB/s\n  seq write:  %.1f MB/s\n  rand read:  %.1f MB/s\n  seek:       %v\n",
+		p.SeqReadBps/1e6, p.SeqWriteBps/1e6, p.RandReadBps/1e6, p.SeekLatency)
+	return nil
+}

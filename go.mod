@@ -1,0 +1,3 @@
+module github.com/graphsd/graphsd
+
+go 1.22

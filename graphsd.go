@@ -1,0 +1,15 @@
+// Package graphsd is a reproduction of "GraphSD: A State and Dependency
+// aware Out-of-Core Graph Processing System" (Xu, Jiang, Wang, Cheng,
+// Fang — ICPP 2022).
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// inventory) and is driven through the commands in cmd/:
+//
+//	cmd/graphsd     — preprocess, run, compare, stats, measure
+//	cmd/graphgen    — synthetic dataset generator
+//	cmd/graphbench  — regenerates every table and figure of the paper
+//
+// The benchmarks in bench_test.go at this package's root regenerate the
+// paper's evaluation artifacts under `go test -bench`; EXPERIMENTS.md
+// records measured-vs-paper outcomes.
+package graphsd

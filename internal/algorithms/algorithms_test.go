@@ -1,0 +1,272 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/bitset"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+func TestPageRankDefaults(t *testing.T) {
+	p := &PageRank{}
+	if p.MaxIterations() != 5 {
+		t.Fatalf("default iterations = %d, want 5 (paper)", p.MaxIterations())
+	}
+	if !p.AlwaysActive() || p.Weighted() || p.HasAux() {
+		t.Fatal("PR flags wrong")
+	}
+	if (&PageRank{Iterations: 7}).MaxIterations() != 7 {
+		t.Fatal("Iterations override ignored")
+	}
+}
+
+func TestPageRankGatherZeroDegree(t *testing.T) {
+	p := &PageRank{}
+	if got := p.Gather(0.5, graph.Edge{}, 0); got != 0 {
+		t.Fatalf("gather from zero-degree source = %v", got)
+	}
+	if got := p.Gather(0.6, graph.Edge{}, 3); math.Abs(got-0.2) > 1e-15 {
+		t.Fatalf("gather = %v, want 0.2", got)
+	}
+}
+
+func TestPageRankOnCycle(t *testing.T) {
+	// On a directed cycle every vertex keeps rank 1/n forever.
+	n := 8
+	g := &graph.Graph{NumVertices: n}
+	for v := 0; v < n; v++ {
+		g.Edges = append(g.Edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID((v + 1) % n)})
+	}
+	out, _ := core.RunReference(g, &PageRank{Iterations: 10}, 0)
+	for v := 0; v < n; v++ {
+		if math.Abs(out[v]-1.0/float64(n)) > 1e-12 {
+			t.Fatalf("cycle rank(%d) = %v, want %v", v, out[v], 1.0/float64(n))
+		}
+	}
+}
+
+func TestPageRankStarConcentratesRank(t *testing.T) {
+	// hub -> leaves: after one iteration the hub holds only the base rank,
+	// leaves hold base + d*(hubshare).
+	g := gen.Star(11) // hub 0, 10 leaves
+	out, _ := core.RunReference(g, &PageRank{Iterations: 5}, 0)
+	for v := 1; v < 11; v++ {
+		if out[v] <= out[0] {
+			t.Fatalf("leaf %d rank %v not above hub %v", v, out[v], out[0])
+		}
+	}
+}
+
+func TestPageRankDeltaConvergesToPageRank(t *testing.T) {
+	// Run PR long enough to converge and PR-D to convergence; the ranks
+	// must agree. Use a graph with no sinks so mass is conserved.
+	n := 16
+	g := &graph.Graph{NumVertices: n}
+	for v := 0; v < n; v++ {
+		g.Edges = append(g.Edges,
+			graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID((v + 1) % n)},
+			graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID((v + 5) % n)},
+			graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID((v * 3) % n)})
+	}
+	pr, _ := core.RunReference(g, &PageRank{Iterations: 100}, 0)
+	prd, iters := core.RunReference(g, &PageRankDelta{Iterations: 200, Tolerance: 1e-14}, 0)
+	if iters >= 200 {
+		t.Fatalf("PR-D did not converge in %d iterations", iters)
+	}
+	for v := 0; v < n; v++ {
+		if math.Abs(pr[v]-prd[v]) > 1e-6 {
+			t.Fatalf("vertex %d: PR %v vs PR-D %v", v, pr[v], prd[v])
+		}
+	}
+}
+
+func TestPageRankDeltaActiveSetShrinks(t *testing.T) {
+	// The property GraphSD exploits: PR-D deactivates vertices once their
+	// deltas drop below tolerance. On a chain deltas shrink by the damping
+	// factor per hop, so with tolerance 1e-3 the frontier dies after
+	// ~ln(tol/base)/ln(d) ≈ 7 hops, far before the chain's end.
+	g := gen.Chain(50)
+	prog := &PageRankDelta{Iterations: 100, Tolerance: 1e-3}
+	_, iters := core.RunReference(g, prog, 0)
+	if iters > 15 {
+		t.Fatalf("PR-D frontier did not die early on a chain (%d iters)", iters)
+	}
+}
+
+func TestCCLabelsAreComponentMinima(t *testing.T) {
+	g, err := gen.Clustered(4, 10, 40, 0, 7) // 4 disjoint clusters
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetrize so label propagation reaches every cluster member.
+	for _, e := range append([]graph.Edge(nil), g.Edges...) {
+		g.Edges = append(g.Edges, graph.Edge{Src: e.Dst, Dst: e.Src})
+	}
+	out, _ := core.RunReference(g, &ConnectedComponents{}, 0)
+	// Labels must be stable under one more propagation and constant within
+	// reachable groups; check labels are at most the vertex id and belong
+	// to the same cluster's ID range.
+	for v := 0; v < g.NumVertices; v++ {
+		if out[v] > float64(v) {
+			t.Fatalf("label(%d) = %v exceeds own id", v, out[v])
+		}
+		if int(out[v])/10 != v/10 {
+			t.Fatalf("label(%d) = %v crossed cluster boundary", v, out[v])
+		}
+	}
+}
+
+func TestSSSPAgainstDijkstra(t *testing.T) {
+	g, err := gen.ErdosRenyi(60, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Weighted(g, 10, 12)
+	out, _ := core.RunReference(g, &SSSP{Source: 0}, 0)
+	want := dijkstra(g, 0)
+	for v := 0; v < g.NumVertices; v++ {
+		if math.IsInf(want[v], 1) != math.IsInf(out[v], 1) {
+			t.Fatalf("vertex %d reachability mismatch: %v vs %v", v, out[v], want[v])
+		}
+		if !math.IsInf(want[v], 1) && math.Abs(out[v]-want[v]) > 1e-9 {
+			t.Fatalf("dist(%d) = %v, dijkstra %v", v, out[v], want[v])
+		}
+	}
+}
+
+// dijkstra is a plain O(V^2) reference shortest-path for tests.
+func dijkstra(g *graph.Graph, src graph.VertexID) []float64 {
+	n := g.NumVertices
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+	}
+	dist[src] = 0
+	csr := graph.BuildCSR(g)
+	for {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < best {
+				u, best = v, dist[v]
+			}
+		}
+		if u < 0 {
+			return dist
+		}
+		done[u] = true
+		nb := csr.Neighbors(graph.VertexID(u))
+		ws := csr.Weights(graph.VertexID(u))
+		for k, d := range nb {
+			alt := dist[u] + float64(ws[k])
+			if alt < dist[d] {
+				dist[d] = alt
+			}
+		}
+	}
+}
+
+func TestBFSEqualsSSSPUnitWeights(t *testing.T) {
+	g, err := gen.ErdosRenyi(50, 200, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, _ := core.RunReference(g, &BFS{Source: 3}, 0)
+	unit := g.Clone()
+	for i := range unit.Edges {
+		unit.Edges[i].Weight = 1
+	}
+	unit.Weighted = true
+	sssp, _ := core.RunReference(unit, &SSSP{Source: 3}, 0)
+	for v := range bfs {
+		if math.IsInf(bfs[v], 1) != math.IsInf(sssp[v], 1) {
+			t.Fatalf("vertex %d: bfs %v vs unit-sssp %v", v, bfs[v], sssp[v])
+		}
+		if !math.IsInf(bfs[v], 1) && bfs[v] != sssp[v] {
+			t.Fatalf("vertex %d: bfs %v vs unit-sssp %v", v, bfs[v], sssp[v])
+		}
+	}
+}
+
+func TestSSSPSourceOutOfRange(t *testing.T) {
+	g := gen.Chain(5)
+	gen.Weighted(g, 2, 1)
+	out, iters := core.RunReference(g, &SSSP{Source: 99}, 0)
+	if iters != 0 {
+		t.Fatalf("out-of-range source ran %d iterations", iters)
+	}
+	for _, d := range out {
+		if !math.IsInf(d, 1) {
+			t.Fatal("out-of-range source reached vertices")
+		}
+	}
+}
+
+func TestInitStates(t *testing.T) {
+	n := 10
+	for _, tc := range []struct {
+		prog       core.Program
+		wantActive int
+	}{
+		{&PageRank{}, n},
+		{&PageRankDelta{}, n},
+		{&ConnectedComponents{}, n},
+		{&SSSP{Source: 2}, 1},
+		{&BFS{Source: 2}, 1},
+	} {
+		values := make([]float64, n)
+		var aux []float64
+		if tc.prog.HasAux() {
+			aux = make([]float64, n)
+		}
+		active := bitset.NewActiveSet(n)
+		tc.prog.Init(n, values, aux, active)
+		if active.Count() != tc.wantActive {
+			t.Errorf("%s: %d initially active, want %d", tc.prog.Name(), active.Count(), tc.wantActive)
+		}
+	}
+}
+
+func TestMergeProperties(t *testing.T) {
+	// Merge must be commutative and associative with the right identity.
+	progs := []core.Program{&PageRank{}, &PageRankDelta{}, &ConnectedComponents{}, &SSSP{}, &BFS{}}
+	vals := []float64{0, 1, 2.5, -1, math.Inf(1), 0.125}
+	for _, p := range progs {
+		id := p.Identity()
+		for _, a := range vals {
+			if got := p.Merge(a, id); got != a && !(math.IsInf(a, 1) && math.IsInf(got, 1)) {
+				t.Errorf("%s: Merge(%v, identity) = %v", p.Name(), a, got)
+			}
+			for _, b := range vals {
+				if p.Merge(a, b) != p.Merge(b, a) {
+					t.Errorf("%s: Merge not commutative on (%v,%v)", p.Name(), a, b)
+				}
+				for _, c := range vals {
+					l := p.Merge(p.Merge(a, b), c)
+					r := p.Merge(a, p.Merge(b, c))
+					if l != r && !(math.IsInf(l, 1) && math.IsInf(r, 1)) {
+						t.Errorf("%s: Merge not associative on (%v,%v,%v)", p.Name(), a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"pr", "pagerank", "prd", "pr-d", "pagerank-delta", "cc", "components", "sssp", "bfs"} {
+		if _, err := ByName(name, 0); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("pagerankk", 0); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	p, _ := ByName("sssp", 42)
+	if p.(*SSSP).Source != 42 {
+		t.Fatal("source not threaded through ByName")
+	}
+}

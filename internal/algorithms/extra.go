@@ -1,0 +1,143 @@
+package algorithms
+
+import (
+	"math"
+
+	"github.com/graphsd/graphsd/internal/bitset"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+// WidestPath computes the maximum-bottleneck path capacity from a source:
+// the value of v is the largest w such that some path source→v exists
+// whose minimum edge weight is w. A classic label-correcting workload with
+// monotonically increasing values (Merge = max, Gather = min(src, w)),
+// complementary to SSSP's decreasing ones; used here as an extension
+// workload exercising the engines beyond the paper's four algorithms.
+type WidestPath struct {
+	// Source is the root vertex.
+	Source graph.VertexID
+	// MaxIters caps the relaxation rounds (default 1000).
+	MaxIters int
+}
+
+var _ core.Program = (*WidestPath)(nil)
+
+// Name implements core.Program.
+func (p *WidestPath) Name() string { return "widestpath" }
+
+// Weighted implements core.Program.
+func (p *WidestPath) Weighted() bool { return true }
+
+// AlwaysActive implements core.Program.
+func (p *WidestPath) AlwaysActive() bool { return false }
+
+// MaxIterations implements core.Program.
+func (p *WidestPath) MaxIterations() int {
+	if p.MaxIters > 0 {
+		return p.MaxIters
+	}
+	return 1000
+}
+
+// HasAux implements core.Program.
+func (p *WidestPath) HasAux() bool { return false }
+
+// Init implements core.Program. The source has infinite capacity to
+// itself; everything else starts unreachable (capacity 0).
+func (p *WidestPath) Init(n int, values, aux []float64, active *bitset.ActiveSet) {
+	for v := range values {
+		values[v] = 0
+	}
+	if int(p.Source) < n {
+		values[p.Source] = math.Inf(1)
+		active.Activate(int(p.Source))
+	}
+}
+
+// Identity implements core.Program.
+func (p *WidestPath) Identity() float64 { return 0 }
+
+// Gather implements core.Program: a path through e is throttled by e's
+// weight.
+func (p *WidestPath) Gather(srcVal float64, e graph.Edge, srcOutDeg uint32) float64 {
+	return math.Min(srcVal, float64(e.Weight))
+}
+
+// Merge implements core.Program.
+func (p *WidestPath) Merge(a, b float64) float64 { return math.Max(a, b) }
+
+// Apply implements core.Program.
+func (p *WidestPath) Apply(v graph.VertexID, old, merged float64, aux []float64, n int) (float64, bool) {
+	if merged > old {
+		return merged, true
+	}
+	return old, false
+}
+
+// Output implements core.Program.
+func (p *WidestPath) Output(v graph.VertexID, val float64, aux []float64) float64 { return val }
+
+// Reachability marks every vertex reachable from the source with 1. It is
+// the cheapest possible traversal (one bit of state), making it the
+// sharpest showcase of selective loading: the frontier is the only thing
+// ever worth reading.
+type Reachability struct {
+	// Source is the root vertex.
+	Source graph.VertexID
+	// MaxIters caps the traversal (default 1000).
+	MaxIters int
+}
+
+var _ core.Program = (*Reachability)(nil)
+
+// Name implements core.Program.
+func (p *Reachability) Name() string { return "reachability" }
+
+// Weighted implements core.Program.
+func (p *Reachability) Weighted() bool { return false }
+
+// AlwaysActive implements core.Program.
+func (p *Reachability) AlwaysActive() bool { return false }
+
+// MaxIterations implements core.Program.
+func (p *Reachability) MaxIterations() int {
+	if p.MaxIters > 0 {
+		return p.MaxIters
+	}
+	return 1000
+}
+
+// HasAux implements core.Program.
+func (p *Reachability) HasAux() bool { return false }
+
+// Init implements core.Program.
+func (p *Reachability) Init(n int, values, aux []float64, active *bitset.ActiveSet) {
+	if int(p.Source) < n {
+		values[p.Source] = 1
+		active.Activate(int(p.Source))
+	}
+}
+
+// Identity implements core.Program.
+func (p *Reachability) Identity() float64 { return 0 }
+
+// Gather implements core.Program.
+func (p *Reachability) Gather(srcVal float64, e graph.Edge, srcOutDeg uint32) float64 {
+	return srcVal
+}
+
+// Merge implements core.Program.
+func (p *Reachability) Merge(a, b float64) float64 { return math.Max(a, b) }
+
+// Apply implements core.Program: a vertex activates exactly once, when
+// first reached.
+func (p *Reachability) Apply(v graph.VertexID, old, merged float64, aux []float64, n int) (float64, bool) {
+	if merged > old {
+		return merged, true
+	}
+	return old, false
+}
+
+// Output implements core.Program.
+func (p *Reachability) Output(v graph.VertexID, val float64, aux []float64) float64 { return val }

@@ -1,0 +1,67 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// RunGridGraph executes prog with a plain 2-level streaming strategy over
+// a Lumos-format grid layout (unsorted cells, no indexes): every iteration
+// streams every cell in destination-major order, with neither active-vertex
+// awareness nor cross-iteration computation. It is the floor baseline of
+// Table 1's taxonomy ("eliminating random accesses" only).
+func RunGridGraph(layout *partition.Layout, prog core.Program, opts Options) (*core.Result, error) {
+	if layout.Meta.System != "lumos" && layout.Meta.System != "graphsd" {
+		return nil, fmt.Errorf("baseline: gridgraph needs a grid layout, got %q", layout.Meta.System)
+	}
+	if prog.Weighted() && !layout.Meta.Weighted {
+		return nil, fmt.Errorf("baseline: program %s needs weights but layout is unweighted", prog.Name())
+	}
+	start := time.Now()
+	dev := layout.Dev
+	dev.ResetStats()
+
+	degrees, err := layout.LoadDegrees()
+	if err != nil {
+		return nil, err
+	}
+	s := newBSPState(layout.Meta.NumVertices, prog, degrees)
+	maxIter := s.maxIterations(opts)
+	p := layout.Meta.P
+
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		if s.active.Empty() {
+			break
+		}
+		dev.Charge(storage.SeqRead, int64(s.n)*graph.VertexValueBytes)
+		for j := 0; j < p; j++ {
+			for i := 0; i < p; i++ {
+				edges, err := layout.LoadSubBlock(i, j)
+				if err != nil {
+					return nil, err
+				}
+				s.scatter(edges, s.valPrev, s.active, s.acc, s.touched)
+			}
+			lo, hi := layout.Meta.Interval(j)
+			s.applyRange(lo, hi)
+		}
+		dev.Charge(storage.SeqWrite, int64(s.n)*graph.VertexValueBytes)
+		s.advance()
+	}
+
+	return &core.Result{
+		Algorithm:   prog.Name(),
+		Iterations:  iter,
+		Converged:   s.active.Empty(),
+		Outputs:     s.outputs(),
+		WallTime:    time.Since(start),
+		ComputeTime: s.computeTime,
+		IO:          dev.Stats(),
+	}, nil
+}

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// RunLumos executes prog over a Lumos layout (partition.BuildLumos).
+//
+// Lumos performs dependency-driven out-of-order execution: one physical
+// pass over the grid computes iteration t for every vertex and
+// proactively propagates iteration t+1 values along every edge whose
+// source interval is updated before its destination interval (the upper
+// triangle plus the diagonal of the grid). The following pass therefore
+// reads only the remaining lower-triangle cells. Unlike GraphSD, Lumos
+// is not state-aware: it streams every cell of the due triangle every
+// pass, regardless of how few vertices are active, and it does not buffer
+// the twice-read cells — which is exactly the I/O gap Figures 5 and 7
+// measure.
+func RunLumos(layout *partition.Layout, prog core.Program, opts Options) (*core.Result, error) {
+	if layout.Meta.System != "lumos" {
+		return nil, fmt.Errorf("baseline: layout built for %q, want lumos (use partition.BuildLumos)", layout.Meta.System)
+	}
+	if prog.Weighted() && !layout.Meta.Weighted {
+		return nil, fmt.Errorf("baseline: program %s needs weights but layout is unweighted", prog.Name())
+	}
+	start := time.Now()
+	dev := layout.Dev
+	dev.ResetStats()
+
+	degrees, err := layout.LoadDegrees()
+	if err != nil {
+		return nil, err
+	}
+	s := newBSPState(layout.Meta.NumVertices, prog, degrees)
+	maxIter := s.maxIterations(opts)
+	p := layout.Meta.P
+
+	chargeValues := func() {
+		dev.Charge(storage.SeqRead, int64(s.n)*graph.VertexValueBytes)
+	}
+	chargeValuesBack := func() {
+		dev.Charge(storage.SeqWrite, int64(s.n)*graph.VertexValueBytes)
+	}
+
+	iter := 0
+	secondaryPending := false
+	for iter < maxIter {
+		if !secondaryPending && s.active.Empty() && s.touchedNext.Empty() {
+			break
+		}
+		s.promoteStaged()
+
+		if secondaryPending {
+			// Second half: only the lower-triangle cells remain.
+			chargeValues()
+			for j := 0; j < p; j++ {
+				for i := j + 1; i < p; i++ {
+					edges, err := layout.LoadSubBlock(i, j)
+					if err != nil {
+						return nil, err
+					}
+					s.scatter(edges, s.valPrev, s.active, s.acc, s.touched)
+				}
+				lo, hi := layout.Meta.Interval(j)
+				s.applyRange(lo, hi)
+			}
+			chargeValuesBack()
+			secondaryPending = false
+		} else if iter+1 < maxIter {
+			// Full out-of-order pass: iteration t plus staged t+1 values.
+			chargeValues()
+			for j := 0; j < p; j++ {
+				var diag []graph.Edge
+				for i := 0; i < p; i++ {
+					edges, err := layout.LoadSubBlock(i, j)
+					if err != nil {
+						return nil, err
+					}
+					if len(edges) == 0 {
+						continue
+					}
+					s.scatter(edges, s.valPrev, s.active, s.acc, s.touched)
+					switch {
+					case i < j:
+						s.scatter(edges, s.valCur, s.newActive, s.accNext, s.touchedNext)
+					case i == j:
+						diag = edges
+					}
+				}
+				lo, hi := layout.Meta.Interval(j)
+				s.applyRange(lo, hi)
+				if diag != nil {
+					s.scatter(diag, s.valCur, s.newActive, s.accNext, s.touchedNext)
+				}
+			}
+			chargeValuesBack()
+			secondaryPending = !s.newActive.Empty() || !s.touchedNext.Empty()
+		} else {
+			// Single iteration left in the budget: plain full pass.
+			chargeValues()
+			for j := 0; j < p; j++ {
+				for i := 0; i < p; i++ {
+					edges, err := layout.LoadSubBlock(i, j)
+					if err != nil {
+						return nil, err
+					}
+					s.scatter(edges, s.valPrev, s.active, s.acc, s.touched)
+				}
+				lo, hi := layout.Meta.Interval(j)
+				s.applyRange(lo, hi)
+			}
+			chargeValuesBack()
+		}
+
+		s.advance()
+		iter++
+	}
+
+	return &core.Result{
+		Algorithm:   prog.Name(),
+		Iterations:  iter,
+		Converged:   s.active.Empty() && s.touchedNext.Empty() && !secondaryPending,
+		Outputs:     s.outputs(),
+		WallTime:    time.Since(start),
+		ComputeTime: s.computeTime,
+		IO:          dev.Stats(),
+	}, nil
+}

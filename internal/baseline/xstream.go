@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// updateRecordBytes is the on-disk size of one X-Stream update: a 4-byte
+// destination plus an 8-byte contribution value.
+const updateRecordBytes = 12
+
+// BuildXStream writes the X-Stream layout: the raw, unsorted edge list as
+// a single streamable file (X-Stream's whole premise is that sorting is
+// never worth it), plus the degree table. Preprocessing is therefore even
+// cheaper than Lumos's — one sequential copy.
+func BuildXStream(dev *storage.Device, g *graph.Graph, p int) (*partition.Layout, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("baseline: xstream needs positive partition count, got %d", p)
+	}
+	dev.Charge(storage.SeqRead, g.Bytes()) // raw input scan
+
+	m := &partition.Manifest{
+		FormatVersion: partition.FormatVersion,
+		System:        "xstream",
+		NumVertices:   g.NumVertices,
+		NumEdges:      int64(len(g.Edges)),
+		P:             p,
+		Weighted:      g.Weighted,
+		EdgeCounts:    make([][]int64, p),
+	}
+	for i := range m.EdgeCounts {
+		m.EdgeCounts[i] = make([]int64, p)
+	}
+	if p > 0 {
+		m.EdgeCounts[0][0] = int64(len(g.Edges))
+	}
+
+	rec := m.EdgeRecordBytes()
+	buf := make([]byte, 0, len(g.Edges)*rec)
+	for _, e := range g.Edges {
+		buf = graph.EncodeEdge(buf, e, g.Weighted)
+	}
+	if err := dev.WriteFile(xstreamEdgesName, buf); err != nil {
+		return nil, err
+	}
+
+	deg := g.OutDegrees()
+	dbuf := make([]byte, 0, len(deg)*4)
+	for _, d := range deg {
+		dbuf = binary.LittleEndian.AppendUint32(dbuf, d)
+	}
+	if err := dev.WriteFile(partition.DegreesName, dbuf); err != nil {
+		return nil, err
+	}
+
+	data, err := manifestJSON(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.WriteFile(partition.ManifestName, data); err != nil {
+		return nil, err
+	}
+	return &partition.Layout{Dev: dev, Meta: *m}, nil
+}
+
+const xstreamEdgesName = "edges.bin"
+
+func manifestJSON(m *partition.Manifest) ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+func updatesName(j int) string { return fmt.Sprintf("updates/u_%04d.bin", j) }
+
+// RunXStream executes prog with X-Stream's edge-centric scatter-gather
+// (Roy et al., SOSP '13): every iteration streams the entire unsorted edge
+// list, writes an *update stream* — one (destination, contribution) record
+// per active edge — partitioned by destination interval, then streams each
+// partition's updates back to apply them. The defining I/O signature is
+// the intermediate update traffic: |E_active| records are written AND
+// re-read every iteration on top of the full |E| edge scan, which is why
+// systems with 2-level layouts (GridGraph and everything after) beat it.
+func RunXStream(layout *partition.Layout, prog core.Program, opts Options) (*core.Result, error) {
+	if layout.Meta.System != "xstream" {
+		return nil, fmt.Errorf("baseline: layout built for %q, want xstream (use BuildXStream)", layout.Meta.System)
+	}
+	if prog.Weighted() && !layout.Meta.Weighted {
+		return nil, fmt.Errorf("baseline: program %s needs weights but layout is unweighted", prog.Name())
+	}
+	start := time.Now()
+	dev := layout.Dev
+	dev.ResetStats()
+
+	degrees, err := layout.LoadDegrees()
+	if err != nil {
+		return nil, err
+	}
+	s := newBSPState(layout.Meta.NumVertices, prog, degrees)
+	maxIter := s.maxIterations(opts)
+	p := layout.Meta.P
+
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		if s.active.Empty() {
+			break
+		}
+		dev.Charge(storage.SeqRead, int64(s.n)*graph.VertexValueBytes)
+
+		// Scatter phase: stream all edges, emit updates binned by
+		// destination interval.
+		edgeData, err := dev.ReadFile(xstreamEdgesName)
+		if err != nil {
+			return nil, err
+		}
+		edges, err := graph.DecodeEdges(edgeData, layout.Meta.Weighted)
+		if err != nil {
+			return nil, err
+		}
+		bins := make([][]byte, p)
+		t0 := time.Now()
+		for _, e := range edges {
+			if !s.active.Contains(int(e.Src)) {
+				continue
+			}
+			g := s.prog.Gather(s.valPrev[e.Src], e, s.degrees[e.Src])
+			j := layout.Meta.IntervalOf(e.Dst)
+			bins[j] = binary.LittleEndian.AppendUint32(bins[j], uint32(e.Dst))
+			bins[j] = binary.LittleEndian.AppendUint64(bins[j], math.Float64bits(g))
+		}
+		s.computeTime += time.Since(t0)
+		for j := 0; j < p; j++ {
+			if err := dev.WriteFile(updatesName(j), bins[j]); err != nil {
+				return nil, err
+			}
+		}
+
+		// Gather phase: stream each interval's updates back and apply.
+		for j := 0; j < p; j++ {
+			data, err := dev.ReadFile(updatesName(j))
+			if err != nil {
+				return nil, err
+			}
+			if len(data)%updateRecordBytes != 0 {
+				return nil, fmt.Errorf("baseline: xstream update stream %d corrupt (%d bytes)", j, len(data))
+			}
+			t0 := time.Now()
+			for off := 0; off < len(data); off += updateRecordBytes {
+				dst := binary.LittleEndian.Uint32(data[off:])
+				val := math.Float64frombits(binary.LittleEndian.Uint64(data[off+4:]))
+				s.acc[dst] = s.prog.Merge(s.acc[dst], val)
+				s.touched.Activate(int(dst))
+			}
+			s.computeTime += time.Since(t0)
+			lo, hi := layout.Meta.Interval(j)
+			s.applyRange(lo, hi)
+		}
+
+		dev.Charge(storage.SeqWrite, int64(s.n)*graph.VertexValueBytes)
+		s.advance()
+	}
+
+	return &core.Result{
+		Algorithm:   prog.Name(),
+		Iterations:  iter,
+		Converged:   s.active.Empty(),
+		Outputs:     s.outputs(),
+		WallTime:    time.Since(start),
+		ComputeTime: s.computeTime,
+		IO:          dev.Stats(),
+	}, nil
+}

@@ -1,0 +1,149 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/baseline"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+func buildXStreamLayout(t *testing.T, seed int64, p int) (*partition.Layout, *core.Result) {
+	t.Helper()
+	g, err := gen.RMAT(8, 8, gen.Graph500, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := storage.OpenDevice(t.TempDir(), storage.ScaledHDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := baseline.BuildXStream(dev, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.RunReference(g, &algorithms.ConnectedComponents{}, 0)
+	return l, &core.Result{Outputs: want}
+}
+
+func TestXStreamMatchesReference(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		l, oracle := buildXStreamLayout(t, 41, p)
+		res, err := baseline.RunXStream(l, &algorithms.ConnectedComponents{}, baseline.Options{})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for v := range oracle.Outputs {
+			if res.Outputs[v] != oracle.Outputs[v] {
+				t.Fatalf("p=%d vertex %d: %v want %v", p, v, res.Outputs[v], oracle.Outputs[v])
+			}
+		}
+		if !res.Converged {
+			t.Fatalf("p=%d: did not converge", p)
+		}
+	}
+}
+
+func TestXStreamAlgorithmsMatchReference(t *testing.T) {
+	g, err := gen.RMAT(8, 8, gen.Graph500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mk := range map[string]func() core.Program{
+		"pagerank": func() core.Program { return &algorithms.PageRank{Iterations: 4} },
+		"bfs":      func() core.Program { return &algorithms.BFS{Source: 0} },
+		"prdelta":  func() core.Program { return &algorithms.PageRankDelta{Iterations: 10} },
+	} {
+		want, _ := core.RunReference(g, mk(), 0)
+		dev, err := storage.OpenDevice(t.TempDir(), storage.ScaledHDD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := baseline.BuildXStream(dev, g, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := baseline.RunXStream(l, mk(), baseline.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for v := range want {
+			if !almostEqual(res.Outputs[v], want[v], 1e-9) {
+				t.Fatalf("%s vertex %d: %v want %v", name, v, res.Outputs[v], want[v])
+			}
+		}
+	}
+}
+
+func TestXStreamWritesUpdateStreams(t *testing.T) {
+	// X-Stream's signature: per-iteration write traffic beyond the vertex
+	// array, proportional to active edges. GridGraph over the same graph
+	// writes only vertex values.
+	g, err := gen.RMAT(9, 8, gen.Graph500, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devX, err := storage.OpenDevice(t.TempDir(), storage.ScaledHDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lx, err := baseline.BuildXStream(devX, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xres, err := baseline.RunXStream(lx, &algorithms.PageRank{Iterations: 4}, baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devG, err := storage.OpenDevice(t.TempDir(), storage.ScaledHDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := partition.BuildLumos(devG, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := baseline.RunGridGraph(lg, &algorithms.PageRank{Iterations: 4}, baseline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xres.IO.WriteBytes() <= gres.IO.WriteBytes() {
+		t.Fatalf("xstream wrote %d bytes, gridgraph %d — update streams missing",
+			xres.IO.WriteBytes(), gres.IO.WriteBytes())
+	}
+	if xres.IO.TotalBytes() <= gres.IO.TotalBytes() {
+		t.Fatalf("xstream total %d not above gridgraph %d", xres.IO.TotalBytes(), gres.IO.TotalBytes())
+	}
+}
+
+func TestXStreamLayoutChecks(t *testing.T) {
+	g := gen.Chain(10)
+	dev, err := storage.OpenDevice(t.TempDir(), storage.ScaledHDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := baseline.BuildXStream(dev, g, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	l, err := partition.BuildLumos(dev, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := baseline.RunXStream(l, &algorithms.PageRank{}, baseline.Options{}); err == nil {
+		t.Error("lumos layout accepted by xstream engine")
+	}
+	devX, err := storage.OpenDevice(t.TempDir(), storage.ScaledHDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lx, err := baseline.BuildXStream(devX, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := baseline.RunXStream(lx, &algorithms.SSSP{Source: 0}, baseline.Options{}); err == nil {
+		t.Error("weighted program accepted on unweighted xstream layout")
+	}
+}

@@ -1,0 +1,174 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestActiveSetBasics(t *testing.T) {
+	s := NewActiveSet(100)
+	if !s.Empty() || s.Count() != 0 || s.Len() != 100 {
+		t.Fatalf("fresh set: Empty=%v Count=%d Len=%d", s.Empty(), s.Count(), s.Len())
+	}
+	if !s.Activate(10) {
+		t.Fatal("Activate(10) reported not new")
+	}
+	if s.Activate(10) {
+		t.Fatal("second Activate(10) reported new")
+	}
+	if s.Count() != 1 || !s.Contains(10) {
+		t.Fatalf("Count=%d Contains(10)=%v", s.Count(), s.Contains(10))
+	}
+	if !s.Deactivate(10) {
+		t.Fatal("Deactivate(10) reported not present")
+	}
+	if s.Deactivate(10) {
+		t.Fatal("second Deactivate(10) reported present")
+	}
+	if !s.Empty() {
+		t.Fatal("set not empty after deactivation")
+	}
+}
+
+func TestActiveSetActivateAllReset(t *testing.T) {
+	s := NewActiveSet(65)
+	s.ActivateAll()
+	if s.Count() != 65 {
+		t.Fatalf("Count after ActivateAll = %d, want 65", s.Count())
+	}
+	s.Reset()
+	if !s.Empty() {
+		t.Fatal("not empty after Reset")
+	}
+}
+
+func TestActiveSetRangeOps(t *testing.T) {
+	s := NewActiveSet(100)
+	for i := 0; i < 100; i += 5 {
+		s.Activate(i)
+	}
+	if got := s.CountRange(10, 31); got != 5 { // 10,15,20,25,30
+		t.Fatalf("CountRange(10,31) = %d, want 5", got)
+	}
+	var visited []int
+	s.ForEachRange(10, 31, func(v int) bool {
+		visited = append(visited, v)
+		return true
+	})
+	want := []int{10, 15, 20, 25, 30}
+	if len(visited) != len(want) {
+		t.Fatalf("ForEachRange visited %v", visited)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("ForEachRange visited %v, want %v", visited, want)
+		}
+	}
+}
+
+func TestActiveSetCloneAndCopy(t *testing.T) {
+	s := NewActiveSet(50)
+	s.Activate(3)
+	s.Activate(40)
+	c := s.Clone()
+	c.Activate(5)
+	if s.Contains(5) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	d := NewActiveSet(50)
+	d.CopyFrom(s)
+	if d.Count() != 2 || !d.Contains(3) || !d.Contains(40) {
+		t.Fatalf("CopyFrom result wrong: %v", d.Slice())
+	}
+}
+
+func TestActiveSetUnionSubtract(t *testing.T) {
+	a, b := NewActiveSet(30), NewActiveSet(30)
+	a.Activate(1)
+	a.Activate(2)
+	b.Activate(2)
+	b.Activate(3)
+	a.UnionFrom(b)
+	if a.Count() != 3 {
+		t.Fatalf("union count = %d, want 3 (%v)", a.Count(), a.Slice())
+	}
+	a.Subtract(b)
+	if a.Count() != 1 || !a.Contains(1) {
+		t.Fatalf("subtract result wrong: %v", a.Slice())
+	}
+}
+
+func TestActiveSetSliceSorted(t *testing.T) {
+	s := NewActiveSet(64)
+	for _, v := range []int{40, 2, 63, 17} {
+		s.Activate(v)
+	}
+	got := s.Slice()
+	want := []int{2, 17, 40, 63}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: Count is always consistent with the number of Contains() hits
+// under random activate/deactivate interleavings.
+func TestPropertyActiveSetCount(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 256
+		s := NewActiveSet(n)
+		ref := make(map[int]bool)
+		for i, op := range ops {
+			v := int(op) % n
+			if i%2 == 0 {
+				s.Activate(v)
+				ref[v] = true
+			} else {
+				s.Deactivate(v)
+				delete(ref, v)
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		sum := 0
+		for v := range ref {
+			if !s.Contains(v) {
+				return false
+			}
+			sum++
+		}
+		return sum == s.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sum of interval counts equals the total count for any interval
+// partitioning, which is exactly what the I/O scheduler relies on.
+func TestPropertyActiveSetIntervalCounts(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		const n = 512
+		s := NewActiveSet(n)
+		for _, r := range raw {
+			s.Activate(int(r) % n)
+		}
+		p := int(pRaw)%8 + 1
+		per := (n + p - 1) / p
+		total := 0
+		for i := 0; i < p; i++ {
+			lo := i * per
+			hi := min(n, lo+per)
+			total += s.CountRange(lo, hi)
+		}
+		return total == s.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

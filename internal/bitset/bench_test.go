@@ -1,0 +1,58 @@
+package bitset
+
+import "testing"
+
+func BenchmarkSet(b *testing.B) {
+	s := New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(i & (1<<20 - 1))
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := New(1 << 20)
+	for i := 0; i < 1<<20; i += 3 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkCountRange(b *testing.B) {
+	s := New(1 << 20)
+	for i := 0; i < 1<<20; i += 3 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CountRange(1000, 1<<19)
+	}
+}
+
+func BenchmarkForEachSparse(b *testing.B) {
+	s := New(1 << 20)
+	for i := 0; i < 1<<20; i += 1024 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		s.ForEach(func(int) bool { n++; return true })
+		if n != 1024 {
+			b.Fatalf("visited %d", n)
+		}
+	}
+}
+
+func BenchmarkActiveSetActivate(b *testing.B) {
+	s := NewActiveSet(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Activate(i & (1<<20 - 1))
+	}
+}

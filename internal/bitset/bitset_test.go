@@ -1,0 +1,368 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+	if b.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", b.Count())
+	}
+	if !b.None() {
+		t.Fatal("None() = false for fresh bitset")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetTestClear(t *testing.T) {
+	b := New(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d clear after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := New(10)
+	for name, fn := range map[string]func(){
+		"Set":   func() { b.Set(10) },
+		"Clear": func() { b.Clear(-1) },
+		"Test":  func() { b.Test(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out of range did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTestAndSet(t *testing.T) {
+	b := New(70)
+	if b.TestAndSet(69) {
+		t.Fatal("TestAndSet returned true on clear bit")
+	}
+	if !b.TestAndSet(69) {
+		t.Fatal("TestAndSet returned false on set bit")
+	}
+	if b.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", b.Count())
+	}
+}
+
+func TestFillRespectsCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		b := New(n)
+		b.Fill()
+		if got := b.Count(); got != n {
+			t.Errorf("n=%d: Count after Fill = %d", n, got)
+		}
+	}
+}
+
+func TestResetClearsAll(t *testing.T) {
+	b := New(100)
+	b.Fill()
+	b.Reset()
+	if !b.None() {
+		t.Fatal("bits remain set after Reset")
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	b := New(300)
+	for _, i := range []int{5, 64, 130, 299} {
+		b.Set(i)
+	}
+	cases := []struct{ from, want int }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 130}, {131, 299}, {299, 299},
+		{-10, 5},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := b.NextSet(300); got != -1 {
+		t.Errorf("NextSet(300) = %d, want -1", got)
+	}
+	b.Clear(299)
+	if got := b.NextSet(131); got != -1 {
+		t.Errorf("NextSet(131) after clearing = %d, want -1", got)
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	b := New(150)
+	want := []int{3, 64, 65, 100, 149}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visited %v, want %v", got, want)
+		}
+	}
+	// Early stop after two elements.
+	count := 0
+	b.ForEach(func(i int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d, want 2", count)
+	}
+}
+
+func TestForEachRange(t *testing.T) {
+	b := New(200)
+	for i := 0; i < 200; i += 10 {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEachRange(25, 75, func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	want := []int{30, 40, 50, 60, 70}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	b := New(256)
+	for i := 0; i < 256; i += 3 {
+		b.Set(i)
+	}
+	for _, c := range []struct{ lo, hi int }{
+		{0, 256}, {0, 0}, {10, 10}, {0, 1}, {0, 64}, {63, 65},
+		{64, 128}, {100, 101}, {5, 250}, {-5, 300}, {250, 200},
+	} {
+		want := 0
+		for i := max(0, c.lo); i < min(256, c.hi); i++ {
+			if b.Test(i) {
+				want++
+			}
+		}
+		if got := b.CountRange(c.lo, c.hi); got != want {
+			t.Errorf("CountRange(%d,%d) = %d, want %d", c.lo, c.hi, got, want)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a, b := New(100), New(100)
+	for i := 0; i < 100; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < 100; i += 3 {
+		b.Set(i)
+	}
+
+	u := a.Clone()
+	u.Union(b)
+	inter := a.Clone()
+	inter.Intersect(b)
+	diff := a.Clone()
+	diff.AndNot(b)
+
+	for i := 0; i < 100; i++ {
+		ea, eb := i%2 == 0, i%3 == 0
+		if u.Test(i) != (ea || eb) {
+			t.Errorf("union bit %d wrong", i)
+		}
+		if inter.Test(i) != (ea && eb) {
+			t.Errorf("intersect bit %d wrong", i)
+		}
+		if diff.Test(i) != (ea && !eb) {
+			t.Errorf("andnot bit %d wrong", i)
+		}
+	}
+}
+
+func TestSetOpsCapacityMismatchPanics(t *testing.T) {
+	a, b := New(10), New(20)
+	for name, fn := range map[string]func(){
+		"Union":     func() { a.Union(b) },
+		"Intersect": func() { a.Intersect(b) },
+		"AndNot":    func() { a.AndNot(b) },
+		"CopyFrom":  func() { a.CopyFrom(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with mismatched capacity did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(64)
+	a.Set(7)
+	c := a.Clone()
+	c.Set(8)
+	if a.Test(8) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.Test(7) {
+		t.Fatal("clone lost original bit")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(90), New(90)
+	if !a.Equal(b) {
+		t.Fatal("fresh equal-capacity bitsets not Equal")
+	}
+	a.Set(89)
+	if a.Equal(b) {
+		t.Fatal("different bitsets reported Equal")
+	}
+	b.Set(89)
+	if !a.Equal(b) {
+		t.Fatal("identical bitsets not Equal")
+	}
+	if a.Equal(New(91)) {
+		t.Fatal("different capacities reported Equal")
+	}
+}
+
+func TestStringSmall(t *testing.T) {
+	b := New(10)
+	b.Set(1)
+	b.Set(4)
+	if got := b.String(); got != "{1 4}" {
+		t.Fatalf("String() = %q, want {1 4}", got)
+	}
+}
+
+// Property: Count always equals the number of indices for which Test is true,
+// under any sequence of Set/Clear operations.
+func TestPropertyCountMatchesTest(t *testing.T) {
+	f := func(ops []uint16, setBits []bool) bool {
+		const n = 512
+		b := New(n)
+		ref := make(map[int]bool)
+		for i, op := range ops {
+			idx := int(op) % n
+			set := i < len(setBits) && setBits[i]
+			if set {
+				b.Set(idx)
+				ref[idx] = true
+			} else {
+				b.Clear(idx)
+				delete(ref, idx)
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if b.Test(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextSet walks exactly the set bits, in order.
+func TestPropertyNextSetEnumerates(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 1000
+		b := New(n)
+		ref := make(map[int]bool)
+		for _, r := range raw {
+			idx := int(r) % n
+			b.Set(idx)
+			ref[idx] = true
+		}
+		seen := 0
+		prev := -1
+		for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+			if i <= prev || !ref[i] {
+				return false
+			}
+			prev = i
+			seen++
+		}
+		return seen == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CountRange(lo,hi) + CountRange(hi,n) + CountRange(0,lo) == Count.
+func TestPropertyCountRangePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 777
+	b := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			b.Set(i)
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		lo, hi := rng.Intn(n+1), rng.Intn(n+1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		total := b.CountRange(0, lo) + b.CountRange(lo, hi) + b.CountRange(hi, n)
+		if total != b.Count() {
+			t.Fatalf("partition counts %d != total %d (lo=%d hi=%d)", total, b.Count(), lo, hi)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package buffer implements GraphSD's sub-block buffering scheme (paper
+// §4.3): secondary sub-blocks — the strictly-lower-triangle grid cells that
+// the FCIU model must read twice — are cached in a bounded in-memory buffer.
+// Each cached sub-block carries a priority equal to its active-edge count;
+// when space is needed the lowest-priority resident is evicted, and a
+// candidate whose priority is below every resident's is simply not cached.
+package buffer
+
+import (
+	"fmt"
+
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+// Key identifies a sub-block by its grid coordinates.
+type Key struct {
+	I, J int
+}
+
+// String returns the key as "(i,j)".
+func (k Key) String() string { return fmt.Sprintf("(%d,%d)", k.I, k.J) }
+
+// Stats counts buffer outcomes for the Figure 12 experiment.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Insertions int64
+	Evictions  int64
+	Rejections int64
+	// BytesSaved is the total I/O bytes avoided by hits.
+	BytesSaved int64
+}
+
+// Policy selects the eviction discipline.
+type Policy int
+
+const (
+	// PriorityPolicy evicts the resident with the fewest active edges, the
+	// paper's scheme (§4.3).
+	PriorityPolicy Policy = iota
+	// FIFOPolicy evicts the oldest resident regardless of priority — the
+	// naive alternative the paper argues against; kept for the
+	// buffer-policy ablation experiment.
+	FIFOPolicy
+)
+
+type entry struct {
+	edges    []graph.Edge
+	size     int64
+	priority int64
+	seq      int64 // insertion order, for FIFO
+}
+
+// Buffer is a bounded priority cache of decoded sub-blocks. It is not safe
+// for concurrent use; the FCIU driver accesses it from one goroutine.
+type Buffer struct {
+	capacity int64
+	used     int64
+	policy   Policy
+	seq      int64
+	entries  map[Key]*entry
+	stats    Stats
+}
+
+// New returns a buffer holding at most capacity bytes of sub-block payload
+// under the paper's priority eviction scheme. A zero or negative capacity
+// yields a buffer that caches nothing, which is how the "buffering
+// disabled" ablation is expressed.
+func New(capacity int64) *Buffer {
+	return NewWithPolicy(capacity, PriorityPolicy)
+}
+
+// NewWithPolicy returns a buffer with an explicit eviction policy.
+func NewWithPolicy(capacity int64, policy Policy) *Buffer {
+	return &Buffer{capacity: capacity, policy: policy, entries: make(map[Key]*entry)}
+}
+
+// Capacity returns the configured byte capacity.
+func (b *Buffer) Capacity() int64 { return b.capacity }
+
+// Used returns the bytes currently cached.
+func (b *Buffer) Used() int64 { return b.used }
+
+// Len returns the number of cached sub-blocks.
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Stats returns the accumulated outcome counters.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// Get returns the cached edges for k, if resident. A hit records the
+// avoided I/O volume in the stats.
+func (b *Buffer) Get(k Key) ([]graph.Edge, bool) {
+	e, ok := b.entries[k]
+	if !ok {
+		b.stats.Misses++
+		return nil, false
+	}
+	b.stats.Hits++
+	b.stats.BytesSaved += e.size
+	return e.edges, true
+}
+
+// Peek returns the cached edges for k without touching the hit/miss
+// counters. Used by the engine to recompute priorities after an iteration.
+func (b *Buffer) Peek(k Key) ([]graph.Edge, bool) {
+	e, ok := b.entries[k]
+	if !ok {
+		return nil, false
+	}
+	return e.edges, true
+}
+
+// Keys returns the keys of all resident sub-blocks in unspecified order.
+func (b *Buffer) Keys() []Key {
+	out := make([]Key, 0, len(b.entries))
+	for k := range b.entries {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Contains reports residency without touching the hit/miss counters.
+func (b *Buffer) Contains(k Key) bool {
+	_, ok := b.entries[k]
+	return ok
+}
+
+// Put offers sub-block k (decoded edges, on-disk size, priority) to the
+// buffer. If k is already resident only its priority is refreshed. To make
+// room, resident sub-blocks with priority strictly below the candidate's
+// are evicted lowest-first; if that cannot free enough space the candidate
+// is rejected. Returns whether the sub-block is resident afterwards.
+func (b *Buffer) Put(k Key, edges []graph.Edge, size int64, priority int64) bool {
+	if e, ok := b.entries[k]; ok {
+		e.priority = priority
+		return true
+	}
+	if size > b.capacity || size < 0 {
+		b.stats.Rejections++
+		return false
+	}
+	for b.used+size > b.capacity {
+		victim, ok := b.pickVictim(priority)
+		if !ok {
+			b.stats.Rejections++
+			return false
+		}
+		b.evict(victim)
+	}
+	b.seq++
+	b.entries[k] = &entry{edges: edges, size: size, priority: priority, seq: b.seq}
+	b.used += size
+	b.stats.Insertions++
+	return true
+}
+
+// pickVictim selects an evictable resident: the lowest-priority one with
+// priority strictly below the candidate's under PriorityPolicy, or the
+// oldest resident under FIFOPolicy.
+func (b *Buffer) pickVictim(limit int64) (Key, bool) {
+	if b.policy == FIFOPolicy {
+		var bestKey Key
+		var best *entry
+		for k, e := range b.entries {
+			if best == nil || e.seq < best.seq {
+				best, bestKey = e, k
+			}
+		}
+		return bestKey, best != nil
+	}
+	return b.lowestPriorityBelow(limit)
+}
+
+// UpdatePriority sets the priority of k if resident, as the paper requires
+// after a secondary sub-block is processed in FCIU's first iteration.
+func (b *Buffer) UpdatePriority(k Key, priority int64) {
+	if e, ok := b.entries[k]; ok {
+		e.priority = priority
+	}
+}
+
+// Remove drops k from the buffer if resident.
+func (b *Buffer) Remove(k Key) {
+	if e, ok := b.entries[k]; ok {
+		b.used -= e.size
+		delete(b.entries, k)
+	}
+}
+
+// Clear empties the buffer, keeping the statistics.
+func (b *Buffer) Clear() {
+	b.entries = make(map[Key]*entry)
+	b.used = 0
+}
+
+// lowestPriorityBelow returns the resident with the smallest priority
+// strictly below limit, tie-broken by insertion order so that eviction —
+// and therefore every engine run — is fully deterministic.
+func (b *Buffer) lowestPriorityBelow(limit int64) (Key, bool) {
+	var bestKey Key
+	var best *entry
+	for k, e := range b.entries {
+		if e.priority >= limit {
+			continue
+		}
+		if best == nil || e.priority < best.priority ||
+			(e.priority == best.priority && e.seq < best.seq) {
+			best, bestKey = e, k
+		}
+	}
+	return bestKey, best != nil
+}
+
+func (b *Buffer) evict(k Key) {
+	e := b.entries[k]
+	b.used -= e.size
+	delete(b.entries, k)
+	b.stats.Evictions++
+}

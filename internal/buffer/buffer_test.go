@@ -1,0 +1,246 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+func edges(n int) []graph.Edge {
+	out := make([]graph.Edge, n)
+	for i := range out {
+		out[i] = graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)}
+	}
+	return out
+}
+
+func TestEmptyBufferMisses(t *testing.T) {
+	b := New(100)
+	if _, ok := b.Get(Key{0, 0}); ok {
+		t.Fatal("empty buffer hit")
+	}
+	s := b.Stats()
+	if s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	b := New(1000)
+	e := edges(5)
+	if !b.Put(Key{1, 2}, e, 40, 10) {
+		t.Fatal("Put rejected with ample space")
+	}
+	got, ok := b.Get(Key{1, 2})
+	if !ok || len(got) != 5 {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	s := b.Stats()
+	if s.Hits != 1 || s.Insertions != 1 || s.BytesSaved != 40 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if b.Used() != 40 || b.Len() != 1 || b.Capacity() != 1000 {
+		t.Fatalf("Used=%d Len=%d Cap=%d", b.Used(), b.Len(), b.Capacity())
+	}
+}
+
+func TestZeroCapacityCachesNothing(t *testing.T) {
+	b := New(0)
+	if b.Put(Key{0, 0}, edges(1), 8, 100) {
+		t.Fatal("zero-capacity buffer accepted an entry")
+	}
+	if b.Stats().Rejections != 1 {
+		t.Fatalf("stats = %+v", b.Stats())
+	}
+}
+
+func TestOversizeRejected(t *testing.T) {
+	b := New(100)
+	if b.Put(Key{0, 0}, edges(20), 160, 1) {
+		t.Fatal("oversize entry accepted")
+	}
+	if b.Put(Key{0, 0}, nil, -1, 1) {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestEvictsLowestPriority(t *testing.T) {
+	b := New(100)
+	b.Put(Key{0, 0}, edges(1), 40, 5)  // low priority
+	b.Put(Key{1, 0}, edges(1), 40, 50) // high priority
+	// Needs 40 bytes; must evict (0,0), not (1,0).
+	if !b.Put(Key{2, 0}, edges(1), 40, 20) {
+		t.Fatal("insertion with evictable victim rejected")
+	}
+	if b.Contains(Key{0, 0}) {
+		t.Fatal("low-priority entry survived")
+	}
+	if !b.Contains(Key{1, 0}) || !b.Contains(Key{2, 0}) {
+		t.Fatal("wrong victim evicted")
+	}
+	if b.Stats().Evictions != 1 {
+		t.Fatalf("stats = %+v", b.Stats())
+	}
+}
+
+func TestRejectsWhenAllResidentsHigherPriority(t *testing.T) {
+	b := New(80)
+	b.Put(Key{0, 0}, edges(1), 40, 100)
+	b.Put(Key{1, 0}, edges(1), 40, 90)
+	if b.Put(Key{2, 0}, edges(1), 40, 10) {
+		t.Fatal("low-priority candidate displaced higher-priority residents")
+	}
+	if !b.Contains(Key{0, 0}) || !b.Contains(Key{1, 0}) {
+		t.Fatal("residents were disturbed")
+	}
+	// Equal priority must not displace either (strict inequality).
+	if b.Put(Key{3, 0}, edges(1), 40, 90) {
+		t.Fatal("equal-priority candidate displaced a resident")
+	}
+}
+
+func TestEvictsMultipleVictims(t *testing.T) {
+	b := New(100)
+	b.Put(Key{0, 0}, edges(1), 30, 1)
+	b.Put(Key{1, 0}, edges(1), 30, 2)
+	b.Put(Key{2, 0}, edges(1), 30, 3)
+	// 90 bytes used; an 80-byte candidate at priority 10 must evict all three.
+	if !b.Put(Key{3, 0}, edges(1), 80, 10) {
+		t.Fatal("multi-victim insertion rejected")
+	}
+	if b.Len() != 1 || b.Used() != 80 {
+		t.Fatalf("Len=%d Used=%d", b.Len(), b.Used())
+	}
+	if b.Stats().Evictions != 3 {
+		t.Fatalf("evictions = %d", b.Stats().Evictions)
+	}
+}
+
+func TestPutExistingRefreshesPriority(t *testing.T) {
+	b := New(100)
+	b.Put(Key{0, 0}, edges(1), 40, 1)
+	b.Put(Key{1, 0}, edges(1), 40, 50)
+	// Refresh (0,0) to a high priority; no new insertion recorded.
+	if !b.Put(Key{0, 0}, edges(1), 40, 60) {
+		t.Fatal("refresh rejected")
+	}
+	if b.Stats().Insertions != 2 {
+		t.Fatalf("insertions = %d", b.Stats().Insertions)
+	}
+	// Now (1,0) is the lowest priority and must be the victim.
+	if !b.Put(Key{2, 0}, edges(1), 40, 55) {
+		t.Fatal("insertion rejected")
+	}
+	if b.Contains(Key{1, 0}) || !b.Contains(Key{0, 0}) {
+		t.Fatal("priority refresh not honoured by eviction")
+	}
+}
+
+func TestUpdatePriority(t *testing.T) {
+	b := New(80)
+	b.Put(Key{0, 0}, edges(1), 40, 100)
+	b.Put(Key{1, 0}, edges(1), 40, 90)
+	b.UpdatePriority(Key{0, 0}, 1)
+	// (0,0) now evictable by a priority-10 candidate.
+	if !b.Put(Key{2, 0}, edges(1), 40, 10) {
+		t.Fatal("insertion after priority downgrade rejected")
+	}
+	if b.Contains(Key{0, 0}) {
+		t.Fatal("downgraded entry survived")
+	}
+	// Updating an absent key is a no-op.
+	b.UpdatePriority(Key{9, 9}, 5)
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	b := New(100)
+	b.Put(Key{0, 0}, edges(1), 40, 1)
+	b.Remove(Key{0, 0})
+	if b.Contains(Key{0, 0}) || b.Used() != 0 {
+		t.Fatal("Remove failed")
+	}
+	b.Remove(Key{0, 0}) // absent: no-op
+	b.Put(Key{1, 1}, edges(1), 40, 1)
+	b.Clear()
+	if b.Len() != 0 || b.Used() != 0 {
+		t.Fatal("Clear failed")
+	}
+	if b.Stats().Insertions != 2 {
+		t.Fatal("Clear dropped stats")
+	}
+}
+
+func TestPriorityTiesBreakByInsertionOrder(t *testing.T) {
+	// Equal priorities: the earliest-inserted entry must be the victim,
+	// deterministically, regardless of map iteration order.
+	for trial := 0; trial < 20; trial++ {
+		b := New(120)
+		b.Put(Key{0, 0}, edges(1), 40, 5)
+		b.Put(Key{1, 0}, edges(1), 40, 5)
+		b.Put(Key{2, 0}, edges(1), 40, 5)
+		if !b.Put(Key{3, 0}, edges(1), 40, 9) {
+			t.Fatal("insertion rejected")
+		}
+		if b.Contains(Key{0, 0}) || !b.Contains(Key{1, 0}) || !b.Contains(Key{2, 0}) {
+			t.Fatalf("trial %d: wrong victim among ties", trial)
+		}
+	}
+}
+
+func TestFIFOPolicyEvictsOldest(t *testing.T) {
+	b := NewWithPolicy(80, FIFOPolicy)
+	b.Put(Key{0, 0}, edges(1), 40, 1000) // oldest, highest priority
+	b.Put(Key{1, 0}, edges(1), 40, 1)
+	// FIFO ignores priority: (0,0) goes first despite priority 1000.
+	if !b.Put(Key{2, 0}, edges(1), 40, 5) {
+		t.Fatal("FIFO insertion rejected")
+	}
+	if b.Contains(Key{0, 0}) {
+		t.Fatal("FIFO kept the oldest entry")
+	}
+	if !b.Contains(Key{1, 0}) || !b.Contains(Key{2, 0}) {
+		t.Fatal("FIFO evicted the wrong entry")
+	}
+}
+
+func TestFIFONeverRejectsFittingEntry(t *testing.T) {
+	b := NewWithPolicy(40, FIFOPolicy)
+	for i := 0; i < 10; i++ {
+		if !b.Put(Key{i, 0}, edges(1), 40, int64(i)) {
+			t.Fatalf("FIFO rejected fitting entry %d", i)
+		}
+	}
+	if b.Len() != 1 {
+		t.Fatalf("FIFO holds %d entries in a one-slot buffer", b.Len())
+	}
+}
+
+// Property: Used() always equals the sum of resident sizes and never
+// exceeds capacity, for any operation sequence.
+func TestPropertyUsedWithinCapacity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const capacity = 500
+		b := New(capacity)
+		for _, op := range ops {
+			k := Key{int(op % 7), int(op / 7 % 7)}
+			switch op % 4 {
+			case 0:
+				b.Put(k, nil, int64(op%200), int64(op%13))
+			case 1:
+				b.Get(k)
+			case 2:
+				b.Remove(k)
+			case 3:
+				b.UpdatePriority(k, int64(op%29))
+			}
+			if b.Used() > capacity || b.Used() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

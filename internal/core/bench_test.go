@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+func benchLayout(b *testing.B, g *graph.Graph, p int) *partition.Layout {
+	b.Helper()
+	dev, err := storage.OpenDevice(b.TempDir(), storage.ScaledHDD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := partition.Build(dev, g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+func BenchmarkReferencePageRank(b *testing.B) {
+	g, err := gen.RMAT(13, 12, gen.Graph500, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RunReference(g, &algorithms.PageRank{Iterations: 5}, 0)
+	}
+}
+
+func BenchmarkEnginePageRank(b *testing.B) {
+	g, err := gen.RMAT(12, 12, gen.Graph500, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := benchLayout(b, g, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(l, &algorithms.PageRank{Iterations: 5}, core.Options{DefaultBuffer: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineBFS(b *testing.B) {
+	g, err := gen.RMAT(12, 12, gen.Graph500, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := benchLayout(b, g, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(l, &algorithms.BFS{Source: 0}, core.Options{DefaultBuffer: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineThreads(b *testing.B) {
+	g, err := gen.RMAT(13, 16, gen.Graph500, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(benchName(threads), func(b *testing.B) {
+			l := benchLayout(b, g, 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(l, &algorithms.PageRank{Iterations: 3}, core.Options{Threads: threads})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.ComputeTime.Microseconds())/1000, "compute-ms")
+			}
+		})
+	}
+}
+
+func benchName(threads int) string {
+	return "threads-" + string(rune('0'+threads))
+}

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+// Edge cases and degenerate inputs.
+
+func TestEngineEmptyGraph(t *testing.T) {
+	g := &graph.Graph{NumVertices: 0}
+	layout := buildLayout(t, g, 1)
+	res, err := core.Run(layout, &algorithms.ConnectedComponents{}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 || !res.Converged || len(res.Outputs) != 0 {
+		t.Fatalf("empty graph run: %+v", res)
+	}
+}
+
+func TestEngineSingleVertexNoEdges(t *testing.T) {
+	g := &graph.Graph{NumVertices: 1}
+	layout := buildLayout(t, g, 1)
+	res, err := core.Run(layout, &algorithms.PageRank{Iterations: 3}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PR with no in-edges: rank settles at (1-d)/n = 0.15.
+	if math.Abs(res.Outputs[0]-0.15) > 1e-12 {
+		t.Fatalf("isolated vertex rank = %v", res.Outputs[0])
+	}
+}
+
+func TestEngineSelfLoops(t *testing.T) {
+	g := &graph.Graph{
+		NumVertices: 3,
+		Edges: []graph.Edge{
+			{Src: 0, Dst: 0}, {Src: 1, Dst: 1}, {Src: 2, Dst: 2},
+			{Src: 0, Dst: 1},
+		},
+	}
+	want, _ := core.RunReference(g, &algorithms.PageRank{Iterations: 10}, 0)
+	layout := buildLayout(t, g, 2)
+	res, err := core.Run(layout, &algorithms.PageRank{Iterations: 10}, core.Options{DefaultBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareOutputs(t, "self-loops", res.Outputs, want, 1e-9)
+}
+
+func TestEnginePGreaterThanVertices(t *testing.T) {
+	g := gen.Chain(3)
+	layout := buildLayout(t, g, 8) // intervals mostly empty
+	want, _ := core.RunReference(g, &algorithms.BFS{Source: 0}, 0)
+	res, err := core.Run(layout, &algorithms.BFS{Source: 0}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareOutputs(t, "p>n", res.Outputs, want, 0)
+}
+
+func TestEngineRepeatedRunsOnSameLayout(t *testing.T) {
+	g, err := gen.RMAT(7, 8, gen.Graph500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := buildLayout(t, g, 3)
+	first, err := core.Run(layout, &algorithms.ConnectedComponents{}, core.Options{DefaultBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := core.Run(layout, &algorithms.ConnectedComponents{}, core.Options{DefaultBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareOutputs(t, "repeat-run", second.Outputs, first.Outputs, 0)
+	// Device stats are reset per run, so traffic must match too.
+	if first.IO.TotalBytes() != second.IO.TotalBytes() {
+		t.Fatalf("traffic differs across identical runs: %d vs %d",
+			first.IO.TotalBytes(), second.IO.TotalBytes())
+	}
+}
+
+func TestEngineSimulatedTrafficDeterministic(t *testing.T) {
+	// The whole point of the simulated device: two identical runs report
+	// identical byte counts and simulated I/O time.
+	g, err := gen.RMAT(8, 8, gen.Graph500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bytesSeen []int64
+	for trial := 0; trial < 2; trial++ {
+		layout := buildLayout(t, g, 4)
+		res, err := core.Run(layout, &algorithms.BFS{Source: 0}, core.Options{DefaultBuffer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bytesSeen = append(bytesSeen, res.IO.TotalBytes())
+	}
+	if bytesSeen[0] != bytesSeen[1] {
+		t.Fatalf("traffic not deterministic: %v", bytesSeen)
+	}
+}
+
+func TestEngineDanglingSourceProgram(t *testing.T) {
+	// BFS from a vertex with no out-edges: one iteration, nothing reached.
+	g := gen.Chain(5) // vertex 4 is a sink
+	layout := buildLayout(t, g, 2)
+	res, err := core.Run(layout, &algorithms.BFS{Source: 4}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 4; v++ {
+		if !math.IsInf(res.Outputs[v], 1) {
+			t.Fatalf("vertex %d reached from a sink", v)
+		}
+	}
+	if !res.Converged {
+		t.Fatal("sink BFS did not converge")
+	}
+}
+
+func TestIterStatsAccounting(t *testing.T) {
+	g, err := gen.RMAT(8, 8, gen.Graph500, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := buildLayout(t, g, 4)
+	res, err := core.Run(layout, &algorithms.PageRank{Iterations: 4}, core.Options{DefaultBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IterStats) != res.Iterations {
+		t.Fatalf("%d iter stats for %d iterations", len(res.IterStats), res.Iterations)
+	}
+	var ioSum int64
+	for i, st := range res.IterStats {
+		if st.Index != i {
+			t.Fatalf("stat %d has index %d", i, st.Index)
+		}
+		if st.Path == "" {
+			t.Fatalf("stat %d has empty path", i)
+		}
+		if st.Time() != st.IOTime+st.ComputeTime {
+			t.Fatal("IterStat.Time identity violated")
+		}
+		ioSum += st.IO.TotalBytes()
+	}
+	// Per-iteration I/O must sum to at most the total (startup degree load
+	// happens outside iterations).
+	if ioSum > res.IO.TotalBytes() {
+		t.Fatalf("per-iteration I/O %d exceeds total %d", ioSum, res.IO.TotalBytes())
+	}
+}

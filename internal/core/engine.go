@@ -1,0 +1,476 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/bitset"
+	"github.com/graphsd/graphsd/internal/buffer"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/iosched"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+	"github.com/graphsd/graphsd/internal/vertexstore"
+)
+
+// accShards is the number of locks sharding the accumulator arrays during
+// parallel scatter. Destinations are mapped to shards by index, so two
+// workers merging into different shards never contend.
+const accShards = 256
+
+// serialScatterThreshold is the edge count below which scatter runs
+// single-threaded; goroutine fan-out costs more than it saves on tiny
+// batches.
+const serialScatterThreshold = 4096
+
+// Engine executes a vertex program over a partitioned on-disk graph using
+// GraphSD's state- and dependency-aware update strategy. Create one with
+// NewEngine and call Run once; an Engine is single-use.
+type Engine struct {
+	layout *partition.Layout
+	prog   Program
+	opts   Options
+	sched  *iosched.Scheduler
+	buf    *buffer.Buffer
+
+	n, p    int
+	degrees []uint32
+
+	// BSP state. valPrev holds iteration t-1 values (scatter source),
+	// valCur iteration t values (apply target). acc/touched are the
+	// current iteration's accumulators; accNext/touchedNext stage
+	// cross-iteration contributions for t+1.
+	valPrev, valCur []float64
+	aux             []float64
+	acc, accNext    []float64
+	touched         *bitset.ActiveSet
+	touchedNext     *bitset.ActiveSet
+	active          *bitset.ActiveSet
+	newActive       *bitset.ActiveSet
+	prescattered    *bitset.ActiveSet
+
+	// indexCache holds per-sub-block vertex indexes once loaded; the
+	// structures are immutable so they are kept for the whole run.
+	indexCache map[buffer.Key][]int64
+
+	// sciuCache holds the edges of this iteration's active vertices so the
+	// cross-iteration phase can reuse them without re-reading (Alg 2,
+	// lines 15–23).
+	sciuCache map[graph.VertexID][]graph.Edge
+
+	accLocks [accShards]sync.Mutex
+
+	// valStore, when non-nil, persists the vertex value array on the
+	// device each iteration (Options.PersistValues).
+	valStore *vertexstore.Store
+
+	computeTime time.Duration
+	readBuf     []byte
+}
+
+// readValues accounts the start-of-iteration vertex value load: a real
+// sequential read when values are persisted, a modelled charge otherwise.
+func (e *Engine) readValues() error {
+	if e.valStore == nil {
+		e.layout.ChargeVertexValueRead()
+		return nil
+	}
+	return e.valStore.Read(e.valPrev)
+}
+
+// writeValues accounts the end-of-iteration write-back symmetrically.
+// Call it after the apply phase, when valCur holds the iteration's result.
+func (e *Engine) writeValues() error {
+	if e.valStore == nil {
+		e.layout.ChargeVertexValueWrite()
+		return nil
+	}
+	return e.valStore.Write(e.valCur)
+}
+
+// NewEngine prepares an engine for one run of prog over layout.
+func NewEngine(layout *partition.Layout, prog Program, opts Options) (*Engine, error) {
+	if layout.Meta.System != "graphsd" {
+		return nil, fmt.Errorf("core: layout built for %q, want graphsd (use partition.Build)", layout.Meta.System)
+	}
+	if prog.Weighted() && !layout.Meta.Weighted {
+		return nil, fmt.Errorf("core: program %s needs edge weights but layout is unweighted", prog.Name())
+	}
+	sched, err := iosched.New(iosched.Config{
+		Profile:         layout.Dev.Profile(),
+		NumVertices:     layout.Meta.NumVertices,
+		NumEdges:        layout.Meta.NumEdges,
+		EdgeRecordBytes: layout.Meta.EdgeRecordBytes(),
+		P:               layout.Meta.P,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bufBytes := opts.BufferBytes
+	if bufBytes == 0 && opts.DefaultBuffer {
+		bufBytes = layout.Meta.EdgeBytesTotal() / 4
+	}
+	n := layout.Meta.NumVertices
+	e := &Engine{
+		layout:       layout,
+		prog:         prog,
+		opts:         opts,
+		sched:        sched,
+		n:            n,
+		p:            layout.Meta.P,
+		valPrev:      make([]float64, n),
+		valCur:       make([]float64, n),
+		acc:          make([]float64, n),
+		accNext:      make([]float64, n),
+		touched:      bitset.NewActiveSet(n),
+		touchedNext:  bitset.NewActiveSet(n),
+		active:       bitset.NewActiveSet(n),
+		newActive:    bitset.NewActiveSet(n),
+		prescattered: bitset.NewActiveSet(n),
+		indexCache:   make(map[buffer.Key][]int64),
+	}
+	e.buf = buffer.NewWithPolicy(bufBytes, opts.BufferPolicy)
+	if prog.HasAux() {
+		e.aux = make([]float64, n)
+	}
+	id := prog.Identity()
+	for v := 0; v < n; v++ {
+		e.acc[v] = id
+		e.accNext[v] = id
+	}
+	return e, nil
+}
+
+// Run executes the program to convergence or the iteration bound and
+// returns the result. The device's stats are reset at the start so the
+// result's IO snapshot covers exactly this run.
+func Run(layout *partition.Layout, prog Program, opts Options) (*Result, error) {
+	e, err := NewEngine(layout, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+func (e *Engine) run() (*Result, error) {
+	start := time.Now()
+	dev := e.layout.Dev
+	dev.ResetStats()
+
+	var err error
+	e.degrees, err = e.layout.LoadDegrees()
+	if err != nil {
+		return nil, err
+	}
+	e.prog.Init(e.n, e.valPrev, e.aux, e.active)
+	copy(e.valCur, e.valPrev)
+	if e.opts.PersistValues {
+		e.valStore, err = vertexstore.New(dev, "primary", e.n)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.valStore.Write(e.valPrev); err != nil {
+			return nil, err
+		}
+	}
+
+	maxIter := e.prog.MaxIterations()
+	if e.opts.MaxIterations > 0 {
+		maxIter = e.opts.MaxIterations
+	}
+
+	iter := 0
+	secondaryPending := false
+	var iterStats []IterStat
+	for iter < maxIter {
+		if !secondaryPending && e.active.Empty() && e.touchedNext.Empty() {
+			break
+		}
+		// Promote staged next-iteration contributions to current. The
+		// outgoing acc/touched were fully consumed (and identity-reset) by
+		// the previous apply phase.
+		e.acc, e.accNext = e.accNext, e.acc
+		e.touched, e.touchedNext = e.touchedNext, e.touched
+
+		ioBefore := dev.Stats()
+		computeBefore := e.computeTime
+		path := ""
+
+		if secondaryPending {
+			// Second half of an FCIU pass: only secondary sub-blocks.
+			path = "fciu-2"
+			if err := e.runFCIUSecond(); err != nil {
+				return nil, err
+			}
+			secondaryPending = false
+		} else {
+			model := e.decide(iter)
+			switch {
+			case model == iosched.OnDemandIO:
+				path = "sciu"
+				if err := e.runSCIU(); err != nil {
+					return nil, err
+				}
+			case !e.opts.DisableCrossIteration && iter+1 < maxIter:
+				path = "fciu-1"
+				if err := e.runFCIUFirst(); err != nil {
+					return nil, err
+				}
+				// The second half applies staged contributions and scatters
+				// the secondary sub-blocks from the new frontier; if the
+				// first half activated nothing, both are no-ops and the
+				// algorithm has converged.
+				secondaryPending = !e.newActive.Empty() || !e.touchedNext.Empty()
+			default:
+				path = "full-single"
+				if err := e.runFullSingle(); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		ioDelta := dev.Stats().Sub(ioBefore)
+		st := IterStat{
+			Index:       iter,
+			Path:        path,
+			Active:      e.active.Count(),
+			IO:          ioDelta,
+			IOTime:      ioDelta.TotalTime(),
+			ComputeTime: e.computeTime - computeBefore,
+		}
+		iterStats = append(iterStats, st)
+		if e.opts.OnIteration != nil {
+			e.opts.OnIteration(st)
+		}
+
+		// Advance the BSP frontier: next actives are this iteration's
+		// activations minus vertices whose next scatter was already
+		// performed by cross-iteration computation.
+		e.active.CopyFrom(e.newActive)
+		e.active.Subtract(e.prescattered)
+		e.newActive.Reset()
+		e.prescattered.Reset()
+		e.valPrev, e.valCur = e.valCur, e.valPrev
+		copy(e.valCur, e.valPrev)
+		iter++
+	}
+
+	outputs := make([]float64, e.n)
+	tApply := time.Now()
+	for v := range outputs {
+		outputs[v] = e.prog.Output(graph.VertexID(v), e.valPrev[v], e.aux)
+	}
+	e.computeTime += time.Since(tApply)
+
+	return &Result{
+		Algorithm:         e.prog.Name(),
+		Iterations:        iter,
+		Converged:         e.active.Empty() && e.touchedNext.Empty() && !secondaryPending,
+		Outputs:           outputs,
+		WallTime:          time.Since(start),
+		ComputeTime:       e.computeTime,
+		IO:                dev.Stats(),
+		Decisions:         append([]iosched.Decision(nil), e.sched.History()...),
+		SchedulerOverhead: e.sched.TotalOverhead(),
+		Buffer:            e.buf.Stats(),
+		IterStats:         iterStats,
+	}, nil
+}
+
+// decide selects the iteration's I/O access model, honouring ForceModel.
+// Forced runs still record a Decision so experiment traces stay uniform.
+func (e *Engine) decide(iter int) iosched.Model {
+	d := e.sched.Decide(iter, e.active, e.degrees)
+	if e.opts.ForceModel != nil {
+		return *e.opts.ForceModel
+	}
+	return d.Model
+}
+
+// index returns the vertex index of sub-block (i, j), loading and caching
+// it on first use.
+func (e *Engine) index(i, j int) ([]int64, error) {
+	k := buffer.Key{I: i, J: j}
+	if idx, ok := e.indexCache[k]; ok {
+		return idx, nil
+	}
+	idx, err := e.layout.LoadIndex(i, j)
+	if err != nil {
+		return nil, err
+	}
+	e.indexCache[k] = idx
+	return idx, nil
+}
+
+// serialApplyThreshold is the vertex count below which the apply phase
+// runs single-threaded.
+const serialApplyThreshold = 8192
+
+// applyInterval runs the apply phase for every touched vertex of interval j
+// (every vertex, for always-active programs), filling newActive and
+// restoring the accumulator identity invariant. Apply is embarrassingly
+// parallel per vertex — each touches only its own value, accumulator and
+// aux slot — so large intervals are chunked across Options.Threads
+// workers, with activations gathered per worker and merged serially.
+func (e *Engine) applyInterval(j int) {
+	lo, hi := e.layout.Meta.Interval(j)
+	t0 := time.Now()
+	defer func() { e.computeTime += time.Since(t0) }()
+	id := e.prog.Identity()
+
+	var pending []int
+	if e.prog.AlwaysActive() {
+		pending = make([]int, hi-lo)
+		for k := range pending {
+			pending[k] = lo + k
+		}
+	} else {
+		// Collect first: applying mutates the set being iterated.
+		e.touched.ForEachRange(lo, hi, func(v int) bool {
+			pending = append(pending, v)
+			return true
+		})
+	}
+
+	workers := e.opts.threads()
+	if len(pending) < serialApplyThreshold || workers <= 1 {
+		for _, v := range pending {
+			nv, act := e.prog.Apply(graph.VertexID(v), e.valPrev[v], e.acc[v], e.aux, e.n)
+			e.valCur[v] = nv
+			if act {
+				e.newActive.Activate(v)
+			}
+			e.acc[v] = id
+			e.touched.Deactivate(v)
+		}
+		return
+	}
+
+	chunk := (len(pending) + workers - 1) / workers
+	activated := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		loK, hiK := w*chunk, min((w+1)*chunk, len(pending))
+		if loK >= hiK {
+			continue
+		}
+		wg.Add(1)
+		go func(w, loK, hiK int) {
+			defer wg.Done()
+			var acts []int
+			for _, v := range pending[loK:hiK] {
+				nv, act := e.prog.Apply(graph.VertexID(v), e.valPrev[v], e.acc[v], e.aux, e.n)
+				e.valCur[v] = nv
+				if act {
+					acts = append(acts, v)
+				}
+				e.acc[v] = id
+			}
+			activated[w] = acts
+		}(w, loK, hiK)
+	}
+	wg.Wait()
+	for _, acts := range activated {
+		for _, v := range acts {
+			e.newActive.Activate(v)
+		}
+	}
+	for _, v := range pending {
+		e.touched.Deactivate(v)
+	}
+}
+
+// applyAll applies every interval (used by SCIU and the single full pass,
+// which scatter everything before applying).
+func (e *Engine) applyAll() {
+	for j := 0; j < e.p; j++ {
+		e.applyInterval(j)
+	}
+}
+
+// scatter merges the contributions of edges whose source is in filter into
+// acc/touched, reading source values from vals. It parallelises across
+// Options.Threads workers with sharded accumulator locks; Merge must be
+// commutative and associative, which makes the merge order irrelevant.
+func (e *Engine) scatter(edges []graph.Edge, vals []float64, filter *bitset.ActiveSet, acc []float64, touched *bitset.ActiveSet) {
+	if len(edges) == 0 {
+		return
+	}
+	t0 := time.Now()
+	defer func() { e.computeTime += time.Since(t0) }()
+
+	workers := e.opts.threads()
+	if len(edges) < serialScatterThreshold || workers <= 1 {
+		for _, ed := range edges {
+			if !filter.Contains(int(ed.Src)) {
+				continue
+			}
+			g := e.prog.Gather(vals[ed.Src], ed, e.degrees[ed.Src])
+			acc[ed.Dst] = e.prog.Merge(acc[ed.Dst], g)
+			touched.Activate(int(ed.Dst))
+		}
+		return
+	}
+
+	chunk := (len(edges) + workers - 1) / workers
+	touchedLocal := make([][]graph.VertexID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local []graph.VertexID
+			shardSize := (e.n + accShards - 1) / accShards
+			if shardSize == 0 {
+				shardSize = 1
+			}
+			for _, ed := range edges[lo:hi] {
+				if !filter.Contains(int(ed.Src)) {
+					continue
+				}
+				g := e.prog.Gather(vals[ed.Src], ed, e.degrees[ed.Src])
+				shard := int(ed.Dst) / shardSize
+				e.accLocks[shard].Lock()
+				acc[ed.Dst] = e.prog.Merge(acc[ed.Dst], g)
+				e.accLocks[shard].Unlock()
+				local = append(local, ed.Dst)
+			}
+			touchedLocal[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, local := range touchedLocal {
+		for _, dst := range local {
+			touched.Activate(int(dst))
+		}
+	}
+}
+
+// activeEdgeCount returns how many of edges have an active source, the
+// priority metric of the secondary sub-block buffer.
+func activeEdgeCount(edges []graph.Edge, active *bitset.ActiveSet) int64 {
+	var c int64
+	for _, ed := range edges {
+		if active.Contains(int(ed.Src)) {
+			c++
+		}
+	}
+	return c
+}
+
+// chargeIndexAccess charges the per-iteration modelled cost of consulting
+// the vertex index under the on-demand model (the paper's C_r includes a
+// 2|V|·N sequential-read term for index plus vertex values; the vertex
+// value half is charged separately).
+func (e *Engine) chargeIndexAccess() {
+	e.layout.Dev.Charge(storage.SeqRead, int64(e.n)*graph.IndexEntryBytes)
+}

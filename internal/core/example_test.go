@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// Example demonstrates the complete GraphSD pipeline: preprocess a graph
+// into the 2-D grid layout on a simulated disk, then run a traversal with
+// the state- and dependency-aware engine.
+func Example() {
+	dir, err := os.MkdirTemp("", "graphsd-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	dev, err := storage.OpenDevice(dir, storage.ScaledHDD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := gen.Chain(8) // 0 -> 1 -> ... -> 7
+	layout, err := partition.Build(dev, g, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.Run(layout, &algorithms.BFS{Source: 0}, core.Options{DefaultBuffer: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged=%t depth(7)=%v\n", res.Converged, res.Outputs[7])
+	// Output: converged=true depth(7)=7
+}
+
+// ExampleRunReference shows the in-memory BSP oracle, useful for verifying
+// out-of-core results or for quick experimentation without a layout.
+func ExampleRunReference() {
+	g := gen.Star(4) // hub 0 -> {1,2,3}
+	out, iters := core.RunReference(g, &algorithms.BFS{Source: 0}, 0)
+	fmt.Printf("iters=%d depths=%v %v %v\n", iters, out[1], out[2], out[3])
+	// Output: iters=2 depths=1 1 1
+}

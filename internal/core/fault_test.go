@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// Failure injection: the engine must surface device errors from every I/O
+// path — degree load, full sub-block loads, selective index/edge reads —
+// rather than silently producing partial results.
+
+func faultLayout(t *testing.T) *partition.Layout {
+	t.Helper()
+	dev, err := storage.OpenDevice(t.TempDir(), storage.ScaledHDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.RMAT(8, 8, gen.Graph500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := partition.Build(dev, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestEngineSurfacesDegreeLoadFailure(t *testing.T) {
+	l := faultLayout(t)
+	boom := errors.New("disk gone")
+	l.Dev.SetFaultInjector(func(op, name string) error {
+		if name == partition.DegreesName {
+			return boom
+		}
+		return nil
+	})
+	_, err := core.Run(l, &algorithms.PageRank{Iterations: 2}, core.Options{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("degree-load fault not surfaced: %v", err)
+	}
+}
+
+func TestEngineSurfacesSubBlockReadFailure(t *testing.T) {
+	l := faultLayout(t)
+	boom := errors.New("unreadable block")
+	l.Dev.SetFaultInjector(func(op, name string) error {
+		if strings.HasPrefix(name, "blocks/") && strings.HasSuffix(name, ".edges") && op == "read" {
+			return boom
+		}
+		return nil
+	})
+	_, err := core.Run(l, &algorithms.PageRank{Iterations: 2}, core.Options{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("sub-block fault not surfaced: %v", err)
+	}
+}
+
+func TestEngineSurfacesIndexReadFailure(t *testing.T) {
+	l := faultLayout(t)
+	boom := errors.New("index corrupted")
+	l.Dev.SetFaultInjector(func(op, name string) error {
+		if strings.HasSuffix(name, ".idx") {
+			return boom
+		}
+		return nil
+	})
+	// Force the on-demand path so the index is actually consulted.
+	_, err := core.Run(l, &algorithms.BFS{Source: 0}, core.Options{ForceModel: core.ForceOnDemand})
+	if !errors.Is(err, boom) {
+		t.Fatalf("index fault not surfaced: %v", err)
+	}
+}
+
+func TestEngineSurfacesSelectiveEdgeReadFailure(t *testing.T) {
+	l := faultLayout(t)
+	boom := errors.New("bad sector")
+	l.Dev.SetFaultInjector(func(op, name string) error {
+		if op == "readat" {
+			return boom
+		}
+		return nil
+	})
+	_, err := core.Run(l, &algorithms.BFS{Source: 0}, core.Options{ForceModel: core.ForceOnDemand})
+	if !errors.Is(err, boom) {
+		t.Fatalf("selective-read fault not surfaced: %v", err)
+	}
+}
+
+func TestEngineFailsMidRunCleanly(t *testing.T) {
+	// Fail after the first dozen reads: the engine has already made
+	// progress and must still return the error, not a partial Result.
+	l := faultLayout(t)
+	boom := errors.New("transient then fatal")
+	var reads atomic.Int64
+	l.Dev.SetFaultInjector(func(op, name string) error {
+		if op == "read" && reads.Add(1) > 12 {
+			return boom
+		}
+		return nil
+	})
+	res, err := core.Run(l, &algorithms.PageRank{Iterations: 5}, core.Options{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("mid-run fault not surfaced: %v", err)
+	}
+	if res != nil {
+		t.Fatal("partial result returned alongside error")
+	}
+}
+
+func TestPreprocessorSurfacesWriteFailure(t *testing.T) {
+	dev, err := storage.OpenDevice(t.TempDir(), storage.ScaledHDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.RMAT(8, 8, gen.Graph500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("device full")
+	dev.SetFaultInjector(func(op, name string) error {
+		if op == "write" && strings.HasPrefix(name, "blocks/") {
+			return boom
+		}
+		return nil
+	})
+	if _, err := partition.Build(dev, g, 4); !errors.Is(err, boom) {
+		t.Fatalf("preprocessor write fault not surfaced: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"github.com/graphsd/graphsd/internal/buffer"
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+// runFCIUFirst executes the first half of a full cross-iteration update
+// pass (paper Algorithm 3, lines 1–17): stream every sub-block in
+// column-major order, updating iteration t, and exploit the dependency
+// structure of the grid to compute iteration t+1 contributions in the same
+// pass:
+//
+//   - sub-block (i, j) with i < j: interval i was applied before column j
+//     is processed, so the sources' t-values are final — scatter t+1
+//     contributions immediately after the t-scatter;
+//   - the diagonal sub-block (j, j) is held in memory until column j is
+//     applied, then scatters its t+1 contributions;
+//   - sub-blocks with i > j ("secondary") cannot propagate in this pass
+//     and are offered to the priority buffer for the second half.
+//
+// The driver then runs runFCIUSecond as the next iteration.
+func (e *Engine) runFCIUFirst() error {
+	if err := e.readValues(); err != nil {
+		return err
+	}
+
+	for j := 0; j < e.p; j++ {
+		var diag []graph.Edge
+		for i := 0; i < e.p; i++ {
+			if i < j && e.opts.StreamChunkBytes > 0 {
+				// Upper-triangle cells need no retention: stream them,
+				// applying both the current-iteration update and the
+				// cross-iteration propagation per chunk.
+				err := e.layout.StreamSubBlock(i, j, e.opts.StreamChunkBytes, func(edges []graph.Edge) error {
+					e.scatter(edges, e.valPrev, e.active, e.acc, e.touched)
+					e.scatter(edges, e.valCur, e.newActive, e.accNext, e.touchedNext)
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			edges, err := e.loadFCIUBlock(i, j)
+			if err != nil {
+				return err
+			}
+			if len(edges) == 0 {
+				continue
+			}
+			// Current-iteration update (UserFunction over all edges whose
+			// source is active).
+			e.scatter(edges, e.valPrev, e.active, e.acc, e.touched)
+			switch {
+			case i < j:
+				// CrossIterUpdate: sources already updated in this
+				// iteration propagate their new value to iteration t+1.
+				e.scatter(edges, e.valCur, e.newActive, e.accNext, e.touchedNext)
+			case i == j:
+				diag = edges
+			}
+		}
+		e.applyInterval(j)
+		if diag != nil {
+			// Diagonal cross-iteration after interval j's own apply
+			// (Alg 3 lines 13–16).
+			e.scatter(diag, e.valCur, e.newActive, e.accNext, e.touchedNext)
+		}
+	}
+
+	// The paper updates each buffered secondary sub-block's priority after
+	// the first iteration processes it; now that the full activation set
+	// for t+1 is known, refresh every resident's priority.
+	for _, k := range e.buf.Keys() {
+		if edges, ok := e.buf.Peek(k); ok {
+			e.buf.UpdatePriority(k, activeEdgeCount(edges, e.newActive))
+		}
+	}
+	return e.writeValues()
+}
+
+// runFCIUSecond executes the second half of an FCIU pass (Algorithm 3,
+// lines 18–26): iteration t+1 already holds the staged contributions from
+// every sub-block with i <= j, so only the secondary sub-blocks (i > j)
+// are read — from the buffer when resident — before each interval is
+// applied.
+func (e *Engine) runFCIUSecond() error {
+	if err := e.readValues(); err != nil {
+		return err
+	}
+
+	for j := 0; j < e.p; j++ {
+		for i := j + 1; i < e.p; i++ {
+			edges, err := e.loadFCIUBlock(i, j)
+			if err != nil {
+				return err
+			}
+			e.scatter(edges, e.valPrev, e.active, e.acc, e.touched)
+		}
+		e.applyInterval(j)
+	}
+	return e.writeValues()
+}
+
+// runFullSingle executes one plain full-I/O iteration with no
+// cross-iteration computation: stream every sub-block, scatter, apply per
+// interval. Used when cross-iteration is disabled (ablation b1) and when a
+// single iteration remains in the budget.
+func (e *Engine) runFullSingle() error {
+	if err := e.readValues(); err != nil {
+		return err
+	}
+
+	for j := 0; j < e.p; j++ {
+		for i := 0; i < e.p; i++ {
+			if e.opts.StreamChunkBytes > 0 {
+				err := e.layout.StreamSubBlock(i, j, e.opts.StreamChunkBytes, func(edges []graph.Edge) error {
+					e.scatter(edges, e.valPrev, e.active, e.acc, e.touched)
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			edges, err := e.layout.LoadSubBlock(i, j)
+			if err != nil {
+				return err
+			}
+			e.scatter(edges, e.valPrev, e.active, e.acc, e.touched)
+		}
+		e.applyInterval(j)
+	}
+	return e.writeValues()
+}
+
+// loadFCIUBlock fetches sub-block (i, j) for an FCIU pass. Secondary
+// sub-blocks (i > j) consult the priority buffer first and are offered to
+// it after a miss, with priority equal to their current active-edge count.
+func (e *Engine) loadFCIUBlock(i, j int) ([]graph.Edge, error) {
+	if e.layout.Meta.SubBlockEdges(i, j) == 0 {
+		return nil, nil
+	}
+	if i <= j {
+		return e.layout.LoadSubBlock(i, j)
+	}
+	k := buffer.Key{I: i, J: j}
+	if edges, ok := e.buf.Get(k); ok {
+		return edges, nil
+	}
+	edges, err := e.layout.LoadSubBlock(i, j)
+	if err != nil {
+		return nil, err
+	}
+	e.buf.Put(k, edges, e.layout.Meta.SubBlockBytes(i, j), activeEdgeCount(edges, e.active))
+	return edges, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/buffer"
+	"github.com/graphsd/graphsd/internal/iosched"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// Options configures an engine run. The zero value selects the full
+// GraphSD behaviour; the Disable*/Force* switches express the paper's
+// ablation baselines (§5.4):
+//
+//   - b1: DisableCrossIteration = true (current-iteration updates only)
+//   - b2/b3: ForceModel = &FullIO (load all sub-blocks every iteration)
+//   - b4: ForceModel = &OnDemandIO (selective loads every iteration)
+//   - "no buffering": BufferBytes = 0 with DisableBufferDefault = true
+type Options struct {
+	// MaxIterations overrides the program's iteration bound when positive.
+	MaxIterations int
+	// DisableCrossIteration turns off cross-iteration value computation in
+	// both update models (ablation GraphSD-b1).
+	DisableCrossIteration bool
+	// ForceModel pins the I/O access model instead of consulting the
+	// state-aware scheduler (ablations GraphSD-b3 / GraphSD-b4).
+	ForceModel *iosched.Model
+	// BufferBytes is the secondary sub-block buffer capacity. Zero
+	// disables buffering (the Figure 12 "without buffering" variant)
+	// unless DefaultBuffer is set, in which case a capacity of 1/4 of the
+	// edge data is used.
+	BufferBytes int64
+	// DefaultBuffer selects an automatic buffer capacity when BufferBytes
+	// is zero.
+	DefaultBuffer bool
+	// BufferPolicy selects the buffer eviction discipline; the zero value
+	// is the paper's priority scheme, FIFOPolicy the naive ablation.
+	BufferPolicy buffer.Policy
+	// SCIUCacheBudget bounds the bytes of active-vertex edges SCIU may
+	// keep resident for cross-iteration propagation. Zero means the
+	// on-demand working set is assumed to fit memory (the paper's
+	// assumption). When the budget is exhausted, further vertices simply
+	// lose the cross-iteration shortcut — correctness is unaffected.
+	SCIUCacheBudget int64
+	// StreamChunkBytes, when positive, streams full-model sub-block reads
+	// in chunks of at most this many bytes instead of loading whole cells,
+	// bounding peak memory at one chunk. Cells that must stay resident
+	// (the diagonal during FCIU, and secondary cells entering the buffer)
+	// are still loaded whole. Traffic is unchanged; only residency drops.
+	StreamChunkBytes int64
+	// PersistValues routes the per-iteration vertex value read and
+	// write-back through a real on-device array (internal/vertexstore)
+	// instead of modelled charges. Same bytes, but the final values are
+	// inspectable on the device after the run.
+	PersistValues bool
+	// Threads is the scatter/apply parallelism; 0 means GOMAXPROCS.
+	Threads int
+	// OnIteration, when non-nil, is invoked after every logical iteration
+	// with that iteration's statistics — progress reporting for long runs.
+	OnIteration func(IterStat)
+}
+
+func (o Options) threads() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForceFull and ForceOnDemand are convenience values for Options.ForceModel.
+var (
+	forceFullVal     = iosched.FullIO
+	forceOnDemandVal = iosched.OnDemandIO
+	// ForceFull pins the full I/O model (ablations b2/b3).
+	ForceFull = &forceFullVal
+	// ForceOnDemand pins the on-demand I/O model (ablation b4).
+	ForceOnDemand = &forceOnDemandVal
+)
+
+// Result reports one engine run.
+type Result struct {
+	Algorithm  string
+	Iterations int
+	Converged  bool
+	// Outputs holds prog.Output for every vertex.
+	Outputs []float64
+
+	// WallTime is host wall-clock for the whole run; ComputeTime is the
+	// wall-clock spent in scatter/apply (the "vertex updating" share of
+	// Figure 6); IO is the simulated device traffic and time.
+	WallTime    time.Duration
+	ComputeTime time.Duration
+	IO          storage.Snapshot
+
+	// Decisions is the per-iteration scheduler trace (Figure 10) and
+	// SchedulerOverhead its cumulative cost (Figure 11).
+	Decisions         []iosched.Decision
+	SchedulerOverhead time.Duration
+
+	// Buffer reports the secondary sub-block buffer outcomes (Figure 12).
+	Buffer buffer.Stats
+
+	// IterStats traces each logical iteration: which path executed, the
+	// active-vertex count entering it, and its I/O and compute shares.
+	// This is the data series of the Figure 10 experiment.
+	IterStats []IterStat
+}
+
+// IterStat describes one logical iteration of an engine run.
+type IterStat struct {
+	Index int
+	// Path is the executed update path: "sciu", "fciu-1", "fciu-2" or
+	// "full-single".
+	Path string
+	// Active is the number of active vertices entering the iteration.
+	Active int
+	// IO is the device traffic attributed to the iteration; IOTime and
+	// ComputeTime are its simulated-disk and measured-CPU shares.
+	IO          storage.Snapshot
+	IOTime      time.Duration
+	ComputeTime time.Duration
+}
+
+// Time returns the iteration's total execution time under the simulated
+// disk.
+func (s IterStat) Time() time.Duration { return s.IOTime + s.ComputeTime }
+
+// ExecTime is the reported execution time of the run under the simulated
+// disk: simulated I/O time plus measured compute time. This is the metric
+// corresponding to the paper's execution-time figures.
+func (r *Result) ExecTime() time.Duration {
+	return r.IO.TotalTime() + r.ComputeTime
+}
+
+// IOTime returns the simulated disk time of the run.
+func (r *Result) IOTime() time.Duration { return r.IO.TotalTime() }
+
+// String summarises the result on one line.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %d iters (converged=%t) exec=%v io=%v compute=%v traffic=%s",
+		r.Algorithm, r.Iterations, r.Converged,
+		r.ExecTime().Round(time.Microsecond), r.IOTime().Round(time.Microsecond),
+		r.ComputeTime.Round(time.Microsecond), storage.FormatBytes(r.IO.TotalBytes()))
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+// runSCIU executes one iteration under the selective cross-iteration
+// update model (paper Algorithm 2). Under the on-demand I/O model it loads
+// only the edges of active vertices — located through the per-sub-block
+// vertex indexes, so runs of consecutive active vertices become sequential
+// reads — applies the user update, and then performs cross-iteration value
+// computation: every vertex that was (a) re-activated by this iteration
+// and (b) already had its edges loaded scatters its next-iteration
+// contribution immediately into the staged accumulator, and is removed
+// from the next frontier so its edges are not read again.
+func (e *Engine) runSCIU() error {
+	// Modelled per-iteration I/O: the index consultation and the vertex
+	// value array read/write-back (the 2|V|·N/B_sr + |V|·N/B_sw terms of
+	// the paper's C_r).
+	e.chargeIndexAccess()
+	if err := e.readValues(); err != nil {
+		return err
+	}
+
+	cross := !e.opts.DisableCrossIteration
+	if cross {
+		e.sciuCache = make(map[graph.VertexID][]graph.Edge)
+	}
+	// Cache budget enforcement must be all-or-nothing per vertex: a vertex
+	// is removed from the next frontier only if ALL of its edges were
+	// resident for the cross-iteration scatter. A vertex whose caching is
+	// ever declined has any partial pieces evicted and is marked dropped.
+	var cachedBytes int64
+	recBytes := int64(e.layout.Meta.EdgeRecordBytes())
+	budget := e.opts.SCIUCacheBudget
+	var dropped map[graph.VertexID]bool
+	if cross && budget > 0 {
+		dropped = make(map[graph.VertexID]bool)
+	}
+
+	// Scatter: interval by interval, sub-block by sub-block, selectively
+	// loading each active vertex's edge run.
+	for i := 0; i < e.p; i++ {
+		lo, hi := e.layout.Meta.Interval(i)
+		if e.active.CountRange(lo, hi) == 0 {
+			continue
+		}
+		for j := 0; j < e.p; j++ {
+			if e.layout.Meta.SubBlockEdges(i, j) == 0 {
+				continue
+			}
+			idx, err := e.index(i, j)
+			if err != nil {
+				return err
+			}
+			r, err := e.layout.OpenSubBlock(i, j)
+			if err != nil {
+				return err
+			}
+			var batch []graph.Edge
+			var loopErr error
+			e.active.ForEachRange(lo, hi, func(v int) bool {
+				var edges []graph.Edge
+				edges, e.readBuf, loopErr = e.layout.ReadVertexEdges(r, idx, i, graph.VertexID(v), e.readBuf)
+				if loopErr != nil {
+					return false
+				}
+				if len(edges) == 0 {
+					return true
+				}
+				batch = append(batch, edges...)
+				if cross {
+					vid := graph.VertexID(v)
+					switch {
+					case dropped != nil && dropped[vid]:
+						// Already over budget for this vertex.
+					case budget > 0 && cachedBytes+int64(len(edges))*recBytes > budget:
+						dropped[vid] = true
+						if prev, ok := e.sciuCache[vid]; ok {
+							cachedBytes -= int64(len(prev)) * recBytes
+							delete(e.sciuCache, vid)
+						}
+					default:
+						e.sciuCache[vid] = append(e.sciuCache[vid], edges...)
+						cachedBytes += int64(len(edges)) * recBytes
+					}
+				}
+				return true
+			})
+			closeErr := r.Close()
+			if loopErr != nil {
+				return fmt.Errorf("core: sciu interval %d sub-block %d: %w", i, j, loopErr)
+			}
+			if closeErr != nil {
+				return closeErr
+			}
+			e.scatter(batch, e.valPrev, e.active, e.acc, e.touched)
+		}
+	}
+
+	e.applyAll()
+
+	if cross {
+		// Cross-iteration value computation (Alg 2 lines 15–23): vertices
+		// re-activated while their edges are memory-resident propagate
+		// their just-computed value to iteration t+1 now.
+		var reactivated []int
+		e.newActive.ForEach(func(v int) bool {
+			if e.active.Contains(v) {
+				reactivated = append(reactivated, v)
+			}
+			return true
+		})
+		for _, v := range reactivated {
+			edges := e.sciuCache[graph.VertexID(v)]
+			if len(edges) == 0 {
+				continue
+			}
+			e.scatter(edges, e.valCur, e.newActive, e.accNext, e.touchedNext)
+			e.prescattered.Activate(v)
+		}
+		e.sciuCache = nil
+	}
+	return e.writeValues()
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+)
+
+func TestStreamingChunksMatchWholeBlockLoads(t *testing.T) {
+	g, err := gen.RMAT(9, 10, gen.Graph500, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := func() core.Program { return &algorithms.PageRank{Iterations: 5} }
+
+	layoutA := buildLayout(t, g, 4)
+	whole, err := core.Run(layoutA, prog(), core.Options{ForceModel: core.ForceFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int64{64, 4096, 1 << 20} {
+		layoutB := buildLayout(t, g, 4)
+		streamed, err := core.Run(layoutB, prog(), core.Options{
+			ForceModel:       core.ForceFull,
+			StreamChunkBytes: chunk,
+		})
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		compareOutputs(t, "streamed", streamed.Outputs, whole.Outputs, 1e-9)
+		// Same bytes move either way; only the op granularity differs.
+		if streamed.IO.ReadBytes() != whole.IO.ReadBytes() {
+			t.Fatalf("chunk %d: streamed read %d bytes, whole %d",
+				chunk, streamed.IO.ReadBytes(), whole.IO.ReadBytes())
+		}
+		if chunk < 4096 && streamed.IO.TotalOps() <= whole.IO.TotalOps() {
+			t.Fatalf("chunk %d: expected more, smaller ops (streamed %d vs %d)",
+				chunk, streamed.IO.TotalOps(), whole.IO.TotalOps())
+		}
+	}
+}
+
+func TestStreamingWithCrossIterationAndScheduler(t *testing.T) {
+	// Streaming must compose with the adaptive scheduler and SCIU.
+	g, err := gen.RMAT(8, 8, gen.Graph500, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := core.RunReference(g, &algorithms.ConnectedComponents{}, 0)
+	layout := buildLayout(t, g, 4)
+	res, err := core.Run(layout, &algorithms.ConnectedComponents{}, core.Options{
+		DefaultBuffer:    true,
+		StreamChunkBytes: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareOutputs(t, "stream-adaptive", res.Outputs, want, 1e-9)
+}

@@ -1,0 +1,85 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g, err := BarabasiAlbert(1000, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// (n - m) arrivals × m attachments each.
+	if want := (1000 - 4) * 4; g.NumEdges() != want {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	// No self-loops, no duplicate targets per vertex.
+	perVertex := map[graph.VertexID]map[graph.VertexID]bool{}
+	for _, e := range g.Edges {
+		if e.Src == e.Dst {
+			t.Fatalf("self-loop %v", e)
+		}
+		if perVertex[e.Src] == nil {
+			perVertex[e.Src] = map[graph.VertexID]bool{}
+		}
+		if perVertex[e.Src][e.Dst] {
+			t.Fatalf("duplicate attachment %v", e)
+		}
+		perVertex[e.Src][e.Dst] = true
+	}
+}
+
+func TestBarabasiAlbertRichGetRicher(t *testing.T) {
+	g, err := BarabasiAlbert(2000, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := g.InDegrees()
+	// The old core (lowest IDs) must have far higher in-degree than the
+	// newest arrivals.
+	var coreSum, tailSum uint32
+	for v := 0; v < 100; v++ {
+		coreSum += in[v]
+	}
+	for v := 1900; v < 2000; v++ {
+		tailSum += in[v]
+	}
+	if coreSum < 10*tailSum {
+		t.Fatalf("no preferential attachment: core %d vs tail %d", coreSum, tailSum)
+	}
+	// In-degree distribution must be heavy-tailed.
+	sorted := make([]int, len(in))
+	for i, d := range in {
+		sorted[i] = int(d)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	if sorted[0] < 20 {
+		t.Fatalf("max in-degree %d too small for a scale-free graph", sorted[0])
+	}
+}
+
+func TestBarabasiAlbertValidation(t *testing.T) {
+	if _, err := BarabasiAlbert(0, 1, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BarabasiAlbert(10, 0, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := BarabasiAlbert(10, 10, 0); err == nil {
+		t.Error("m=n accepted")
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a, _ := BarabasiAlbert(200, 2, 5)
+	b, _ := BarabasiAlbert(200, 2, 5)
+	if !edgesEqual(a.Edges, b.Edges) {
+		t.Fatal("not deterministic for equal seeds")
+	}
+}

@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+// Preset describes a named synthetic dataset that stands in for one of the
+// paper's Table 3 graphs, scaled to laptop size (see DESIGN.md §2).
+type Preset struct {
+	Name string
+	// PaperName, PaperVertices and PaperEdges document the original dataset.
+	PaperName     string
+	PaperVertices string
+	PaperEdges    string
+	// Kind describes the generator family used for the stand-in.
+	Kind string
+	// Build constructs the graph deterministically for the given seed.
+	Build func(seed int64) (*graph.Graph, error)
+}
+
+// Presets maps the Table 3 datasets to scaled synthetic equivalents. The
+// scale factors keep the relative ordering of the original dataset sizes
+// (Twitter < SK < UK < UKUnion << Kron) so cross-dataset trends survive.
+var Presets = []Preset{
+	{
+		Name:          "twitter-sim",
+		PaperName:     "Twitter2010",
+		PaperVertices: "42M",
+		PaperEdges:    "1.5B",
+		Kind:          "rmat (social)",
+		Build: func(seed int64) (*graph.Graph, error) {
+			return RMAT(13, 18, Graph500, seed) // 8192 vertices, ~147k edges
+		},
+	},
+	{
+		Name:          "sk-sim",
+		PaperName:     "SK2005",
+		PaperVertices: "51M",
+		PaperEdges:    "1.9B",
+		Kind:          "powerlaw (social)",
+		Build: func(seed int64) (*graph.Graph, error) {
+			return PowerLaw(10000, 190000, 1.9, seed)
+		},
+	},
+	{
+		Name:          "uk-sim",
+		PaperName:     "UK2007",
+		PaperVertices: "106M",
+		PaperEdges:    "3.7B",
+		Kind:          "weblike",
+		Build: func(seed int64) (*graph.Graph, error) {
+			return WebLike(21000, 370000, 0.8, seed)
+		},
+	},
+	{
+		Name:          "ukunion-sim",
+		PaperName:     "UKUnion",
+		PaperVertices: "133M",
+		PaperEdges:    "5.5B",
+		Kind:          "weblike",
+		Build: func(seed int64) (*graph.Graph, error) {
+			return WebLike(26000, 550000, 0.8, seed)
+		},
+	},
+	{
+		Name:          "kron-sim",
+		PaperName:     "Kron30",
+		PaperVertices: "1B",
+		PaperEdges:    "32B",
+		Kind:          "rmat (kronecker)",
+		Build: func(seed int64) (*graph.Graph, error) {
+			return RMAT(15, 20, Graph500, seed) // 32768 vertices, ~655k edges
+		},
+	},
+}
+
+// ByName returns the preset with the given name.
+func ByName(name string) (Preset, error) {
+	for _, p := range Presets {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, len(Presets))
+	for i, p := range Presets {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return Preset{}, fmt.Errorf("gen: unknown preset %q (have %v)", name, names)
+}

@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+func TestDegreeStatsEmptyGraph(t *testing.T) {
+	s := ComputeDegreeStats(&graph.Graph{})
+	if s != (DegreeStats{}) {
+		t.Fatalf("empty graph stats = %+v", s)
+	}
+}
+
+func TestDegreeStatsRegularGraph(t *testing.T) {
+	// Directed cycle: every vertex has out-degree exactly 1.
+	n := 100
+	g := &graph.Graph{NumVertices: n}
+	for v := 0; v < n; v++ {
+		g.Edges = append(g.Edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID((v + 1) % n)})
+	}
+	s := ComputeDegreeStats(g)
+	if s.Max != 1 || s.Median != 1 || s.P99 != 1 {
+		t.Fatalf("regular graph stats = %+v", s)
+	}
+	if math.Abs(s.Mean-1) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Gini) > 1e-9 {
+		t.Fatalf("gini of regular graph = %v, want ~0", s.Gini)
+	}
+	if math.Abs(s.Top1PctShare-0.01) > 1e-9 {
+		t.Fatalf("top-1%% share = %v, want 0.01", s.Top1PctShare)
+	}
+}
+
+func TestDegreeStatsStar(t *testing.T) {
+	// All edges from the hub: maximal concentration.
+	g := Star(100)
+	s := ComputeDegreeStats(g)
+	if s.Max != 99 || s.Median != 0 {
+		t.Fatalf("star stats = %+v", s)
+	}
+	if s.Top1PctShare != 1 {
+		t.Fatalf("star top-1%% share = %v, want 1", s.Top1PctShare)
+	}
+	if s.Gini < 0.95 {
+		t.Fatalf("star gini = %v, want near 1", s.Gini)
+	}
+}
+
+func TestDegreeStatsOrderSkew(t *testing.T) {
+	// R-MAT must be markedly more skewed than Erdős–Rényi of the same size.
+	rmat, err := RMAT(11, 16, Graph500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := ErdosRenyi(rmat.NumVertices, rmat.NumEdges(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := ComputeDegreeStats(rmat)
+	se := ComputeDegreeStats(er)
+	if sr.Gini <= se.Gini {
+		t.Fatalf("rmat gini %v not above erdos-renyi %v", sr.Gini, se.Gini)
+	}
+	if sr.Top1PctShare <= se.Top1PctShare {
+		t.Fatalf("rmat top1%% %v not above erdos-renyi %v", sr.Top1PctShare, se.Top1PctShare)
+	}
+	if sr.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

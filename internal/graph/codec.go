@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Edge record encoding. All binary formats are little-endian.
+//
+// Unweighted edge record (EdgeBytes = 8):
+//
+//	[0:4] src uint32
+//	[4:8] dst uint32
+//
+// Weighted edge record (EdgeBytes + WeightBytes = 12):
+//
+//	[0:4]  src uint32
+//	[4:8]  dst uint32
+//	[8:12] weight float32
+
+// EncodeEdge appends the binary encoding of e to buf and returns the
+// extended slice. If weighted is false the weight column is omitted.
+func EncodeEdge(buf []byte, e Edge, weighted bool) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Src))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Dst))
+	if weighted {
+		buf = binary.LittleEndian.AppendUint32(buf, floatBits(e.Weight))
+	}
+	return buf
+}
+
+// DecodeEdge decodes one edge record from buf. buf must hold at least
+// EdgeBytes (+WeightBytes if weighted) bytes.
+func DecodeEdge(buf []byte, weighted bool) Edge {
+	e := Edge{
+		Src: VertexID(binary.LittleEndian.Uint32(buf[0:4])),
+		Dst: VertexID(binary.LittleEndian.Uint32(buf[4:8])),
+	}
+	if weighted {
+		e.Weight = bitsToFloat(binary.LittleEndian.Uint32(buf[8:12]))
+	}
+	return e
+}
+
+// DecodeEdges decodes all edge records in buf into a slice. It returns an
+// error if buf is not a whole number of records.
+func DecodeEdges(buf []byte, weighted bool) ([]Edge, error) {
+	rec := EdgeBytes
+	if weighted {
+		rec += WeightBytes
+	}
+	if len(buf)%rec != 0 {
+		return nil, fmt.Errorf("graph: %d bytes is not a multiple of record size %d", len(buf), rec)
+	}
+	edges := make([]Edge, len(buf)/rec)
+	for i := range edges {
+		edges[i] = DecodeEdge(buf[i*rec:], weighted)
+	}
+	return edges, nil
+}
+
+// WriteBinary writes the graph in the binary interchange format:
+//
+//	magic  "GSDG" (4 bytes)
+//	flags  uint32 (bit 0: weighted)
+//	numVertices uint64
+//	numEdges    uint64
+//	edge records
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var flags uint32
+	if g.Weighted {
+		flags |= 1
+	}
+	hdr := make([]byte, 0, 24)
+	hdr = append(hdr, 'G', 'S', 'D', 'G')
+	hdr = binary.LittleEndian.AppendUint32(hdr, flags)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(g.NumVertices))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(g.Edges)))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("graph: writing header: %w", err)
+	}
+	buf := make([]byte, 0, 16)
+	for _, e := range g.Edges {
+		buf = EncodeEdge(buf[:0], e, g.Weighted)
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("graph: writing edges: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph in the binary interchange format.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if string(hdr[0:4]) != "GSDG" {
+		return nil, fmt.Errorf("graph: bad magic %q", hdr[0:4])
+	}
+	weighted := binary.LittleEndian.Uint32(hdr[4:8])&1 != 0
+	numV := binary.LittleEndian.Uint64(hdr[8:16])
+	numE := binary.LittleEndian.Uint64(hdr[16:24])
+	const maxReasonable = 1 << 40
+	if numV > maxReasonable || numE > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible header counts v=%d e=%d", numV, numE)
+	}
+	g := &Graph{NumVertices: int(numV), Weighted: weighted, Edges: make([]Edge, numE)}
+	rec := EdgeBytes
+	if weighted {
+		rec += WeightBytes
+	}
+	buf := make([]byte, rec)
+	for i := range g.Edges {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+		}
+		g.Edges[i] = DecodeEdge(buf, weighted)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ReadEdgeList parses a whitespace-separated text edge list, the common
+// interchange format of SNAP and LAW datasets: one "src dst [weight]" pair
+// per line, '#' or '%' comment lines ignored. Vertex IDs may be sparse; the
+// vertex count is 1 + the maximum ID seen (or numVertices if larger).
+func ReadEdgeList(r io.Reader, weighted bool) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	g := &Graph{Weighted: weighted}
+	maxID := -1
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q: %w", lineNo, fields[0], err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad destination %q: %w", lineNo, fields[1], err)
+		}
+		e := Edge{Src: VertexID(src), Dst: VertexID(dst)}
+		if weighted {
+			if len(fields) >= 3 {
+				w, err := strconv.ParseFloat(fields[2], 32)
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad weight %q: %w", lineNo, fields[2], err)
+				}
+				e.Weight = float32(w)
+			} else {
+				e.Weight = 1
+			}
+		}
+		if int(src) > maxID {
+			maxID = int(src)
+		}
+		if int(dst) > maxID {
+			maxID = int(dst)
+		}
+		g.Edges = append(g.Edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+	g.NumVertices = maxID + 1
+	return g, nil
+}
+
+// WriteEdgeList writes the graph as a text edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	fmt.Fprintf(bw, "# vertices=%d edges=%d weighted=%t\n", g.NumVertices, len(g.Edges), g.Weighted)
+	for _, e := range g.Edges {
+		var err error
+		if g.Weighted {
+			_, err = fmt.Fprintf(bw, "%d %d %g\n", e.Src, e.Dst, e.Weight)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst)
+		}
+		if err != nil {
+			return fmt.Errorf("graph: writing edge list: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+func floatBits(f float32) uint32   { return math.Float32bits(f) }
+func bitsToFloat(b uint32) float32 { return math.Float32frombits(b) }

@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeEdgeRoundTrip(t *testing.T) {
+	cases := []struct {
+		e        Edge
+		weighted bool
+	}{
+		{Edge{Src: 0, Dst: 0}, false},
+		{Edge{Src: 1, Dst: 2}, false},
+		{Edge{Src: 4294967295, Dst: 7}, false},
+		{Edge{Src: 3, Dst: 9, Weight: 1.25}, true},
+		{Edge{Src: 3, Dst: 9, Weight: -0.5}, true},
+	}
+	for _, c := range cases {
+		buf := EncodeEdge(nil, c.e, c.weighted)
+		wantLen := EdgeBytes
+		if c.weighted {
+			wantLen += WeightBytes
+		}
+		if len(buf) != wantLen {
+			t.Fatalf("encoded length %d, want %d", len(buf), wantLen)
+		}
+		got := DecodeEdge(buf, c.weighted)
+		if got != c.e {
+			t.Fatalf("round trip %v -> %v", c.e, got)
+		}
+	}
+}
+
+func TestDecodeEdgesRejectsPartialRecords(t *testing.T) {
+	if _, err := DecodeEdges(make([]byte, 7), false); err == nil {
+		t.Fatal("7 bytes accepted as unweighted records")
+	}
+	if _, err := DecodeEdges(make([]byte, 8), true); err == nil {
+		t.Fatal("8 bytes accepted as weighted records")
+	}
+	edges, err := DecodeEdges(make([]byte, 16), false)
+	if err != nil || len(edges) != 2 {
+		t.Fatalf("DecodeEdges(16 bytes) = %v, %v", edges, err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		g := tinyGraph()
+		g.Weighted = weighted
+		if weighted {
+			for i := range g.Edges {
+				g.Edges[i].Weight = float32(i) + 0.5
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("ReadBinary: %v", err)
+		}
+		if got.NumVertices != g.NumVertices || got.Weighted != g.Weighted {
+			t.Fatalf("metadata mismatch: %+v vs %+v", got, g)
+		}
+		if len(got.Edges) != len(g.Edges) {
+			t.Fatalf("edge count %d, want %d", len(got.Edges), len(g.Edges))
+		}
+		for i := range g.Edges {
+			if got.Edges[i] != g.Edges[i] {
+				t.Fatalf("edge %d: %v, want %v", i, got.Edges[i], g.Edges[i])
+			}
+		}
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("XXXXGARBAGEGARBAGEGARBAGE"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	g := tinyGraph()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(data[:10])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+% other comment
+0 1
+1 2
+
+2 0
+5 1
+`
+	g, err := ReadEdgeList(strings.NewReader(in), false)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumVertices != 6 {
+		t.Fatalf("NumVertices = %d, want 6", g.NumVertices)
+	}
+	if len(g.Edges) != 4 {
+		t.Fatalf("edges = %d, want 4", len(g.Edges))
+	}
+	if g.Edges[3] != (Edge{Src: 5, Dst: 1}) {
+		t.Fatalf("edge 3 = %v", g.Edges[3])
+	}
+}
+
+func TestReadEdgeListWeighted(t *testing.T) {
+	in := "0 1 2.5\n1 0\n"
+	g, err := ReadEdgeList(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Edges[0].Weight != 2.5 {
+		t.Fatalf("weight = %v, want 2.5", g.Edges[0].Weight)
+	}
+	// Missing weight defaults to 1.
+	if g.Edges[1].Weight != 1 {
+		t.Fatalf("default weight = %v, want 1", g.Edges[1].Weight)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "0 b\n", "0 1 x\n"} {
+		weighted := strings.Count(in, " ") >= 2
+		if _, err := ReadEdgeList(strings.NewReader(in), weighted); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestWriteEdgeListRoundTrip(t *testing.T) {
+	g := tinyGraph()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Edges) != len(g.Edges) {
+		t.Fatalf("edges = %d, want %d", len(got.Edges), len(g.Edges))
+	}
+	for i := range g.Edges {
+		if got.Edges[i] != g.Edges[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got.Edges[i], g.Edges[i])
+		}
+	}
+}
+
+// Property: binary round trip is the identity for arbitrary graphs.
+func TestPropertyBinaryRoundTrip(t *testing.T) {
+	f := func(raw []uint32, weighted bool) bool {
+		const n = 1000
+		g := &Graph{NumVertices: n, Weighted: weighted}
+		for i := 0; i+1 < len(raw); i += 2 {
+			e := Edge{Src: VertexID(raw[i] % n), Dst: VertexID(raw[i+1] % n)}
+			if weighted {
+				e.Weight = float32(raw[i]%97) / 7
+			}
+			g.Edges = append(g.Edges, e)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil || len(got.Edges) != len(g.Edges) {
+			return false
+		}
+		for i := range g.Edges {
+			if got.Edges[i] != g.Edges[i] {
+				return false
+			}
+		}
+		return got.NumVertices == n && got.Weighted == weighted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

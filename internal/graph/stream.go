@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// EdgeStream yields edges one at a time, allowing preprocessors to consume
+// graphs far larger than memory. Implementations are not safe for
+// concurrent use.
+type EdgeStream interface {
+	// Next returns the next edge. ok is false at end of stream.
+	Next() (e Edge, ok bool, err error)
+}
+
+// SliceStream adapts an in-memory edge slice to EdgeStream.
+type SliceStream struct {
+	edges []Edge
+	pos   int
+}
+
+// NewSliceStream returns a stream over edges.
+func NewSliceStream(edges []Edge) *SliceStream { return &SliceStream{edges: edges} }
+
+// Next implements EdgeStream.
+func (s *SliceStream) Next() (Edge, bool, error) {
+	if s.pos >= len(s.edges) {
+		return Edge{}, false, nil
+	}
+	e := s.edges[s.pos]
+	s.pos++
+	return e, true, nil
+}
+
+// Reset rewinds the stream to the beginning.
+func (s *SliceStream) Reset() { s.pos = 0 }
+
+// BinaryStream reads the GSDG binary interchange format incrementally,
+// never holding more than one buffered block in memory.
+type BinaryStream struct {
+	br        *bufio.Reader
+	remaining uint64
+	rec       int
+	buf       []byte
+
+	// NumVertices and Weighted are read from the header.
+	NumVertices int
+	Weighted    bool
+	NumEdges    uint64
+}
+
+// NewBinaryStream validates the header of a GSDG binary graph and returns
+// a stream over its edge records.
+func NewBinaryStream(r io.Reader) (*BinaryStream, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]byte, 24)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading stream header: %w", err)
+	}
+	if string(hdr[0:4]) != "GSDG" {
+		return nil, fmt.Errorf("graph: bad magic %q", hdr[0:4])
+	}
+	weighted := binary.LittleEndian.Uint32(hdr[4:8])&1 != 0
+	rec := EdgeBytes
+	if weighted {
+		rec += WeightBytes
+	}
+	return &BinaryStream{
+		br:          br,
+		remaining:   binary.LittleEndian.Uint64(hdr[16:24]),
+		rec:         rec,
+		buf:         make([]byte, rec),
+		NumVertices: int(binary.LittleEndian.Uint64(hdr[8:16])),
+		Weighted:    weighted,
+		NumEdges:    binary.LittleEndian.Uint64(hdr[16:24]),
+	}, nil
+}
+
+// Next implements EdgeStream.
+func (s *BinaryStream) Next() (Edge, bool, error) {
+	if s.remaining == 0 {
+		return Edge{}, false, nil
+	}
+	if _, err := io.ReadFull(s.br, s.buf); err != nil {
+		return Edge{}, false, fmt.Errorf("graph: reading edge record: %w", err)
+	}
+	s.remaining--
+	return DecodeEdge(s.buf, s.Weighted), true, nil
+}

@@ -1,0 +1,55 @@
+package graph
+
+import "testing"
+
+func TestRemoveSelfLoops(t *testing.T) {
+	g := &Graph{
+		NumVertices: 3,
+		Edges: []Edge{
+			{Src: 0, Dst: 0}, {Src: 0, Dst: 1}, {Src: 1, Dst: 1}, {Src: 2, Dst: 0},
+		},
+	}
+	out := RemoveSelfLoops(g)
+	if out.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", out.NumEdges())
+	}
+	for _, e := range out.Edges {
+		if e.Src == e.Dst {
+			t.Fatalf("loop %v survived", e)
+		}
+	}
+	if g.NumEdges() != 4 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	g := &Graph{
+		NumVertices: 3,
+		Weighted:    true,
+		Edges: []Edge{
+			{Src: 0, Dst: 1, Weight: 2},
+			{Src: 0, Dst: 1, Weight: 2}, // exact duplicate
+			{Src: 0, Dst: 1, Weight: 3}, // same endpoints, different weight: kept
+			{Src: 1, Dst: 2, Weight: 1},
+			{Src: 0, Dst: 1, Weight: 2}, // duplicate again
+		},
+	}
+	out := Dedupe(g)
+	if out.NumEdges() != 3 {
+		t.Fatalf("edges = %d, want 3", out.NumEdges())
+	}
+	if out.Edges[0] != (Edge{Src: 0, Dst: 1, Weight: 2}) {
+		t.Fatalf("first-occurrence order broken: %v", out.Edges[0])
+	}
+	if out.Edges[1] != (Edge{Src: 0, Dst: 1, Weight: 3}) {
+		t.Fatalf("distinct-weight edge dropped: %v", out.Edges[1])
+	}
+}
+
+func TestDedupeEmpty(t *testing.T) {
+	out := Dedupe(&Graph{NumVertices: 5})
+	if out.NumEdges() != 0 || out.NumVertices != 5 {
+		t.Fatalf("empty dedupe: %+v", out)
+	}
+}

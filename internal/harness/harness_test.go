@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+func quickConfig(t *testing.T) *Config {
+	t.Helper()
+	prof := storage.ScaledHDD
+	return &Config{WorkDir: t.TempDir(), Seed: 1, Quick: true, Profile: &prof}
+}
+
+func TestDatasetsBothScales(t *testing.T) {
+	for _, quick := range []bool{true, false} {
+		dss := Datasets(quick)
+		if len(dss) != 5 {
+			t.Fatalf("quick=%t: %d datasets, want 5", quick, len(dss))
+		}
+		names := map[string]bool{}
+		for _, d := range dss {
+			names[d.Name] = true
+		}
+		for _, want := range []string{"twitter-sim", "sk-sim", "uk-sim", "ukunion-sim", "kron-sim"} {
+			if !names[want] {
+				t.Errorf("quick=%t: missing dataset %s", quick, want)
+			}
+		}
+	}
+	// Quick datasets must build and be smaller than full ones.
+	q := Datasets(true)
+	f := Datasets(false)
+	for i := range q {
+		gq, err := q[i].Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gf, err := f[i].Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gq.NumEdges() >= gf.NumEdges() {
+			t.Errorf("%s: quick (%d edges) not smaller than full (%d)", q[i].Name, gq.NumEdges(), gf.NumEdges())
+		}
+	}
+}
+
+func TestConfigDatasetFilter(t *testing.T) {
+	cfg := quickConfig(t)
+	cfg.Datasets = []string{"uk-sim", "twitter-sim"}
+	got, err := cfg.selectedDatasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "uk-sim" || got[1].Name != "twitter-sim" {
+		t.Fatalf("filter = %v", got)
+	}
+	cfg.Datasets = []string{"nope"}
+	if _, err := cfg.selectedDatasets(); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := cfg.dataset("nope"); err == nil {
+		t.Fatal("dataset() accepted unknown name")
+	}
+}
+
+func TestPaperAlgorithms(t *testing.T) {
+	algs := PaperAlgorithms()
+	if len(algs) != 4 {
+		t.Fatalf("%d algorithms, want 4 (PR, PR-D, CC, SSSP)", len(algs))
+	}
+	if !algs[3].Weighted {
+		t.Fatal("SSSP not marked weighted")
+	}
+	for _, a := range algs {
+		if a.New(0) == nil {
+			t.Fatalf("%s: nil program", a.Name)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ext-storage", "ext-psweep", "ext-buffer-policy"}
+	exps := Experiments()
+	if len(exps) != len(ids) {
+		t.Fatalf("%d experiments, want %d", len(exps), len(ids))
+	}
+	for i, id := range ids {
+		if exps[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, exps[i].ID, id)
+		}
+		if _, err := ByID(id); err != nil {
+			t.Errorf("ByID(%s): %v", id, err)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestEnvRunUnknownSystem(t *testing.T) {
+	cfg := quickConfig(t)
+	ds, err := cfg.dataset("twitter-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := newEnv(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.run("nope", PaperAlgorithms()[0]); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	if _, err := e.layout("nope", false); err == nil {
+		t.Fatal("unknown layout system accepted")
+	}
+}
+
+func TestLayoutsAreCached(t *testing.T) {
+	cfg := quickConfig(t)
+	ds, err := cfg.dataset("twitter-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := newEnv(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := e.layout("graphsd", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := e.layout("graphsd", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Fatal("layout rebuilt instead of cached")
+	}
+}
+
+// TestAllExperimentsQuick runs the full experiment suite at quick scale and
+// sanity-checks the rendered output. This is the integration test of the
+// whole repository: generators → preprocessors → engines → reports.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is slow; skipped with -short")
+	}
+	cfg := quickConfig(t)
+	var buf bytes.Buffer
+	if err := RunAll(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table 3", "Figure 5", "Table 4", "Figure 6", "Figure 7",
+		"Figure 8", "Figure 9", "Figure 10", "Figure 11", "Figure 12",
+		"twitter-sim", "husgraph", "lumos", "sciu",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "—x") {
+		t.Error("experiment output contains malformed numbers")
+	}
+}

@@ -1,0 +1,41 @@
+package iosched_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/graphsd/graphsd/internal/bitset"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/iosched"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// Example shows the state-aware benefit evaluation: with one active vertex
+// the on-demand model wins; with every vertex active the full model wins.
+func Example() {
+	sched, err := iosched.New(iosched.Config{
+		Profile:         storage.HDD,
+		NumVertices:     1_000_000,
+		NumEdges:        16_000_000,
+		EdgeRecordBytes: graph.EdgeBytes,
+		P:               8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	degrees := make([]uint32, 1_000_000)
+	for i := range degrees {
+		degrees[i] = 16
+	}
+
+	sparse := bitset.NewActiveSet(1_000_000)
+	sparse.Activate(42)
+	fmt.Println("1 active:", sched.Decide(0, sparse, degrees).Model)
+
+	dense := bitset.NewActiveSet(1_000_000)
+	dense.ActivateAll()
+	fmt.Println("all active:", sched.Decide(1, dense, degrees).Model)
+	// Output:
+	// 1 active: on-demand
+	// all active: full
+}

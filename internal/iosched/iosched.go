@@ -1,0 +1,209 @@
+// Package iosched implements GraphSD's state-aware I/O scheduling strategy
+// (paper §4.1): before each iteration it estimates the cost of the full I/O
+// model (stream every sub-block sequentially) and the on-demand I/O model
+// (fetch only active vertices' edge lists, partly random), and selects the
+// cheaper one.
+//
+// The cost formulas are the paper's:
+//
+//	C_s = (|V|·N + |E|·(M+W)) / B_sr + |V|·N / B_sw
+//	C_r = S_ran/B_rr + S_seq/B_sr + 2|V|·N/B_sr + |V|·N/B_sw
+//
+// with the S_seq/S_ran split computed in one O(|A|) pass over the active
+// set and the degree table: a maximal run of consecutively-numbered active
+// vertices is one seek followed by a sequential stream; the first portion
+// of each run is charged as random (the seek), the rest as sequential.
+// Because the device model in internal/storage charges by the very same
+// profile, predictions and actual charges agree by construction, which is
+// what lets the adaptive engine track the lower envelope in Figure 10.
+package iosched
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/bitset"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// Model is the I/O access model selected for an iteration.
+type Model int
+
+const (
+	// FullIO streams every sub-block sequentially (triggers FCIU).
+	FullIO Model = iota
+	// OnDemandIO loads only active vertices' edges (triggers SCIU).
+	OnDemandIO
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case FullIO:
+		return "full"
+	case OnDemandIO:
+		return "on-demand"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Decision records one iteration's scheduling outcome, including everything
+// needed for the Figure 10 (per-iteration model trace) and Figure 11
+// (scheduling overhead) experiments.
+type Decision struct {
+	Iteration   int
+	Model       Model
+	ActiveCount int
+	// SeqBytes and RanBytes are the S_seq / S_ran estimate for on-demand.
+	SeqBytes int64
+	RanBytes int64
+	Seeks    int64
+	// CostFull and CostOnDemand are the predicted iteration I/O costs.
+	CostFull     time.Duration
+	CostOnDemand time.Duration
+	// Overhead is the wall-clock compute time spent making this decision.
+	Overhead time.Duration
+}
+
+// Config carries the static quantities of the cost model.
+type Config struct {
+	Profile     storage.Profile
+	NumVertices int
+	NumEdges    int64
+	// EdgeRecordBytes is M (+W for weighted graphs).
+	EdgeRecordBytes int
+	// P is the number of vertex intervals; an active run touches up to P
+	// sub-blocks, each requiring its own positioning seek.
+	P int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if c.NumVertices < 0 || c.NumEdges < 0 {
+		return fmt.Errorf("iosched: negative graph size v=%d e=%d", c.NumVertices, c.NumEdges)
+	}
+	if c.EdgeRecordBytes <= 0 {
+		return fmt.Errorf("iosched: non-positive edge record size %d", c.EdgeRecordBytes)
+	}
+	if c.P <= 0 {
+		return fmt.Errorf("iosched: non-positive interval count %d", c.P)
+	}
+	return nil
+}
+
+// Scheduler selects the I/O access model each iteration and keeps the
+// decision history. Not safe for concurrent use; the engine consults it
+// once per iteration from the driver goroutine.
+type Scheduler struct {
+	cfg     Config
+	history []Decision
+}
+
+// New returns a Scheduler for the given configuration.
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Scheduler{cfg: cfg}, nil
+}
+
+// CostFull returns C_s, the constant full-model cost per iteration.
+func (s *Scheduler) CostFull() time.Duration {
+	p := s.cfg.Profile
+	vBytes := int64(s.cfg.NumVertices) * graph.VertexValueBytes
+	eBytes := s.cfg.NumEdges * int64(s.cfg.EdgeRecordBytes)
+	return p.SeqCost(storage.SeqRead, vBytes+eBytes) + p.SeqCost(storage.SeqWrite, vBytes)
+}
+
+// EstimateOnDemand computes the S_seq/S_ran split and C_r for the given
+// active set in one pass over the active vertices and the degree table.
+func (s *Scheduler) EstimateOnDemand(active *bitset.ActiveSet, degrees []uint32) (seqBytes, ranBytes, seeks int64) {
+	rec := int64(s.cfg.EdgeRecordBytes)
+	prev := -2
+	var runBytes int64
+	flushRun := func() {
+		if runBytes == 0 {
+			return
+		}
+		// A run costs one seek per sub-block it spans. The first read after
+		// each seek travels at post-seek (random-class) rate; model the
+		// whole run as sequential payload with P positioning seeks, charging
+		// the first record of the run as random.
+		seeks += int64(s.cfg.P)
+		first := rec
+		if first > runBytes {
+			first = runBytes
+		}
+		ranBytes += first
+		seqBytes += runBytes - first
+		runBytes = 0
+	}
+	active.ForEach(func(v int) bool {
+		if v != prev+1 {
+			flushRun()
+		}
+		runBytes += int64(degrees[v]) * rec
+		prev = v
+		return true
+	})
+	flushRun()
+	return seqBytes, ranBytes, seeks
+}
+
+// CostOnDemand returns C_r for a precomputed split.
+func (s *Scheduler) CostOnDemand(seqBytes, ranBytes, seeks int64) time.Duration {
+	p := s.cfg.Profile
+	vBytes := int64(s.cfg.NumVertices) * graph.VertexValueBytes
+	c := p.SeqCost(storage.RandRead, ranBytes) +
+		time.Duration(seeks)*p.SeekLatency +
+		p.SeqCost(storage.SeqRead, seqBytes) +
+		p.SeqCost(storage.SeqRead, 2*vBytes) + // index + vertex values
+		p.SeqCost(storage.SeqWrite, vBytes)
+	return c
+}
+
+// Decide runs the benefit evaluation for one iteration and records and
+// returns the decision. degrees must hold the global out-degree of every
+// vertex.
+func (s *Scheduler) Decide(iteration int, active *bitset.ActiveSet, degrees []uint32) Decision {
+	start := time.Now()
+	seqB, ranB, seeks := s.EstimateOnDemand(active, degrees)
+	d := Decision{
+		Iteration:    iteration,
+		ActiveCount:  active.Count(),
+		SeqBytes:     seqB,
+		RanBytes:     ranB,
+		Seeks:        seeks,
+		CostFull:     s.CostFull(),
+		CostOnDemand: s.CostOnDemand(seqB, ranB, seeks),
+	}
+	if d.CostOnDemand <= d.CostFull {
+		d.Model = OnDemandIO
+	} else {
+		d.Model = FullIO
+	}
+	d.Overhead = time.Since(start)
+	s.history = append(s.history, d)
+	return d
+}
+
+// History returns the recorded decisions in iteration order.
+func (s *Scheduler) History() []Decision { return s.history }
+
+// TotalOverhead returns the cumulative wall-clock cost of all benefit
+// evaluations, the numerator of the Figure 11 comparison.
+func (s *Scheduler) TotalOverhead() time.Duration {
+	var t time.Duration
+	for _, d := range s.history {
+		t += d.Overhead
+	}
+	return t
+}
+
+// Reset clears the decision history.
+func (s *Scheduler) Reset() { s.history = s.history[:0] }

@@ -1,0 +1,289 @@
+package iosched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/bitset"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+func testConfig(numV int, numE int64) Config {
+	return Config{
+		Profile:         storage.HDD,
+		NumVertices:     numV,
+		NumEdges:        numE,
+		EdgeRecordBytes: graph.EdgeBytes,
+		P:               4,
+	}
+}
+
+func uniformDegrees(n int, d uint32) []uint32 {
+	deg := make([]uint32, n)
+	for i := range deg {
+		deg[i] = d
+	}
+	return deg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig(10, 100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testConfig(10, 100)
+	bad.EdgeRecordBytes = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero record size accepted")
+	}
+	bad = testConfig(10, 100)
+	bad.P = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("P=0 accepted")
+	}
+	bad = testConfig(-1, 100)
+	if err := bad.Validate(); err == nil {
+		t.Error("negative vertices accepted")
+	}
+	bad = testConfig(10, 100)
+	bad.Profile = storage.Profile{}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	if _, err := New(bad); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestCostFullMatchesFormula(t *testing.T) {
+	cfg := testConfig(1000, 50000)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBytes := int64(1000 * graph.VertexValueBytes)
+	eBytes := int64(50000 * graph.EdgeBytes)
+	want := cfg.Profile.SeqCost(storage.SeqRead, vBytes+eBytes) +
+		cfg.Profile.SeqCost(storage.SeqWrite, vBytes)
+	if got := s.CostFull(); got != want {
+		t.Fatalf("CostFull = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateSplitContiguousRun(t *testing.T) {
+	s, _ := New(testConfig(100, 1000))
+	active := bitset.NewActiveSet(100)
+	// One contiguous run of 10 vertices, degree 5 each: 50 edges = 400 bytes.
+	for v := 20; v < 30; v++ {
+		active.Activate(v)
+	}
+	seqB, ranB, seeks := s.EstimateOnDemand(active, uniformDegrees(100, 5))
+	totalWant := int64(10 * 5 * graph.EdgeBytes)
+	if seqB+ranB != totalWant {
+		t.Fatalf("split %d+%d != %d", seqB, ranB, totalWant)
+	}
+	// One run -> P seeks; only the first record is random.
+	if seeks != 4 {
+		t.Fatalf("seeks = %d, want 4", seeks)
+	}
+	if ranB != graph.EdgeBytes {
+		t.Fatalf("ranBytes = %d, want one record", ranB)
+	}
+}
+
+func TestEstimateSplitScatteredVertices(t *testing.T) {
+	s, _ := New(testConfig(1000, 10000))
+	active := bitset.NewActiveSet(1000)
+	// 10 isolated vertices: 10 runs.
+	for v := 0; v < 1000; v += 100 {
+		active.Activate(v)
+	}
+	deg := uniformDegrees(1000, 3)
+	seqB, ranB, seeks := s.EstimateOnDemand(active, deg)
+	if seeks != 10*4 {
+		t.Fatalf("seeks = %d, want 40", seeks)
+	}
+	// Each isolated vertex: first record random, remaining 2 sequential.
+	if ranB != 10*graph.EdgeBytes {
+		t.Fatalf("ranB = %d", ranB)
+	}
+	if seqB != 10*2*graph.EdgeBytes {
+		t.Fatalf("seqB = %d", seqB)
+	}
+}
+
+func TestEstimateZeroDegreeVertices(t *testing.T) {
+	s, _ := New(testConfig(50, 0))
+	active := bitset.NewActiveSet(50)
+	active.Activate(7)
+	seqB, ranB, seeks := s.EstimateOnDemand(active, uniformDegrees(50, 0))
+	if seqB != 0 || ranB != 0 || seeks != 0 {
+		t.Fatalf("zero-degree active vertex charged: seq=%d ran=%d seeks=%d", seqB, ranB, seeks)
+	}
+}
+
+func TestDecideFewActivesPrefersOnDemand(t *testing.T) {
+	// Large graph, one active vertex: on-demand must win.
+	s, _ := New(testConfig(1_000_000, 16_000_000))
+	active := bitset.NewActiveSet(1_000_000)
+	active.Activate(123)
+	d := s.Decide(0, active, uniformDegrees(1_000_000, 16))
+	if d.Model != OnDemandIO {
+		t.Fatalf("one active vertex chose %v (Cr=%v Cs=%v)", d.Model, d.CostOnDemand, d.CostFull)
+	}
+	if d.ActiveCount != 1 || d.Iteration != 0 {
+		t.Fatalf("decision metadata wrong: %+v", d)
+	}
+}
+
+func TestDecideAllActivePrefersFull(t *testing.T) {
+	// Everything active and scattered seeks make on-demand lose: full wins.
+	const n = 100_000
+	s, _ := New(testConfig(n, 16*n))
+	active := bitset.NewActiveSet(n)
+	active.ActivateAll()
+	d := s.Decide(0, active, uniformDegrees(n, 16))
+	if d.Model != FullIO {
+		t.Fatalf("full-active chose %v (Cr=%v Cs=%v)", d.Model, d.CostOnDemand, d.CostFull)
+	}
+}
+
+func TestDecideCrossoverMonotonic(t *testing.T) {
+	// As the active fraction grows from 0 to 1 with scattered vertices,
+	// the decision must flip from on-demand to full exactly once.
+	const n = 10_000
+	s, _ := New(testConfig(n, 16*n))
+	deg := uniformDegrees(n, 16)
+	prev := OnDemandIO
+	flips := 0
+	for frac := 1; frac <= 100; frac++ {
+		active := bitset.NewActiveSet(n)
+		stride := 100 / frac
+		if stride < 1 {
+			stride = 1
+		}
+		for v := 0; v < n; v += stride {
+			active.Activate(v)
+		}
+		d := s.Decide(frac, active, deg)
+		if d.Model != prev {
+			flips++
+			prev = d.Model
+		}
+	}
+	if prev != FullIO {
+		t.Fatal("never switched to full I/O at 100% active")
+	}
+	if flips != 1 {
+		t.Fatalf("decision flipped %d times, want exactly 1", flips)
+	}
+}
+
+func TestHistoryAndOverhead(t *testing.T) {
+	s, _ := New(testConfig(100, 1000))
+	active := bitset.NewActiveSet(100)
+	active.Activate(1)
+	deg := uniformDegrees(100, 10)
+	for i := 0; i < 5; i++ {
+		s.Decide(i, active, deg)
+	}
+	h := s.History()
+	if len(h) != 5 {
+		t.Fatalf("history length %d", len(h))
+	}
+	for i, d := range h {
+		if d.Iteration != i {
+			t.Fatalf("history[%d].Iteration = %d", i, d.Iteration)
+		}
+	}
+	if s.TotalOverhead() < 0 {
+		t.Fatal("negative overhead")
+	}
+	s.Reset()
+	if len(s.History()) != 0 {
+		t.Fatal("Reset did not clear history")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if FullIO.String() != "full" || OnDemandIO.String() != "on-demand" {
+		t.Fatal("model names wrong")
+	}
+}
+
+// Property: the S_seq/S_ran split always conserves total active bytes, and
+// seeks is P times the number of runs.
+func TestPropertySplitConservation(t *testing.T) {
+	s, _ := New(testConfig(512, 5120))
+	f := func(raw []uint16, degSeed []uint8) bool {
+		const n = 512
+		active := bitset.NewActiveSet(n)
+		for _, r := range raw {
+			active.Activate(int(r) % n)
+		}
+		deg := make([]uint32, n)
+		for i := range deg {
+			if len(degSeed) > 0 {
+				deg[i] = uint32(degSeed[i%len(degSeed)]) % 20
+			}
+		}
+		seqB, ranB, seeks := s.EstimateOnDemand(active, deg)
+		var want int64
+		runs := int64(0)
+		prev := -2
+		active.ForEach(func(v int) bool {
+			want += int64(deg[v]) * graph.EdgeBytes
+			if v != prev+1 {
+				runs++
+			}
+			prev = v
+			return true
+		})
+		// Runs made purely of zero-degree vertices contribute no seeks.
+		if seqB+ranB != want {
+			return false
+		}
+		return seeks <= runs*4 && seeks >= 0 && seeks%4 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decide always picks the cheaper predicted cost.
+func TestPropertyDecidePicksCheaper(t *testing.T) {
+	s, _ := New(testConfig(1024, 20480))
+	f := func(raw []uint16) bool {
+		const n = 1024
+		active := bitset.NewActiveSet(n)
+		for _, r := range raw {
+			active.Activate(int(r) % n)
+		}
+		d := s.Decide(0, active, uniformDegrees(n, 20))
+		if d.CostOnDemand <= d.CostFull {
+			return d.Model == OnDemandIO
+		}
+		return d.Model == FullIO
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverheadIsSmall(t *testing.T) {
+	// The Figure 11 claim: benefit evaluation is cheap. A full pass over a
+	// million-vertex active set must finish in well under 50 ms.
+	const n = 1 << 20
+	s, _ := New(testConfig(n, 16*n))
+	active := bitset.NewActiveSet(n)
+	for v := 0; v < n; v += 2 {
+		active.Activate(v)
+	}
+	deg := uniformDegrees(n, 16)
+	start := time.Now()
+	s.Decide(0, active, deg)
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("decision took %v", elapsed)
+	}
+}

@@ -1,0 +1,204 @@
+// Package iotrace records and analyzes device I/O traces. A Recorder
+// attaches to a storage.Device and writes one JSON line per operation; an
+// Analyzer reduces a trace to the quantities that matter when debugging an
+// out-of-core engine's access pattern: per-class volumes, per-file volumes,
+// and the sequential/random operation mix.
+package iotrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// Event is the JSONL schema of one traced operation.
+type Event struct {
+	Seq    int64  `json:"seq"`
+	Op     string `json:"op"`
+	Class  string `json:"class"`
+	Name   string `json:"name,omitempty"`
+	Offset int64  `json:"off"`
+	Bytes  int64  `json:"bytes"`
+	SimNs  int64  `json:"sim_ns"`
+}
+
+// Recorder serializes device trace events to an io.Writer as JSON lines.
+// It is safe for concurrent use (engine I/O paths are concurrent).
+type Recorder struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	seq int64
+	err error
+}
+
+// NewRecorder returns a recorder writing to w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Attach installs the recorder as dev's tracer.
+func (r *Recorder) Attach(dev *storage.Device) {
+	dev.SetTracer(r.record)
+}
+
+func (r *Recorder) record(ev storage.TraceEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	r.seq++
+	line, err := json.Marshal(Event{
+		Seq:    r.seq,
+		Op:     ev.Op,
+		Class:  ev.Class.String(),
+		Name:   ev.Name,
+		Offset: ev.Offset,
+		Bytes:  ev.Bytes,
+		SimNs:  int64(ev.Cost),
+	})
+	if err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.Write(append(line, '\n')); err != nil {
+		r.err = err
+	}
+}
+
+// Close flushes the recorder and returns any deferred write error.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// Events returns the number of recorded events.
+func (r *Recorder) Events() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// FileSummary aggregates one file's traffic.
+type FileSummary struct {
+	Name  string
+	Ops   int64
+	Bytes int64
+}
+
+// Summary is the reduction of a trace.
+type Summary struct {
+	Events     int64
+	TotalBytes int64
+	SimTime    time.Duration
+	// ByClass maps class name to bytes.
+	ByClass map[string]int64
+	// RandomOps and SequentialOps split read operations by class.
+	RandomOps     int64
+	SequentialOps int64
+	// TopFiles lists the busiest files by bytes, descending.
+	TopFiles []FileSummary
+}
+
+// SequentialFraction returns the fraction of read operations that were
+// sequential, the out-of-core engine's key access-pattern health metric.
+func (s *Summary) SequentialFraction() float64 {
+	total := s.RandomOps + s.SequentialOps
+	if total == 0 {
+		return 1
+	}
+	return float64(s.SequentialOps) / float64(total)
+}
+
+// Analyze reduces a JSONL trace to a Summary. topN bounds TopFiles.
+func Analyze(r io.Reader, topN int) (*Summary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	s := &Summary{ByClass: map[string]int64{}}
+	perFile := map[string]*FileSummary{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("iotrace: line %d: %w", lineNo, err)
+		}
+		s.Events++
+		s.TotalBytes += ev.Bytes
+		s.SimTime += time.Duration(ev.SimNs)
+		s.ByClass[ev.Class] += ev.Bytes
+		switch ev.Class {
+		case "rand-read", "rand-write":
+			s.RandomOps++
+		case "seq-read", "seq-write":
+			s.SequentialOps++
+		}
+		if ev.Name != "" {
+			f := perFile[ev.Name]
+			if f == nil {
+				f = &FileSummary{Name: ev.Name}
+				perFile[ev.Name] = f
+			}
+			f.Ops++
+			f.Bytes += ev.Bytes
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("iotrace: scanning trace: %w", err)
+	}
+	for _, f := range perFile {
+		s.TopFiles = append(s.TopFiles, *f)
+	}
+	sort.Slice(s.TopFiles, func(a, b int) bool {
+		if s.TopFiles[a].Bytes != s.TopFiles[b].Bytes {
+			return s.TopFiles[a].Bytes > s.TopFiles[b].Bytes
+		}
+		return s.TopFiles[a].Name < s.TopFiles[b].Name
+	})
+	if topN > 0 && len(s.TopFiles) > topN {
+		s.TopFiles = s.TopFiles[:topN]
+	}
+	return s, nil
+}
+
+// Render writes a human-readable summary.
+func (s *Summary) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "events: %d  bytes: %s  simulated time: %v\n",
+		s.Events, storage.FormatBytes(s.TotalBytes), s.SimTime.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	classes := make([]string, 0, len(s.ByClass))
+	for c := range s.ByClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		if _, err := fmt.Fprintf(w, "  %-11s %s\n", c, storage.FormatBytes(s.ByClass[c])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "sequential ops: %.0f%%\n", 100*s.SequentialFraction()); err != nil {
+		return err
+	}
+	for _, f := range s.TopFiles {
+		if _, err := fmt.Fprintf(w, "  %-40s %6d ops  %s\n", f.Name, f.Ops, storage.FormatBytes(f.Bytes)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

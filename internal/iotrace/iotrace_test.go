@@ -1,0 +1,124 @@
+package iotrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+func TestRecorderCapturesDeviceOps(t *testing.T) {
+	dev, err := storage.OpenDevice(t.TempDir(), storage.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.Attach(dev)
+
+	if err := dev.WriteFile("a.bin", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.ReadFile("a.bin"); err != nil {
+		t.Fatal(err)
+	}
+	dev.Charge(storage.RandWrite, 7)
+	dev.SetTracer(nil)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events() != 3 {
+		t.Fatalf("recorded %d events, want 3", rec.Events())
+	}
+
+	sum, err := Analyze(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != 3 || sum.TotalBytes != 207 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.ByClass["seq-write"] != 100 || sum.ByClass["seq-read"] != 100 || sum.ByClass["rand-write"] != 7 {
+		t.Fatalf("class split = %v", sum.ByClass)
+	}
+	if len(sum.TopFiles) != 1 || sum.TopFiles[0].Name != "a.bin" || sum.TopFiles[0].Bytes != 200 {
+		t.Fatalf("top files = %+v", sum.TopFiles)
+	}
+	if sum.SimTime <= 0 {
+		t.Fatal("no simulated time recorded")
+	}
+}
+
+func TestAnalyzeRejectsGarbage(t *testing.T) {
+	if _, err := Analyze(strings.NewReader("not json\n"), 5); err == nil {
+		t.Fatal("garbage trace accepted")
+	}
+	// Blank lines are tolerated.
+	sum, err := Analyze(strings.NewReader("\n\n"), 5)
+	if err != nil || sum.Events != 0 {
+		t.Fatalf("blank trace: %+v, %v", sum, err)
+	}
+}
+
+func TestSequentialFraction(t *testing.T) {
+	s := &Summary{SequentialOps: 3, RandomOps: 1}
+	if got := s.SequentialFraction(); got != 0.75 {
+		t.Fatalf("fraction = %v", got)
+	}
+	empty := &Summary{}
+	if empty.SequentialFraction() != 1 {
+		t.Fatal("empty trace fraction != 1")
+	}
+}
+
+// TestTraceFullEngineRun: an engine run under trace produces a trace whose
+// byte totals agree with the engine's own I/O accounting.
+func TestTraceFullEngineRun(t *testing.T) {
+	dev, err := storage.OpenDevice(t.TempDir(), storage.ScaledHDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.RMAT(8, 8, gen.Graph500, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := partition.Build(dev, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.Attach(dev)
+	res, err := core.Run(l, &algorithms.ConnectedComponents{}, core.Options{DefaultBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetTracer(nil)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := Analyze(&buf, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TotalBytes != res.IO.TotalBytes() {
+		t.Fatalf("trace bytes %d != engine accounting %d", sum.TotalBytes, res.IO.TotalBytes())
+	}
+	if sum.SimTime != res.IO.TotalTime() {
+		t.Fatalf("trace time %v != engine accounting %v", sum.SimTime, res.IO.TotalTime())
+	}
+	var render bytes.Buffer
+	if err := sum.Render(&render); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(render.String(), "sequential ops") {
+		t.Fatalf("render output: %s", render.String())
+	}
+}

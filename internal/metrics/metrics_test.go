@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendersAligned(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("a", "1")
+	tab.AddRow("longer-name", "22")
+	tab.AddNote("a note with %d args", 2)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "name", "longer-name", "a note with 2 args", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Header and separator must have equal width prefixes.
+	if len(lines) < 3 || len(lines[1]) == 0 {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+}
+
+func TestTableRowPaddingAndTruncation(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("1")           // short row: second cell empty
+	tab.AddRow("1", "2", "3") // long row: third cell dropped
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "3") {
+		t.Fatal("overflow cell not dropped")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("nope") }
+
+func TestTableRenderError(t *testing.T) {
+	tab := NewTable("x", "a")
+	if err := tab.Render(failWriter{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func TestDur(t *testing.T) {
+	cases := map[time.Duration]string{
+		1500 * time.Millisecond: "1.50s",
+		2500 * time.Microsecond: "2.50ms",
+		750 * time.Microsecond:  "750µs",
+		0:                       "0µs",
+	}
+	for d, want := range cases {
+		if got := Dur(d); got != want {
+			t.Errorf("Dur(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestRatios(t *testing.T) {
+	if got := Ratio(3*time.Second, 2*time.Second); got != "1.50x" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(time.Second, 0); got != "—" {
+		t.Errorf("Ratio by zero = %q", got)
+	}
+	if got := RatioF(5, 2); got != "2.50x" {
+		t.Errorf("RatioF = %q", got)
+	}
+	if got := RatioF(1, 0); got != "—" {
+		t.Errorf("RatioF by zero = %q", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(time.Second, 4*time.Second); got != "25%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(time.Second, 0); got != "—" {
+		t.Errorf("Pct by zero = %q", got)
+	}
+}

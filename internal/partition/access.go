@@ -1,0 +1,210 @@
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// LoadSubBlock reads sub-block (i, j) in full as one sequential stream and
+// decodes its edges. Empty sub-blocks cost no I/O.
+func (l *Layout) LoadSubBlock(i, j int) ([]graph.Edge, error) {
+	if l.Meta.SubBlockEdges(i, j) == 0 {
+		return nil, nil
+	}
+	data, err := l.Dev.ReadFile(SubBlockName(i, j))
+	if err != nil {
+		return nil, fmt.Errorf("partition: loading sub-block (%d,%d): %w", i, j, err)
+	}
+	edges, err := graph.DecodeEdges(data, l.Meta.Weighted)
+	if err != nil {
+		return nil, fmt.Errorf("partition: decoding sub-block (%d,%d): %w", i, j, err)
+	}
+	return edges, nil
+}
+
+// StreamSubBlock reads sub-block (i, j) in chunks of at most chunkBytes
+// (rounded down to whole records, minimum one record) and invokes fn for
+// each decoded chunk. Peak memory is one chunk instead of the whole cell,
+// which is how a production engine keeps its residency bounded even when a
+// skewed grid produces an oversized cell. The chunk slice passed to fn is
+// reused; fn must not retain it.
+func (l *Layout) StreamSubBlock(i, j int, chunkBytes int64, fn func(edges []graph.Edge) error) error {
+	total := l.Meta.SubBlockEdges(i, j)
+	if total == 0 {
+		return nil
+	}
+	rec := int64(l.Meta.EdgeRecordBytes())
+	perChunk := chunkBytes / rec
+	if perChunk < 1 {
+		perChunk = 1
+	}
+	r, err := l.OpenSubBlock(i, j)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	buf := make([]byte, perChunk*rec)
+	for off := int64(0); off < total; off += perChunk {
+		n := perChunk
+		if off+n > total {
+			n = total - off
+		}
+		chunk := buf[:n*rec]
+		if _, err := r.AutoReadAt(chunk, off*rec); err != nil {
+			return fmt.Errorf("partition: streaming sub-block (%d,%d)@%d: %w", i, j, off, err)
+		}
+		edges, err := graph.DecodeEdges(chunk, l.Meta.Weighted)
+		if err != nil {
+			return err
+		}
+		if err := fn(edges); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadIndex reads the per-vertex offset index of sub-block (i, j). The
+// returned slice has IntervalLen(i)+1 entries: the edges of vertex v
+// (lo <= v < hi) occupy records [idx[v-lo], idx[v-lo+1]) in the sub-block.
+// The read is charged sequentially: indexes are small and loaded in one
+// stream, matching the 2|V|·N index/value term of the paper's C_r model.
+func (l *Layout) LoadIndex(i, j int) ([]int64, error) {
+	data, err := l.Dev.ReadFile(IndexName(i, j))
+	if err != nil {
+		return nil, fmt.Errorf("partition: loading index (%d,%d): %w", i, j, err)
+	}
+	return decodeIndex(data)
+}
+
+func decodeIndex(data []byte) ([]int64, error) {
+	if len(data)%graph.IndexEntryBytes != 0 {
+		return nil, fmt.Errorf("partition: index size %d not a multiple of %d", len(data), graph.IndexEntryBytes)
+	}
+	idx := make([]int64, len(data)/graph.IndexEntryBytes)
+	for k := range idx {
+		idx[k] = int64(binary.LittleEndian.Uint64(data[k*graph.IndexEntryBytes:]))
+	}
+	return idx, nil
+}
+
+// OpenSubBlock opens sub-block (i, j) for positional reads. The caller must
+// Close the reader. Opening an empty sub-block returns (nil, nil).
+func (l *Layout) OpenSubBlock(i, j int) (*storage.Reader, error) {
+	if l.Meta.SubBlockEdges(i, j) == 0 {
+		return nil, nil
+	}
+	r, err := l.Dev.Open(SubBlockName(i, j))
+	if err != nil {
+		return nil, fmt.Errorf("partition: opening sub-block (%d,%d): %w", i, j, err)
+	}
+	return r, nil
+}
+
+// ReadVertexEdges reads the edges of vertex v from an open sub-block of
+// interval i using its index. The access is auto-classified: contiguous
+// active vertices produce sequential reads, scattered ones random reads —
+// the S_seq / S_ran split of the paper's on-demand cost model emerges from
+// the access pattern itself.
+func (l *Layout) ReadVertexEdges(r *storage.Reader, idx []int64, i int, v graph.VertexID, buf []byte) ([]graph.Edge, []byte, error) {
+	lo, hi := l.Meta.Interval(i)
+	if int(v) < lo || int(v) >= hi {
+		return nil, buf, fmt.Errorf("partition: vertex %d outside interval %d [%d,%d)", v, i, lo, hi)
+	}
+	start, end := idx[int(v)-lo], idx[int(v)-lo+1]
+	if start == end {
+		return nil, buf, nil
+	}
+	rec := int64(l.Meta.EdgeRecordBytes())
+	n := (end - start) * rec
+	if int64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := r.AutoReadAt(buf, start*rec); err != nil {
+		return nil, buf, fmt.Errorf("partition: reading edges of vertex %d: %w", v, err)
+	}
+	edges, err := graph.DecodeEdges(buf, l.Meta.Weighted)
+	if err != nil {
+		return nil, buf, err
+	}
+	return edges, buf, nil
+}
+
+// LoadDegrees reads the per-vertex out-degree table.
+func (l *Layout) LoadDegrees() ([]uint32, error) {
+	data, err := l.Dev.ReadFile(DegreesName)
+	if err != nil {
+		return nil, fmt.Errorf("partition: loading degrees: %w", err)
+	}
+	if len(data) != l.Meta.NumVertices*4 {
+		return nil, fmt.Errorf("partition: degrees size %d, want %d", len(data), l.Meta.NumVertices*4)
+	}
+	deg := make([]uint32, l.Meta.NumVertices)
+	for v := range deg {
+		deg[v] = binary.LittleEndian.Uint32(data[v*4:])
+	}
+	return deg, nil
+}
+
+// LoadRow reads HUS-Graph/Lumos row block i in full.
+func (l *Layout) LoadRow(i int) ([]graph.Edge, error) {
+	if !l.Dev.Exists(RowName(i)) {
+		return nil, nil
+	}
+	data, err := l.Dev.ReadFile(RowName(i))
+	if err != nil {
+		return nil, fmt.Errorf("partition: loading row %d: %w", i, err)
+	}
+	return graph.DecodeEdges(data, l.Meta.Weighted)
+}
+
+// LoadRowIndex reads the per-vertex index of HUS-Graph row block i.
+func (l *Layout) LoadRowIndex(i int) ([]int64, error) {
+	data, err := l.Dev.ReadFile(RowIndexName(i))
+	if err != nil {
+		return nil, fmt.Errorf("partition: loading row index %d: %w", i, err)
+	}
+	return decodeIndex(data)
+}
+
+// OpenRow opens row block i for positional reads; (nil, nil) if absent.
+func (l *Layout) OpenRow(i int) (*storage.Reader, error) {
+	if !l.Dev.Exists(RowName(i)) {
+		return nil, nil
+	}
+	r, err := l.Dev.Open(RowName(i))
+	if err != nil {
+		return nil, fmt.Errorf("partition: opening row %d: %w", i, err)
+	}
+	return r, nil
+}
+
+// LoadCol reads HUS-Graph column block j in full.
+func (l *Layout) LoadCol(j int) ([]graph.Edge, error) {
+	if !l.Dev.Exists(ColName(j)) {
+		return nil, nil
+	}
+	data, err := l.Dev.ReadFile(ColName(j))
+	if err != nil {
+		return nil, fmt.Errorf("partition: loading column %d: %w", j, err)
+	}
+	return graph.DecodeEdges(data, l.Meta.Weighted)
+}
+
+// ChargeVertexValueRead charges the sequential read of the whole vertex
+// value array (the |V|·N read term shared by both of the paper's I/O cost
+// formulas). Vertex values live in memory in this implementation, but the
+// paper's model accounts them, so engines call this once per iteration.
+func (l *Layout) ChargeVertexValueRead() {
+	l.Dev.Charge(storage.SeqRead, int64(l.Meta.NumVertices)*graph.VertexValueBytes)
+}
+
+// ChargeVertexValueWrite charges the sequential write-back of the vertex
+// value array (the |V|·N / B_sw term of both cost formulas).
+func (l *Layout) ChargeVertexValueWrite() {
+	l.Dev.Charge(storage.SeqWrite, int64(l.Meta.NumVertices)*graph.VertexValueBytes)
+}

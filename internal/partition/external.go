@@ -1,0 +1,127 @@
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// BuildExternal runs GraphSD's preprocessing with bounded memory, the way
+// a production out-of-core system must when the input graph itself exceeds
+// DRAM. Where Build materializes the whole grid in memory, BuildExternal
+// makes two passes:
+//
+//  1. Scan: stream the input edges once, spilling each edge to its source
+//     interval's run file on the device. Memory: P write buffers plus the
+//     degree table (vertex-proportional state is memory-resident
+//     throughout the system, as in the paper).
+//  2. Per row: read back one row's run (which fits the memory budget —
+//     that is precisely how P is chosen, cf. ChooseP), bucket it into its
+//     P cells, sort each by source, and write the sub-block payload and
+//     vertex index.
+//
+// The result is byte-identical to Build's layout; tests assert that. The
+// spill traffic (one extra sequential write + read of the edge data) is
+// charged to the device like every other preprocessing I/O.
+func BuildExternal(dev *storage.Device, src graph.EdgeStream, numVertices int, weighted bool, p int) (*Layout, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("partition: interval count must be positive, got %d", p)
+	}
+	if numVertices < 0 {
+		return nil, fmt.Errorf("partition: negative vertex count %d", numVertices)
+	}
+	bt := newBuildTimer()
+	m := newManifest("graphsd", &graph.Graph{NumVertices: numVertices, Weighted: weighted}, p)
+
+	// Pass 1: spill edges into per-source-interval run files.
+	spills := make([]*storage.Writer, p)
+	for i := range spills {
+		w, err := dev.Create(spillName(i))
+		if err != nil {
+			return nil, err
+		}
+		spills[i] = w
+	}
+	degrees := make([]uint32, numVertices)
+	rec := graph.EdgeBytes
+	if weighted {
+		rec += graph.WeightBytes
+	}
+	encBuf := make([]byte, 0, rec)
+	var numEdges int64
+	for {
+		e, ok, err := src.Next()
+		if err != nil {
+			return nil, fmt.Errorf("partition: reading edge stream: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if int(e.Src) >= numVertices || int(e.Dst) >= numVertices {
+			return nil, fmt.Errorf("partition: edge %d->%d out of range [0,%d)", e.Src, e.Dst, numVertices)
+		}
+		degrees[e.Src]++
+		numEdges++
+		encBuf = graph.EncodeEdge(encBuf[:0], e, weighted)
+		if _, err := spills[m.IntervalOf(e.Src)].Write(encBuf); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range spills {
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+	}
+	m.NumEdges = numEdges
+
+	// Pass 2: per row, read the run back, bucket into cells, sort, write.
+	for i := 0; i < p; i++ {
+		data, err := dev.ReadFile(spillName(i))
+		if err != nil {
+			return nil, err
+		}
+		edges, err := graph.DecodeEdges(data, weighted)
+		if err != nil {
+			return nil, fmt.Errorf("partition: decoding spill run %d: %w", i, err)
+		}
+		cells := make([][]graph.Edge, p)
+		for _, e := range edges {
+			j := m.IntervalOf(e.Dst)
+			cells[j] = append(cells[j], e)
+		}
+		lo, hi := m.Interval(i)
+		for j := 0; j < p; j++ {
+			sortEdgesBySrc(cells[j])
+			m.EdgeCounts[i][j] = int64(len(cells[j]))
+			if len(cells[j]) > 0 {
+				if err := writeEdges(dev, bt, SubBlockName(i, j), cells[j], weighted); err != nil {
+					return nil, err
+				}
+			}
+			idx := buildVertexIndex(cells[j], lo, hi, func(e graph.Edge) graph.VertexID { return e.Src })
+			if err := writeIndex(dev, bt, IndexName(i, j), idx); err != nil {
+				return nil, err
+			}
+		}
+		if err := dev.Remove(spillName(i)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Degree table accumulated during the scan.
+	degBuf := make([]byte, 0, len(degrees)*4)
+	for _, d := range degrees {
+		degBuf = binary.LittleEndian.AppendUint32(degBuf, d)
+	}
+	if err := bt.write(dev, DegreesName, degBuf); err != nil {
+		return nil, err
+	}
+	if err := saveManifest(dev, m); err != nil {
+		return nil, err
+	}
+	return &Layout{Dev: dev, Meta: *m, PrepCPU: bt.cpu()}, nil
+}
+
+func spillName(i int) string { return fmt.Sprintf("spill/run_%04d.tmp", i) }

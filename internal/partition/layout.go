@@ -1,0 +1,189 @@
+// Package partition implements GraphSD's preprocessing phase and on-disk
+// graph representation: the 2-D P×P grid of sub-blocks described in §3.2 of
+// the paper, with per-sub-block vertex indexes enabling selective loads of
+// active vertices' edges, plus the HUS-Graph-style and Lumos-style
+// preprocessors used for the Figure 8 comparison.
+package partition
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// ManifestName is the device-relative path of the layout manifest.
+const ManifestName = "manifest.json"
+
+// Manifest is the metadata of a partitioned graph layout, persisted as JSON
+// on the device.
+type Manifest struct {
+	FormatVersion int    `json:"format_version"`
+	System        string `json:"system"` // "graphsd", "husgraph", "lumos"
+	NumVertices   int    `json:"num_vertices"`
+	NumEdges      int64  `json:"num_edges"`
+	P             int    `json:"p"` // number of vertex intervals
+	Weighted      bool   `json:"weighted"`
+	// EdgeCounts[i][j] is the number of edges in sub-block (i, j). For
+	// row-major layouts (husgraph, lumos) only EdgeCounts[i][0] is used.
+	EdgeCounts [][]int64 `json:"edge_counts"`
+}
+
+// Layout is an opened partitioned graph on a device.
+type Layout struct {
+	Dev  *storage.Device
+	Meta Manifest
+	// PrepCPU is the in-memory CPU time (bucketing, sorting, encoding) the
+	// preprocessor spent building this layout, exclusive of device writes.
+	// Zero for layouts opened with Load.
+	PrepCPU time.Duration
+}
+
+// FormatVersion is the current manifest format version.
+const FormatVersion = 1
+
+// Interval returns the half-open vertex range [lo, hi) of interval i.
+// Intervals split [0, NumVertices) into P near-equal contiguous ranges.
+func (m *Manifest) Interval(i int) (lo, hi int) {
+	if i < 0 || i >= m.P {
+		panic(fmt.Sprintf("partition: interval %d out of range [0,%d)", i, m.P))
+	}
+	per := (m.NumVertices + m.P - 1) / m.P
+	lo = i * per
+	hi = lo + per
+	if hi > m.NumVertices {
+		hi = m.NumVertices
+	}
+	if lo > m.NumVertices {
+		lo = m.NumVertices
+	}
+	return lo, hi
+}
+
+// IntervalOf returns the interval that vertex v belongs to.
+func (m *Manifest) IntervalOf(v graph.VertexID) int {
+	per := (m.NumVertices + m.P - 1) / m.P
+	return int(v) / per
+}
+
+// IntervalLen returns the number of vertices in interval i.
+func (m *Manifest) IntervalLen(i int) int {
+	lo, hi := m.Interval(i)
+	return hi - lo
+}
+
+// EdgeRecordBytes returns the on-disk record size of one edge.
+func (m *Manifest) EdgeRecordBytes() int {
+	if m.Weighted {
+		return graph.EdgeBytes + graph.WeightBytes
+	}
+	return graph.EdgeBytes
+}
+
+// EdgeBytesTotal returns the total on-disk edge payload in bytes.
+func (m *Manifest) EdgeBytesTotal() int64 {
+	return m.NumEdges * int64(m.EdgeRecordBytes())
+}
+
+// SubBlockEdges returns the edge count of sub-block (i, j).
+func (m *Manifest) SubBlockEdges(i, j int) int64 {
+	return m.EdgeCounts[i][j]
+}
+
+// SubBlockBytes returns the on-disk size of sub-block (i, j) in bytes.
+func (m *Manifest) SubBlockBytes(i, j int) int64 {
+	return m.EdgeCounts[i][j] * int64(m.EdgeRecordBytes())
+}
+
+// Validate checks internal consistency of the manifest.
+func (m *Manifest) Validate() error {
+	if m.FormatVersion != FormatVersion {
+		return fmt.Errorf("partition: unsupported format version %d", m.FormatVersion)
+	}
+	if m.NumVertices < 0 || m.NumEdges < 0 {
+		return fmt.Errorf("partition: negative counts v=%d e=%d", m.NumVertices, m.NumEdges)
+	}
+	if m.P <= 0 {
+		return fmt.Errorf("partition: non-positive interval count %d", m.P)
+	}
+	if len(m.EdgeCounts) != m.P {
+		return fmt.Errorf("partition: edge count rows %d != P %d", len(m.EdgeCounts), m.P)
+	}
+	var total int64
+	for i, row := range m.EdgeCounts {
+		for _, c := range row {
+			if c < 0 {
+				return fmt.Errorf("partition: negative edge count in row %d", i)
+			}
+			total += c
+		}
+	}
+	if total != m.NumEdges {
+		return fmt.Errorf("partition: edge counts sum %d != NumEdges %d", total, m.NumEdges)
+	}
+	return nil
+}
+
+// SubBlockName returns the device-relative file name of sub-block (i, j)'s
+// edge payload.
+func SubBlockName(i, j int) string { return fmt.Sprintf("blocks/b_%04d_%04d.edges", i, j) }
+
+// IndexName returns the device-relative file name of sub-block (i, j)'s
+// per-vertex offset index.
+func IndexName(i, j int) string { return fmt.Sprintf("blocks/b_%04d_%04d.idx", i, j) }
+
+// RowName returns the file name of row block i in row-major layouts
+// (HUS-Graph and Lumos preprocessors).
+func RowName(i int) string { return fmt.Sprintf("rows/r_%04d.edges", i) }
+
+// ColName returns the file name of column block i (edges grouped by
+// destination interval), used by the HUS-Graph layout's second edge copy.
+func ColName(i int) string { return fmt.Sprintf("cols/c_%04d.edges", i) }
+
+// DegreesName is the file holding per-vertex out-degrees (uint32 each).
+const DegreesName = "degrees.bin"
+
+// ChooseP returns the number of intervals needed so that one row of the
+// grid (an edge block) fits in the memory budget, which is how the paper
+// sizes P under its "memory limited to 5% of graph data" rule. The result
+// is clamped to [1, maxP].
+func ChooseP(totalEdgeBytes, memBudget int64, maxP int) int {
+	if memBudget <= 0 || totalEdgeBytes <= 0 {
+		return 1
+	}
+	p := int((totalEdgeBytes + memBudget - 1) / memBudget)
+	if p < 1 {
+		p = 1
+	}
+	if maxP > 0 && p > maxP {
+		p = maxP
+	}
+	return p
+}
+
+// saveManifest writes the manifest to the device.
+func saveManifest(dev *storage.Device, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("partition: encoding manifest: %w", err)
+	}
+	return dev.WriteFile(ManifestName, data)
+}
+
+// Load opens an existing layout on the device.
+func Load(dev *storage.Device) (*Layout, error) {
+	data, err := dev.ReadFile(ManifestName)
+	if err != nil {
+		return nil, fmt.Errorf("partition: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("partition: decoding manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Layout{Dev: dev, Meta: m}, nil
+}

@@ -1,0 +1,374 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Device is a directory-backed simulated disk. Every operation performs the
+// real file I/O and charges simulated time from the device Profile; the
+// charge is recorded in per-class counters retrievable with Stats.
+//
+// Device methods are safe for concurrent use.
+type Device struct {
+	dir   string
+	prof  Profile
+	stats stats
+
+	// fault, when non-nil, is consulted before every operation and may
+	// return an error to inject a failure (tests only). tracer, when
+	// non-nil, observes every accounted operation (SetTracer).
+	mu     sync.RWMutex
+	fault  func(op, name string) error
+	tracer func(TraceEvent)
+}
+
+// OpenDevice opens (creating if needed) a device rooted at dir.
+func OpenDevice(dir string, prof Profile) (*Device, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating device dir: %w", err)
+	}
+	return &Device{dir: dir, prof: prof}, nil
+}
+
+// Dir returns the backing directory.
+func (d *Device) Dir() string { return d.dir }
+
+// Profile returns the device's cost profile.
+func (d *Device) Profile() Profile { return d.prof }
+
+// Stats returns a snapshot of the I/O counters.
+func (d *Device) Stats() Snapshot {
+	var s Snapshot
+	for c := 0; c < int(numClasses); c++ {
+		s.Bytes[c] = d.stats.bytes[c].Load()
+		s.Ops[c] = d.stats.ops[c].Load()
+		s.Time[c] = time.Duration(d.stats.nanos[c].Load())
+	}
+	return s
+}
+
+// ResetStats zeroes the I/O counters.
+func (d *Device) ResetStats() {
+	for c := 0; c < int(numClasses); c++ {
+		d.stats.bytes[c].Store(0)
+		d.stats.ops[c].Store(0)
+		d.stats.nanos[c].Store(0)
+	}
+}
+
+// Charge records an I/O of n bytes in class c without touching any file.
+// Engines use it for modelled transfers whose payload is already resident
+// (e.g. the vertex-value write-back, which lives in memory but must be
+// persisted once per iteration in the paper's cost model).
+func (d *Device) Charge(c Class, n int64) time.Duration {
+	cost := d.prof.Cost(c, n)
+	d.stats.add(c, n, cost)
+	d.emit("charge", c, "", -1, n, cost)
+	return cost
+}
+
+// SetFaultInjector installs fn, which is consulted before every file
+// operation with the operation name ("create", "write", "read", "readat",
+// "remove") and file name; a non-nil return aborts the operation with that
+// error. Pass nil to clear. For tests.
+func (d *Device) SetFaultInjector(fn func(op, name string) error) {
+	d.mu.Lock()
+	d.fault = fn
+	d.mu.Unlock()
+}
+
+func (d *Device) checkFault(op, name string) error {
+	d.mu.RLock()
+	fn := d.fault
+	d.mu.RUnlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(op, name)
+}
+
+func (d *Device) path(name string) (string, error) {
+	if name == "" || strings.Contains(name, "..") || filepath.IsAbs(name) {
+		return "", fmt.Errorf("storage: invalid file name %q", name)
+	}
+	return filepath.Join(d.dir, filepath.FromSlash(name)), nil
+}
+
+// WriteFile writes data to name as one sequential stream, replacing any
+// existing file, and charges a sequential write.
+func (d *Device) WriteFile(name string, data []byte) error {
+	if err := d.checkFault("write", name); err != nil {
+		return err
+	}
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("storage: creating parent dir: %w", err)
+	}
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		return fmt.Errorf("storage: writing %s: %w", name, err)
+	}
+	cost := d.prof.Cost(SeqWrite, int64(len(data)))
+	d.stats.add(SeqWrite, int64(len(data)), cost)
+	d.emit("write", SeqWrite, name, -1, int64(len(data)), cost)
+	return nil
+}
+
+// ReadFile reads the whole of name as one sequential stream and charges a
+// sequential read plus one positioning seek.
+func (d *Device) ReadFile(name string) ([]byte, error) {
+	if err := d.checkFault("read", name); err != nil {
+		return nil, err
+	}
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading %s: %w", name, err)
+	}
+	cost := d.prof.SeqCost(SeqRead, int64(len(data))) + d.prof.SeekLatency
+	d.stats.add(SeqRead, int64(len(data)), cost)
+	d.emit("read", SeqRead, name, -1, int64(len(data)), cost)
+	return data, nil
+}
+
+// Remove deletes name. Removing a missing file is an error.
+func (d *Device) Remove(name string) error {
+	if err := d.checkFault("remove", name); err != nil {
+		return err
+	}
+	p, err := d.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil {
+		return fmt.Errorf("storage: removing %s: %w", name, err)
+	}
+	return nil
+}
+
+// Exists reports whether name exists on the device.
+func (d *Device) Exists(name string) bool {
+	p, err := d.path(name)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(p)
+	return err == nil
+}
+
+// Size returns the size of name in bytes.
+func (d *Device) Size(name string) (int64, error) {
+	p, err := d.path(name)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0, fmt.Errorf("storage: stat %s: %w", name, err)
+	}
+	return fi.Size(), nil
+}
+
+// List returns the device-relative names of all regular files, sorted.
+func (d *Device) List() ([]string, error) {
+	var names []string
+	err := filepath.Walk(d.dir, func(p string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.Mode().IsRegular() {
+			rel, err := filepath.Rel(d.dir, p)
+			if err != nil {
+				return err
+			}
+			names = append(names, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("storage: listing device: %w", err)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Create opens name for sequential writing, truncating any existing file.
+func (d *Device) Create(name string) (*Writer, error) {
+	if err := d.checkFault("create", name); err != nil {
+		return nil, err
+	}
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating parent dir: %w", err)
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return nil, fmt.Errorf("storage: creating %s: %w", name, err)
+	}
+	return &Writer{dev: d, name: name, f: f}, nil
+}
+
+// Open opens name for reading.
+func (d *Device) Open(name string) (*Reader, error) {
+	if err := d.checkFault("open", name); err != nil {
+		return nil, err
+	}
+	p, err := d.path(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening %s: %w", name, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", name, err)
+	}
+	return &Reader{dev: d, name: name, f: f, size: fi.Size(), lastEnd: -1}, nil
+}
+
+// Writer is a sequential file writer on a Device. Writes are charged as
+// sequential writes. Not safe for concurrent use.
+type Writer struct {
+	dev  *Device
+	name string
+	f    *os.File
+	n    int64
+}
+
+// Write appends p to the file and charges a sequential write.
+func (w *Writer) Write(p []byte) (int, error) {
+	if err := w.dev.checkFault("write", w.name); err != nil {
+		return 0, err
+	}
+	n, err := w.f.Write(p)
+	cost := w.dev.prof.SeqCost(SeqWrite, int64(n))
+	w.dev.stats.add(SeqWrite, int64(n), cost)
+	w.dev.emit("append", SeqWrite, w.name, w.n, int64(n), cost)
+	w.n += int64(n)
+	if err != nil {
+		return n, fmt.Errorf("storage: writing %s: %w", w.name, err)
+	}
+	return n, nil
+}
+
+// BytesWritten returns the number of bytes written so far.
+func (w *Writer) BytesWritten() int64 { return w.n }
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("storage: closing %s: %w", w.name, err)
+	}
+	return nil
+}
+
+// Reader is a positional file reader on a Device. The caller states the
+// access class of every read; the engines classify contiguous active-edge
+// runs as sequential and scattered ones as random, exactly the S_seq/S_ran
+// split of the paper's cost model. Reader is safe for concurrent ReadAt
+// calls (accounting is atomic, classification is per-call).
+type Reader struct {
+	dev  *Device
+	name string
+	f    *os.File
+	size int64
+
+	// lastEnd tracks the end offset of the previous read for AutoReadAt's
+	// contiguity detection. Guarded by mu.
+	mu      sync.Mutex
+	lastEnd int64
+}
+
+// Size returns the file size in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// Name returns the device-relative file name.
+func (r *Reader) Name() string { return r.name }
+
+// ReadAt reads len(p) bytes at off, charging class c.
+func (r *Reader) ReadAt(p []byte, off int64, c Class) (int, error) {
+	if !c.IsRead() {
+		return 0, fmt.Errorf("storage: ReadAt with write class %v", c)
+	}
+	if err := r.dev.checkFault("readat", r.name); err != nil {
+		return 0, err
+	}
+	n, err := r.f.ReadAt(p, off)
+	var cost time.Duration
+	if c == SeqRead {
+		cost = r.dev.prof.SeqCost(c, int64(n))
+	} else {
+		cost = r.dev.prof.Cost(c, int64(n))
+	}
+	r.dev.stats.add(c, int64(n), cost)
+	r.dev.emit("readat", c, r.name, off, int64(n), cost)
+	if err != nil && err != io.EOF {
+		return n, fmt.Errorf("storage: reading %s@%d: %w", r.name, off, err)
+	}
+	return n, err
+}
+
+// AutoReadAt reads len(p) bytes at off, classifying the access itself: a
+// read that starts exactly where the previous read on this Reader ended is
+// sequential, anything else is random. This mirrors how a real disk head
+// behaves when the engine walks an index in offset order.
+func (r *Reader) AutoReadAt(p []byte, off int64) (int, error) {
+	r.mu.Lock()
+	c := RandRead
+	if off == r.lastEnd {
+		c = SeqRead
+	}
+	r.lastEnd = off + int64(len(p))
+	r.mu.Unlock()
+	return r.ReadAt(p, off, c)
+}
+
+// ReadAll reads the remaining whole file sequentially (one seek + stream).
+func (r *Reader) ReadAll() ([]byte, error) {
+	buf := make([]byte, r.size)
+	if r.size == 0 {
+		return buf, nil
+	}
+	if err := r.dev.checkFault("readat", r.name); err != nil {
+		return nil, err
+	}
+	if _, err := r.f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("storage: reading %s: %w", r.name, err)
+	}
+	cost := r.dev.prof.SeqCost(SeqRead, r.size) + r.dev.prof.SeekLatency
+	r.dev.stats.add(SeqRead, r.size, cost)
+	r.dev.emit("readall", SeqRead, r.name, 0, r.size, cost)
+	r.mu.Lock()
+	r.lastEnd = r.size
+	r.mu.Unlock()
+	return buf, nil
+}
+
+// Close closes the underlying file.
+func (r *Reader) Close() error {
+	if err := r.f.Close(); err != nil {
+		return fmt.Errorf("storage: closing %s: %w", r.name, err)
+	}
+	return nil
+}

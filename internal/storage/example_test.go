@@ -1,0 +1,40 @@
+package storage_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// Example shows the device's accounting: real file I/O charged by a disk
+// cost model, with per-class byte and simulated-time counters.
+func Example() {
+	dir, err := os.MkdirTemp("", "storage-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	dev, err := storage.OpenDevice(dir, storage.HDD)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.WriteFile("block.bin", make([]byte, 4096)); err != nil {
+		log.Fatal(err)
+	}
+	r, err := dev.Open("block.bin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 512)
+	if _, err := r.ReadAt(buf, 0, storage.RandRead); err != nil {
+		log.Fatal(err)
+	}
+	s := dev.Stats()
+	fmt.Printf("wrote=%dB read=%dB random-ops=%d\n",
+		s.Bytes[storage.SeqWrite], s.Bytes[storage.RandRead], s.Ops[storage.RandRead])
+	// Output: wrote=4096B read=512B random-ops=1
+}

@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// MeasureProfile estimates a real bandwidth profile for the filesystem at
+// dir by timing short sequential and random transfers, in the spirit of the
+// fio measurements the paper uses to parameterize its cost model. The
+// result is noisy (page caches, small sample) and is intended for the CLI's
+// informational `stats` command; experiments default to the fixed HDD
+// profile for reproducibility.
+func MeasureProfile(dir string, sampleBytes int) (Profile, error) {
+	if sampleBytes < 1<<20 {
+		sampleBytes = 1 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Profile{}, fmt.Errorf("storage: measure dir: %w", err)
+	}
+	path := filepath.Join(dir, ".graphsd-measure.tmp")
+	defer os.Remove(path)
+
+	data := make([]byte, sampleBytes)
+	rng := rand.New(rand.NewSource(1))
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+
+	// Sequential write.
+	t0 := time.Now()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return Profile{}, fmt.Errorf("storage: measure write: %w", err)
+	}
+	seqW := rate(sampleBytes, time.Since(t0))
+
+	// Sequential read.
+	t0 = time.Now()
+	if _, err := os.ReadFile(path); err != nil {
+		return Profile{}, fmt.Errorf("storage: measure read: %w", err)
+	}
+	seqR := rate(sampleBytes, time.Since(t0))
+
+	// Random 4 KiB reads.
+	f, err := os.Open(path)
+	if err != nil {
+		return Profile{}, fmt.Errorf("storage: measure open: %w", err)
+	}
+	defer f.Close()
+	const block = 4096
+	buf := make([]byte, block)
+	const trials = 256
+	t0 = time.Now()
+	for i := 0; i < trials; i++ {
+		off := int64(rng.Intn(sampleBytes - block))
+		if _, err := f.ReadAt(buf, off); err != nil {
+			return Profile{}, fmt.Errorf("storage: measure random read: %w", err)
+		}
+	}
+	randElapsed := time.Since(t0)
+	randR := rate(block*trials, randElapsed)
+
+	p := Profile{
+		SeqReadBps:   seqR,
+		SeqWriteBps:  seqW,
+		RandReadBps:  randR,
+		RandWriteBps: randR * 0.9,
+		SeekLatency:  randElapsed / trials,
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+func rate(n int, d time.Duration) float64 {
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return float64(n) / d.Seconds()
+}

@@ -1,0 +1,160 @@
+// Package storage provides the disk substrate for the out-of-core engines:
+// real files layered with a deterministic disk cost model.
+//
+// The paper evaluates on two 500 GB HDDs with the page cache disabled and
+// direct I/O. That hardware is unavailable here, so every read and write
+// goes through a Device that (a) performs the real file operation, so all
+// offsets, indexes and buffering logic are genuinely exercised, and (b)
+// charges simulated time from a bandwidth/seek profile and records the
+// bytes moved per access class. Experiment "execution time" is simulated
+// I/O time plus measured compute time, which removes host page-cache noise
+// and reproduces the paper's I/O-bound behaviour deterministically
+// (DESIGN.md §2).
+package storage
+
+import (
+	"fmt"
+	"time"
+)
+
+// Class identifies a disk access class, mirroring the bandwidth vector of
+// the paper's cost model (Table 2): B_sr, B_rr, B_sw, B_rw.
+type Class int
+
+const (
+	// SeqRead is a sequential read at media transfer rate.
+	SeqRead Class = iota
+	// RandRead is a read that requires a head seek first.
+	RandRead
+	// SeqWrite is a sequential write at media transfer rate.
+	SeqWrite
+	// RandWrite is a write that requires a head seek first.
+	RandWrite
+	numClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case SeqRead:
+		return "seq-read"
+	case RandRead:
+		return "rand-read"
+	case SeqWrite:
+		return "seq-write"
+	case RandWrite:
+		return "rand-write"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// IsRead reports whether the class is a read class.
+func (c Class) IsRead() bool { return c == SeqRead || c == RandRead }
+
+// Profile models a disk: transfer bandwidths per class plus a seek latency
+// charged once per random operation and once when a sequential stream is
+// (re)positioned. The paper measures these with fio; we default to HDD-class
+// constants and let callers substitute measured values (MeasureProfile).
+type Profile struct {
+	// SeqReadBps and SeqWriteBps are sequential transfer rates in bytes/s.
+	SeqReadBps  float64
+	SeqWriteBps float64
+	// RandReadBps and RandWriteBps are post-seek transfer rates in bytes/s.
+	RandReadBps  float64
+	RandWriteBps float64
+	// SeekLatency is the head positioning cost for a random access.
+	SeekLatency time.Duration
+}
+
+// HDD is the default profile, modelled on the paper's 500 GB 7200 rpm
+// drives: ~150 MB/s streaming, 8 ms average seek.
+var HDD = Profile{
+	SeqReadBps:   150e6,
+	SeqWriteBps:  140e6,
+	RandReadBps:  120e6,
+	RandWriteBps: 110e6,
+	SeekLatency:  8 * time.Millisecond,
+}
+
+// ScaledHDD is the HDD profile with the seek latency scaled down by the
+// same ~10³ factor that separates the paper's multi-GB datasets from this
+// repository's MB-scale synthetic stand-ins. Holding the seek-time to
+// full-scan-time ratio constant preserves the position of the
+// on-demand/full I/O crossover (Figure 10) at the reduced scale; see
+// DESIGN.md §2. Experiments default to this profile.
+var ScaledHDD = Profile{
+	SeqReadBps:   150e6,
+	SeqWriteBps:  140e6,
+	RandReadBps:  120e6,
+	RandWriteBps: 110e6,
+	SeekLatency:  8 * time.Microsecond,
+}
+
+// SSD is a SATA-SSD-class profile for sensitivity experiments: much cheaper
+// seeks shift the on-demand/full I/O crossover.
+var SSD = Profile{
+	SeqReadBps:   520e6,
+	SeqWriteBps:  480e6,
+	RandReadBps:  400e6,
+	RandWriteBps: 350e6,
+	SeekLatency:  80 * time.Microsecond,
+}
+
+// PMem models an Intel-Optane-class persistent memory module, the device
+// the paper's conclusion names as future work ("exploit emerging storage
+// devices such as Intel Optane PMM"). Random access is nearly free, which
+// pushes the on-demand/full crossover far toward the full model's side —
+// the ext-storage extension experiment quantifies the shift.
+var PMem = Profile{
+	SeqReadBps:   2500e6,
+	SeqWriteBps:  2000e6,
+	RandReadBps:  2300e6,
+	RandWriteBps: 1800e6,
+	SeekLatency:  300 * time.Nanosecond,
+}
+
+// Validate checks that all rates are positive and the seek latency is
+// non-negative.
+func (p Profile) Validate() error {
+	if p.SeqReadBps <= 0 || p.SeqWriteBps <= 0 || p.RandReadBps <= 0 || p.RandWriteBps <= 0 {
+		return fmt.Errorf("storage: profile bandwidths must be positive: %+v", p)
+	}
+	if p.SeekLatency < 0 {
+		return fmt.Errorf("storage: negative seek latency %v", p.SeekLatency)
+	}
+	return nil
+}
+
+// bandwidth returns the transfer rate for a class in bytes/s.
+func (p Profile) bandwidth(c Class) float64 {
+	switch c {
+	case SeqRead:
+		return p.SeqReadBps
+	case RandRead:
+		return p.RandReadBps
+	case SeqWrite:
+		return p.SeqWriteBps
+	case RandWrite:
+		return p.RandWriteBps
+	default:
+		panic(fmt.Sprintf("storage: unknown class %d", int(c)))
+	}
+}
+
+// Cost returns the simulated duration of moving n bytes in class c,
+// including the seek for random classes. This exact function is also used
+// by the state-aware I/O scheduler to predict iteration costs, so the
+// scheduler's predictions and the device's charges agree by construction.
+func (p Profile) Cost(c Class, n int64) time.Duration {
+	d := time.Duration(float64(n) / p.bandwidth(c) * float64(time.Second))
+	if c == RandRead || c == RandWrite {
+		d += p.SeekLatency
+	}
+	return d
+}
+
+// SeqCost returns the cost of a pure sequential transfer of n bytes.
+func (p Profile) SeqCost(c Class, n int64) time.Duration {
+	return time.Duration(float64(n) / p.bandwidth(c) * float64(time.Second))
+}

@@ -1,0 +1,33 @@
+package storage
+
+import "time"
+
+// TraceEvent describes one device operation for observability tooling
+// (internal/iotrace). Offset is -1 for whole-file and modelled operations.
+type TraceEvent struct {
+	Op     string
+	Class  Class
+	Name   string
+	Offset int64
+	Bytes  int64
+	Cost   time.Duration
+}
+
+// SetTracer installs fn to be invoked synchronously for every accounted
+// device operation. Pass nil to disable. The tracer must be fast and safe
+// for concurrent invocation; it runs on the engine's I/O paths.
+func (d *Device) SetTracer(fn func(TraceEvent)) {
+	d.mu.Lock()
+	d.tracer = fn
+	d.mu.Unlock()
+}
+
+// emit reports an accounted operation to the tracer, if any.
+func (d *Device) emit(op string, c Class, name string, off, n int64, cost time.Duration) {
+	d.mu.RLock()
+	fn := d.tracer
+	d.mu.RUnlock()
+	if fn != nil {
+		fn(TraceEvent{Op: op, Class: c, Name: name, Offset: off, Bytes: n, Cost: cost})
+	}
+}

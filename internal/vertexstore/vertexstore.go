@@ -1,0 +1,91 @@
+// Package vertexstore persists per-vertex value arrays on a storage
+// Device. The paper's cost model charges a sequential read of the vertex
+// values at the start of every iteration and a sequential write-back at
+// the end (the |V|·N terms in both C_s and C_r); by default the engine
+// models those transfers with storage.Charge. With core.Options.
+// PersistValues the engine instead routes them through this store, so the
+// bytes genuinely hit the device files — useful when the repository is
+// used as a real out-of-core library rather than a simulator, and as the
+// basis for inspecting intermediate state after a run.
+package vertexstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// Store is a named, fixed-length float64 array persisted on a device.
+type Store struct {
+	dev  *storage.Device
+	name string
+	n    int
+	buf  []byte // reused encode/decode buffer
+}
+
+// New returns a store for n float64 values under the given device-relative
+// name. Nothing is written until the first Write.
+func New(dev *storage.Device, name string, n int) (*Store, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("vertexstore: negative length %d", n)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("vertexstore: empty name")
+	}
+	return &Store{dev: dev, name: "values/" + name + ".f64", n: n}, nil
+}
+
+// Len returns the array length.
+func (s *Store) Len() int { return s.n }
+
+// Name returns the device-relative file name backing the store.
+func (s *Store) Name() string { return s.name }
+
+// Exists reports whether the array has been written.
+func (s *Store) Exists() bool { return s.dev.Exists(s.name) }
+
+// Bytes returns the on-disk size of the array.
+func (s *Store) Bytes() int64 { return int64(s.n) * 8 }
+
+// Write persists vals as one sequential stream. len(vals) must equal Len.
+func (s *Store) Write(vals []float64) error {
+	if len(vals) != s.n {
+		return fmt.Errorf("vertexstore: writing %d values to a store of %d", len(vals), s.n)
+	}
+	if cap(s.buf) < s.n*8 {
+		s.buf = make([]byte, s.n*8)
+	}
+	buf := s.buf[:s.n*8]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return s.dev.WriteFile(s.name, buf)
+}
+
+// Read fills dst from the persisted array. len(dst) must equal Len.
+func (s *Store) Read(dst []float64) error {
+	if len(dst) != s.n {
+		return fmt.Errorf("vertexstore: reading %d values from a store of %d", len(dst), s.n)
+	}
+	data, err := s.dev.ReadFile(s.name)
+	if err != nil {
+		return err
+	}
+	if len(data) != s.n*8 {
+		return fmt.Errorf("vertexstore: %s holds %d bytes, want %d", s.name, len(data), s.n*8)
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return nil
+}
+
+// Remove deletes the persisted array, if present.
+func (s *Store) Remove() error {
+	if !s.Exists() {
+		return nil
+	}
+	return s.dev.Remove(s.name)
+}

@@ -1,0 +1,153 @@
+package vertexstore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+func testDevice(t *testing.T) *storage.Device {
+	t.Helper()
+	d, err := storage.OpenDevice(t.TempDir(), storage.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidation(t *testing.T) {
+	dev := testDevice(t)
+	if _, err := New(dev, "x", -1); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := New(dev, "", 10); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dev := testDevice(t)
+	s, err := New(dev, "ranks", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists() {
+		t.Fatal("fresh store Exists")
+	}
+	vals := []float64{0, 1.5, -2.25, math.Inf(1), math.SmallestNonzeroFloat64}
+	if err := s.Write(vals); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exists() {
+		t.Fatal("written store does not Exist")
+	}
+	got := make([]float64, 5)
+	if err := s.Read(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] && !(math.IsInf(got[i], 1) && math.IsInf(vals[i], 1)) {
+			t.Fatalf("value %d = %v, want %v", i, got[i], vals[i])
+		}
+	}
+	if s.Bytes() != 40 || s.Len() != 5 {
+		t.Fatalf("Bytes=%d Len=%d", s.Bytes(), s.Len())
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	dev := testDevice(t)
+	s, err := New(dev, "x", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(make([]float64, 4)); err == nil {
+		t.Error("oversized write accepted")
+	}
+	if err := s.Write(make([]float64, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Read(make([]float64, 2)); err == nil {
+		t.Error("undersized read accepted")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	dev := testDevice(t)
+	s, err := New(dev, "missing", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Read(make([]float64, 2)); err == nil {
+		t.Fatal("reading unwritten store succeeded")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dev := testDevice(t)
+	s, err := New(dev, "x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(); err != nil {
+		t.Fatal("removing absent store errored")
+	}
+	if err := s.Write([]float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists() {
+		t.Fatal("store survives Remove")
+	}
+}
+
+func TestIOAccounted(t *testing.T) {
+	dev := testDevice(t)
+	s, err := New(dev, "x", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.ResetStats()
+	if err := s.Write(make([]float64, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Read(make([]float64, 100)); err != nil {
+		t.Fatal(err)
+	}
+	st := dev.Stats()
+	if st.Bytes[storage.SeqWrite] != 800 || st.Bytes[storage.SeqRead] != 800 {
+		t.Fatalf("accounting wrong: %+v", st)
+	}
+}
+
+// Property: Write then Read is the identity on bit patterns (NaN payloads
+// aside, which quick does not generate by default).
+func TestPropertyRoundTrip(t *testing.T) {
+	dev := testDevice(t)
+	f := func(vals []float64) bool {
+		s, err := New(dev, "prop", len(vals))
+		if err != nil {
+			return false
+		}
+		if err := s.Write(vals); err != nil {
+			return false
+		}
+		got := make([]float64, len(vals))
+		if err := s.Read(got); err != nil {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
