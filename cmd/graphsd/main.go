@@ -186,6 +186,8 @@ func cmdRun(args []string) error {
 	top := fs.Int("top", 10, "print the top-N vertices by output value")
 	trace := fs.Bool("trace", false, "print the per-iteration scheduler trace")
 	tracePath := fs.String("iotrace", "", "record a JSONL I/O trace to this file")
+	prefetchDepth := fs.Int("prefetch-depth", 0, "I/O pipeline read-ahead depth (0: default, negative: disable)")
+	prefetchBytes := fs.Int64("prefetch-bytes", 0, "I/O pipeline window byte budget (0: default)")
 	fs.Parse(args)
 	if *layoutDir == "" || *alg == "" {
 		return fmt.Errorf("run: -layout and -algorithm are required")
@@ -232,6 +234,8 @@ func cmdRun(args []string) error {
 		opts.BufferBytes = *bufBytes
 	}
 	opts.DisableCrossIteration = *noCross
+	opts.PrefetchDepth = *prefetchDepth
+	opts.PrefetchBytes = *prefetchBytes
 	switch *force {
 	case "":
 	case "full":
@@ -259,11 +263,17 @@ func cmdRun(args []string) error {
 
 	fmt.Println(res)
 	fmt.Printf("I/O: %s\n", res.IO)
+	if pl := res.Pipeline; pl.Blocks > 0 {
+		fmt.Printf("pipeline: %d blocks (%s) prefetched, stall=%v overlap=%v\n",
+			pl.Blocks, storage.FormatBytes(pl.Bytes),
+			pl.Stall.Round(time.Microsecond), pl.Overlap.Round(time.Microsecond))
+	}
 	if *trace {
-		tr := metrics.NewTable("per-iteration trace", "iter", "path", "active", "bytes", "io time", "compute")
+		tr := metrics.NewTable("per-iteration trace", "iter", "path", "active", "bytes", "io time", "compute", "stall", "overlap")
 		for _, st := range res.IterStats {
 			tr.AddRow(fmt.Sprint(st.Index), st.Path, fmt.Sprint(st.Active),
-				storage.FormatBytes(st.IO.TotalBytes()), metrics.Dur(st.IOTime), metrics.Dur(st.ComputeTime))
+				storage.FormatBytes(st.IO.TotalBytes()), metrics.Dur(st.IOTime), metrics.Dur(st.ComputeTime),
+				metrics.DurZ(st.Pipeline.Stall), metrics.DurZ(st.Pipeline.Overlap))
 		}
 		if err := tr.Render(os.Stdout); err != nil {
 			return err

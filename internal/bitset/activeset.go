@@ -37,6 +37,21 @@ func (s *ActiveSet) Activate(v int) bool {
 	return true
 }
 
+// ActivateNoCount marks vertex v active without maintaining the cached
+// population count, reporting whether v was newly activated. It exists for
+// the engine's destination-partitioned parallel scatter: each worker owns a
+// 64-aligned, word-disjoint vertex range, activates within it, and the
+// workers' newly-activated totals are folded back in one AddCount call
+// after the merge barrier. Callers that cannot guarantee word-disjoint
+// ranges must use Activate.
+func (s *ActiveSet) ActivateNoCount(v int) bool {
+	return !s.bits.TestAndSet(v)
+}
+
+// AddCount adjusts the cached population count by delta, the summed
+// newly-activated counts returned by ActivateNoCount across workers.
+func (s *ActiveSet) AddCount(delta int) { s.count += delta }
+
 // Deactivate clears vertex v. It reports whether v was previously active.
 func (s *ActiveSet) Deactivate(v int) bool {
 	if !s.bits.Test(v) {

@@ -1,6 +1,7 @@
 package bitset
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -170,5 +171,48 @@ func TestPropertyActiveSetIntervalCounts(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestActiveSetActivateNoCount checks the deferred-count activation used by
+// the parallel scatter: word-disjoint concurrent activation plus one
+// AddCount must be indistinguishable from serial Activate calls.
+func TestActiveSetActivateNoCount(t *testing.T) {
+	const n = 1024
+	s := NewActiveSet(n)
+	s.Activate(5)
+	s.Activate(700)
+
+	// Two workers over 64-aligned halves, with duplicates.
+	var wg sync.WaitGroup
+	newly := make([]int, 2)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := w*512, (w+1)*512
+			cnt := 0
+			for _, v := range []int{lo, lo + 5, lo + 5, lo + 188, hi - 1} {
+				if s.ActivateNoCount(v) {
+					cnt++
+				}
+			}
+			newly[w] = cnt
+		}(w)
+	}
+	wg.Wait()
+	s.AddCount(newly[0] + newly[1])
+
+	want := NewActiveSet(n)
+	for _, v := range []int{5, 700, 0, 5, 188, 511, 512, 517, 700, 1023} {
+		want.Activate(v)
+	}
+	if s.Count() != want.Count() {
+		t.Fatalf("count = %d, want %d", s.Count(), want.Count())
+	}
+	for v := 0; v < n; v++ {
+		if s.Contains(v) != want.Contains(v) {
+			t.Fatalf("vertex %d: contains = %t, want %t", v, s.Contains(v), want.Contains(v))
+		}
 	}
 }

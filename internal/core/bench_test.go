@@ -1,7 +1,9 @@
 package core_test
 
 import (
+	"strings"
 	"testing"
+	"time"
 
 	"github.com/graphsd/graphsd/internal/algorithms"
 	"github.com/graphsd/graphsd/internal/core"
@@ -85,4 +87,59 @@ func BenchmarkEngineThreads(b *testing.B) {
 
 func benchName(threads int) string {
 	return "threads-" + string(rune('0'+threads))
+}
+
+// BenchmarkEnginePrefetch measures the wall-clock effect of the I/O
+// pipeline: identical runs with prefetching off and on, with the measured
+// stall and overlap reported per run. The overlap metric is the fetch time
+// hidden behind scatter/apply work — the quantity the pipeline exists to
+// create.
+//
+// The "hot" tier reads from the page cache, so fetches are CPU-bound
+// decode work and the pipeline only wins when spare cores exist. The
+// "cold" tier emulates out-of-core read latency by sleeping in the fault
+// injector before each block read — fetches then genuinely block, and the
+// pipeline hides them behind scatter/apply even on one core.
+func BenchmarkEnginePrefetch(b *testing.B) {
+	g, err := gen.RMAT(12, 16, gen.Graph500, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tier := range []struct {
+		name    string
+		latency time.Duration
+	}{
+		{"hot", 0},
+		{"cold", 2 * time.Millisecond},
+	} {
+		for _, cfg := range []struct {
+			name string
+			opts core.Options
+		}{
+			{"sync", core.Options{PrefetchDepth: -1}},
+			{"pipelined", core.Options{}},
+		} {
+			b.Run(tier.name+"/"+cfg.name, func(b *testing.B) {
+				l := benchLayout(b, g, 6)
+				if tier.latency > 0 {
+					l.Dev.SetFaultInjector(func(op, name string) error {
+						if op == "read" && strings.HasPrefix(name, "blocks/") && strings.HasSuffix(name, ".edges") {
+							time.Sleep(tier.latency)
+						}
+						return nil
+					})
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(l, &algorithms.PageRank{Iterations: 3}, cfg.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.WallTime.Microseconds())/1000, "wall-ms")
+					b.ReportMetric(float64(res.Pipeline.Overlap.Microseconds())/1000, "overlap-ms")
+					b.ReportMetric(float64(res.Pipeline.Stall.Microseconds())/1000, "stall-ms")
+				}
+			})
+		}
+	}
 }

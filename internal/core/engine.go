@@ -10,14 +10,10 @@ import (
 	"github.com/graphsd/graphsd/internal/graph"
 	"github.com/graphsd/graphsd/internal/iosched"
 	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/pipeline"
 	"github.com/graphsd/graphsd/internal/storage"
 	"github.com/graphsd/graphsd/internal/vertexstore"
 )
-
-// accShards is the number of locks sharding the accumulator arrays during
-// parallel scatter. Destinations are mapped to shards by index, so two
-// workers merging into different shards never contend.
-const accShards = 256
 
 // serialScatterThreshold is the edge count below which scatter runs
 // single-threaded; goroutine fan-out costs more than it saves on tiny
@@ -59,14 +55,23 @@ type Engine struct {
 	// lines 15–23).
 	sciuCache map[graph.VertexID][]graph.Edge
 
-	accLocks [accShards]sync.Mutex
+	// scatterBufs is the reusable per-(worker, range) contribution scratch
+	// of the two-phase parallel scatter.
+	scatterBufs [][]contrib
+
+	// ioBufs pools the raw byte buffers the pipeline's fetch workers read
+	// sub-blocks through; decoded edge slices are freshly allocated because
+	// they may be retained (priority buffer, FCIU diagonal).
+	ioBufs sync.Pool
+
+	// plStats accumulates I/O-pipeline outcomes across all passes.
+	plStats pipeline.Stats
 
 	// valStore, when non-nil, persists the vertex value array on the
 	// device each iteration (Options.PersistValues).
 	valStore *vertexstore.Store
 
 	computeTime time.Duration
-	readBuf     []byte
 }
 
 // readValues accounts the start-of-iteration vertex value load: a real
@@ -195,6 +200,7 @@ func (e *Engine) run() (*Result, error) {
 
 		ioBefore := dev.Stats()
 		computeBefore := e.computeTime
+		plBefore := e.plStats
 		path := ""
 
 		if secondaryPending {
@@ -238,6 +244,7 @@ func (e *Engine) run() (*Result, error) {
 			IO:          ioDelta,
 			IOTime:      ioDelta.TotalTime(),
 			ComputeTime: e.computeTime - computeBefore,
+			Pipeline:    e.plStats.Sub(plBefore),
 		}
 		iterStats = append(iterStats, st)
 		if e.opts.OnIteration != nil {
@@ -274,6 +281,7 @@ func (e *Engine) run() (*Result, error) {
 		Decisions:         append([]iosched.Decision(nil), e.sched.History()...),
 		SchedulerOverhead: e.sched.TotalOverhead(),
 		Buffer:            e.buf.Stats(),
+		Pipeline:          e.plStats,
 		IterStats:         iterStats,
 	}, nil
 }
@@ -389,11 +397,26 @@ func (e *Engine) applyAll() {
 	}
 }
 
+// contrib is one gathered edge contribution staged between the two scatter
+// phases: the destination vertex and its Gather value.
+type contrib struct {
+	dst uint32
+	g   float64
+}
+
 // scatter merges the contributions of edges whose source is in filter into
-// acc/touched, reading source values from vals. It parallelises across
-// Options.Threads workers with sharded accumulator locks; Merge must be
-// commutative and associative, which makes the merge order irrelevant.
-func (e *Engine) scatter(edges []graph.Edge, vals []float64, filter *bitset.ActiveSet, acc []float64, touched *bitset.ActiveSet) {
+// acc/touched, reading source values from vals. dstLo/dstHi bound the
+// destinations of edges (the destination interval for sub-block scatters,
+// [0, n) otherwise) and size the parallel path's destination partitioning.
+//
+// The parallel path is a lock-free two-phase scheme: phase 1 workers gather
+// their edge chunks and bucket contributions by destination range; after a
+// barrier, phase 2 gives each destination range to exactly one worker,
+// which merges its buckets into acc and touched without synchronisation —
+// ranges are disjoint and 64-aligned, so accumulator slots and bitset words
+// are exclusively owned. Merge must be commutative and associative, which
+// makes the merge order irrelevant.
+func (e *Engine) scatter(edges []graph.Edge, vals []float64, filter *bitset.ActiveSet, acc []float64, touched *bitset.ActiveSet, dstLo, dstHi int) {
 	if len(edges) == 0 {
 		return
 	}
@@ -413,46 +436,74 @@ func (e *Engine) scatter(edges []graph.Edge, vals []float64, filter *bitset.Acti
 		return
 	}
 
+	// Destination ranges start at a 64-aligned base and span a multiple of
+	// 64 vertices, so every bitset word belongs to exactly one range.
+	base := dstLo &^ 63
+	span := dstHi - base
+	rangeSize := (span + workers - 1) / workers
+	rangeSize = (rangeSize + 63) &^ 63
+	ranges := (span + rangeSize - 1) / rangeSize
+
+	buckets := e.scatterScratch(workers * ranges)
 	chunk := (len(edges) + workers - 1) / workers
-	touchedLocal := make([][]graph.VertexID, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(edges) {
-			hi = len(edges)
-		}
+		lo, hi := w*chunk, min((w+1)*chunk, len(edges))
 		if lo >= hi {
 			continue
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			var local []graph.VertexID
-			shardSize := (e.n + accShards - 1) / accShards
-			if shardSize == 0 {
-				shardSize = 1
-			}
+			mine := buckets[w*ranges : (w+1)*ranges]
 			for _, ed := range edges[lo:hi] {
 				if !filter.Contains(int(ed.Src)) {
 					continue
 				}
 				g := e.prog.Gather(vals[ed.Src], ed, e.degrees[ed.Src])
-				shard := int(ed.Dst) / shardSize
-				e.accLocks[shard].Lock()
-				acc[ed.Dst] = e.prog.Merge(acc[ed.Dst], g)
-				e.accLocks[shard].Unlock()
-				local = append(local, ed.Dst)
+				r := (int(ed.Dst) - base) / rangeSize
+				mine[r] = append(mine[r], contrib{dst: uint32(ed.Dst), g: g})
 			}
-			touchedLocal[w] = local
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for _, local := range touchedLocal {
-		for _, dst := range local {
-			touched.Activate(int(dst))
-		}
+
+	newly := make([]int, ranges)
+	for r := 0; r < ranges; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cnt := 0
+			for w := 0; w < workers; w++ {
+				for _, c := range buckets[w*ranges+r] {
+					acc[c.dst] = e.prog.Merge(acc[c.dst], c.g)
+					if touched.ActivateNoCount(int(c.dst)) {
+						cnt++
+					}
+				}
+			}
+			newly[r] = cnt
+		}(r)
 	}
+	wg.Wait()
+	total := 0
+	for _, c := range newly {
+		total += c
+	}
+	touched.AddCount(total)
+}
+
+// scatterScratch returns n reusable contribution buckets, each reset to
+// length zero with capacity retained across scatter calls.
+func (e *Engine) scatterScratch(n int) [][]contrib {
+	for len(e.scatterBufs) < n {
+		e.scatterBufs = append(e.scatterBufs, nil)
+	}
+	buckets := e.scatterBufs[:n]
+	for i := range buckets {
+		buckets[i] = buckets[i][:0]
+	}
+	return buckets
 }
 
 // activeEdgeCount returns how many of edges have an active source, the
@@ -465,6 +516,67 @@ func activeEdgeCount(edges []graph.Edge, active *bitset.ActiveSet) int64 {
 		}
 	}
 	return c
+}
+
+// activeEdgeSampleCap bounds the edges examined per buffer-priority
+// computation. Sub-blocks above the cap are stride-sampled and the count
+// scaled up, so refreshing every resident's priority after an FCIU pass
+// costs O(residents × cap) instead of a full rescan of all resident edges.
+// The stride is deterministic, keeping engine runs reproducible.
+const activeEdgeSampleCap = 4096
+
+// activeEdgeEstimate returns activeEdgeCount exactly for small edge lists
+// and a deterministic sampled estimate for large ones.
+func activeEdgeEstimate(edges []graph.Edge, active *bitset.ActiveSet) int64 {
+	if len(edges) <= activeEdgeSampleCap {
+		return activeEdgeCount(edges, active)
+	}
+	stride := (len(edges) + activeEdgeSampleCap - 1) / activeEdgeSampleCap
+	var c, sampled int64
+	for k := 0; k < len(edges); k += stride {
+		if active.Contains(int(edges[k].Src)) {
+			c++
+		}
+		sampled++
+	}
+	return c * int64(len(edges)) / sampled
+}
+
+// fetchSubBlock loads and decodes one sub-block for the I/O pipeline. It
+// runs on pipeline worker goroutines: the raw read buffer is pooled, the
+// decoded slice freshly allocated because consumers may retain it.
+func (e *Engine) fetchSubBlock(r pipeline.Request) ([]graph.Edge, error) {
+	bufp, _ := e.ioBufs.Get().(*[]byte)
+	if bufp == nil {
+		bufp = new([]byte)
+	}
+	edges, buf, err := e.layout.LoadSubBlockInto(r.I, r.J, nil, *bufp)
+	*bufp = buf
+	e.ioBufs.Put(bufp)
+	return edges, err
+}
+
+// newBlockPrefetcher starts an I/O pipeline over reqs, or returns nil when
+// prefetching is disabled or the sequence is too short to overlap anything.
+func (e *Engine) newBlockPrefetcher(reqs []pipeline.Request) *pipeline.Prefetcher[[]graph.Edge] {
+	if !e.opts.prefetchEnabled() || len(reqs) < 2 {
+		return nil
+	}
+	return pipeline.New(reqs, e.fetchSubBlock, e.opts.prefetchOptions())
+}
+
+// prefetchHandle is the slice-type-independent part of a Prefetcher that
+// pass drivers hand back for stats aggregation.
+type prefetchHandle interface {
+	Close()
+	Stats() pipeline.Stats
+}
+
+// finishPrefetch shuts a pass's pipeline down and folds its outcomes into
+// the run totals. Callers must guard against nil prefetchers.
+func (e *Engine) finishPrefetch(pf prefetchHandle) {
+	pf.Close()
+	e.plStats = e.plStats.Add(pf.Stats())
 }
 
 // chargeIndexAccess charges the per-iteration modelled cost of consulting

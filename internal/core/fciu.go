@@ -3,7 +3,123 @@ package core
 import (
 	"github.com/graphsd/graphsd/internal/buffer"
 	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/pipeline"
 )
+
+// fciuMode selects which grid cells an FCIU/full pass will read from disk,
+// which is exactly the set the pass's I/O pipeline prefetches.
+type fciuMode int
+
+const (
+	// fciuFirstCells: every cell, column-major; upper-triangle cells are
+	// excluded when they will be streamed in chunks instead.
+	fciuFirstCells fciuMode = iota
+	// fciuSecondCells: secondary cells (i > j) only.
+	fciuSecondCells
+	// fullCells: every cell; all excluded when streaming is configured.
+	// The priority buffer is not consulted in this mode.
+	fullCells
+)
+
+// fciuPass drives the prefetched consumption of one FCIU or full pass. The
+// request list is built in the exact order the pass consumes sub-blocks, so
+// the consumer only has to check whether the cell it is about to process is
+// the pipeline's next delivery.
+type fciuPass struct {
+	pf   *pipeline.Prefetcher[[]graph.Edge]
+	reqs []pipeline.Request
+	next int
+}
+
+// newFCIUPass snapshots the buffer residency and builds the pass's prefetch
+// sequence: non-empty cells in consumption order, minus cells that will be
+// streamed in chunks and secondary cells expected to hit the buffer.
+// Residency is only sampled here — the pipeline's fetch workers never touch
+// the buffer, so mid-pass evictions cost a synchronous fallback load in the
+// consumer rather than a data race.
+func (e *Engine) newFCIUPass(mode fciuMode) *fciuPass {
+	resident := make(map[buffer.Key]bool)
+	if mode != fullCells {
+		for _, k := range e.buf.Keys() {
+			resident[k] = true
+		}
+	}
+	var reqs []pipeline.Request
+	for j := 0; j < e.p; j++ {
+		iLo := 0
+		if mode == fciuSecondCells {
+			iLo = j + 1
+		}
+		for i := iLo; i < e.p; i++ {
+			if e.layout.Meta.SubBlockEdges(i, j) == 0 {
+				continue
+			}
+			if e.opts.StreamChunkBytes > 0 && (mode == fullCells || (mode == fciuFirstCells && i < j)) {
+				continue
+			}
+			if mode != fullCells && i > j && resident[buffer.Key{I: i, J: j}] {
+				continue
+			}
+			reqs = append(reqs, pipeline.Request{I: i, J: j, Bytes: e.layout.Meta.SubBlockBytes(i, j)})
+		}
+	}
+	return &fciuPass{pf: e.newBlockPrefetcher(reqs), reqs: reqs}
+}
+
+// take returns the prefetched edges for sub-block (i, j) when it is the
+// pipeline's next delivery; ok is false when (i, j) was not prefetched
+// (pipelining off, cell streamed/empty, or expected buffer hit) and the
+// caller must load synchronously.
+func (p *fciuPass) take(i, j int) (edges []graph.Edge, ok bool, err error) {
+	if p.pf == nil || p.next >= len(p.reqs) || p.reqs[p.next].I != i || p.reqs[p.next].J != j {
+		return nil, false, nil
+	}
+	p.next++
+	_, edges, err = p.pf.Next()
+	return edges, true, err
+}
+
+// finish shuts the pass's pipeline down (cancelling any in-flight fetches)
+// and folds its stats into the run totals.
+func (e *Engine) finishFCIUPass(p *fciuPass) {
+	if p.pf != nil {
+		e.finishPrefetch(p.pf)
+	}
+}
+
+// nextFCIUBlock fetches sub-block (i, j) for an FCIU pass, preferring the
+// prefetch pipeline. Secondary sub-blocks (i > j) consult the priority
+// buffer first and are offered to it after a miss, with priority equal to
+// their current active-edge count — the same contract as the synchronous
+// path, so buffer hit/miss statistics are unchanged by pipelining.
+func (e *Engine) nextFCIUBlock(p *fciuPass, i, j int) ([]graph.Edge, error) {
+	if e.layout.Meta.SubBlockEdges(i, j) == 0 {
+		return nil, nil
+	}
+	if i <= j {
+		if edges, ok, err := p.take(i, j); ok {
+			return edges, err
+		}
+		return e.layout.LoadSubBlock(i, j)
+	}
+	k := buffer.Key{I: i, J: j}
+	if edges, ok := e.buf.Get(k); ok {
+		return edges, nil
+	}
+	edges, ok, err := p.take(i, j)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		// Expected resident at pass start but evicted since (or pipelining
+		// is off): fall back to a synchronous load.
+		if edges, err = e.layout.LoadSubBlock(i, j); err != nil {
+			return nil, err
+		}
+	}
+	e.buf.Put(k, edges, e.layout.Meta.SubBlockBytes(i, j), activeEdgeCount(edges, e.active))
+	return edges, nil
+}
 
 // runFCIUFirst executes the first half of a full cross-iteration update
 // pass (paper Algorithm 3, lines 1–17): stream every sub-block in
@@ -19,13 +135,17 @@ import (
 //   - sub-blocks with i > j ("secondary") cannot propagate in this pass
 //     and are offered to the priority buffer for the second half.
 //
+// Sub-block reads run ahead of the scatter/apply work on the I/O pipeline.
 // The driver then runs runFCIUSecond as the next iteration.
 func (e *Engine) runFCIUFirst() error {
 	if err := e.readValues(); err != nil {
 		return err
 	}
+	pass := e.newFCIUPass(fciuFirstCells)
+	defer e.finishFCIUPass(pass)
 
 	for j := 0; j < e.p; j++ {
+		lo, hi := e.layout.Meta.Interval(j)
 		var diag []graph.Edge
 		for i := 0; i < e.p; i++ {
 			if i < j && e.opts.StreamChunkBytes > 0 {
@@ -33,8 +153,8 @@ func (e *Engine) runFCIUFirst() error {
 				// applying both the current-iteration update and the
 				// cross-iteration propagation per chunk.
 				err := e.layout.StreamSubBlock(i, j, e.opts.StreamChunkBytes, func(edges []graph.Edge) error {
-					e.scatter(edges, e.valPrev, e.active, e.acc, e.touched)
-					e.scatter(edges, e.valCur, e.newActive, e.accNext, e.touchedNext)
+					e.scatter(edges, e.valPrev, e.active, e.acc, e.touched, lo, hi)
+					e.scatter(edges, e.valCur, e.newActive, e.accNext, e.touchedNext, lo, hi)
 					return nil
 				})
 				if err != nil {
@@ -42,7 +162,7 @@ func (e *Engine) runFCIUFirst() error {
 				}
 				continue
 			}
-			edges, err := e.loadFCIUBlock(i, j)
+			edges, err := e.nextFCIUBlock(pass, i, j)
 			if err != nil {
 				return err
 			}
@@ -51,12 +171,12 @@ func (e *Engine) runFCIUFirst() error {
 			}
 			// Current-iteration update (UserFunction over all edges whose
 			// source is active).
-			e.scatter(edges, e.valPrev, e.active, e.acc, e.touched)
+			e.scatter(edges, e.valPrev, e.active, e.acc, e.touched, lo, hi)
 			switch {
 			case i < j:
 				// CrossIterUpdate: sources already updated in this
 				// iteration propagate their new value to iteration t+1.
-				e.scatter(edges, e.valCur, e.newActive, e.accNext, e.touchedNext)
+				e.scatter(edges, e.valCur, e.newActive, e.accNext, e.touchedNext, lo, hi)
 			case i == j:
 				diag = edges
 			}
@@ -65,16 +185,17 @@ func (e *Engine) runFCIUFirst() error {
 		if diag != nil {
 			// Diagonal cross-iteration after interval j's own apply
 			// (Alg 3 lines 13–16).
-			e.scatter(diag, e.valCur, e.newActive, e.accNext, e.touchedNext)
+			e.scatter(diag, e.valCur, e.newActive, e.accNext, e.touchedNext, lo, hi)
 		}
 	}
 
 	// The paper updates each buffered secondary sub-block's priority after
 	// the first iteration processes it; now that the full activation set
-	// for t+1 is known, refresh every resident's priority.
+	// for t+1 is known, refresh every resident's priority. Large residents
+	// are sampled rather than rescanned.
 	for _, k := range e.buf.Keys() {
 		if edges, ok := e.buf.Peek(k); ok {
-			e.buf.UpdatePriority(k, activeEdgeCount(edges, e.newActive))
+			e.buf.UpdatePriority(k, activeEdgeEstimate(edges, e.newActive))
 		}
 	}
 	return e.writeValues()
@@ -89,14 +210,17 @@ func (e *Engine) runFCIUSecond() error {
 	if err := e.readValues(); err != nil {
 		return err
 	}
+	pass := e.newFCIUPass(fciuSecondCells)
+	defer e.finishFCIUPass(pass)
 
 	for j := 0; j < e.p; j++ {
+		lo, hi := e.layout.Meta.Interval(j)
 		for i := j + 1; i < e.p; i++ {
-			edges, err := e.loadFCIUBlock(i, j)
+			edges, err := e.nextFCIUBlock(pass, i, j)
 			if err != nil {
 				return err
 			}
-			e.scatter(edges, e.valPrev, e.active, e.acc, e.touched)
+			e.scatter(edges, e.valPrev, e.active, e.acc, e.touched, lo, hi)
 		}
 		e.applyInterval(j)
 	}
@@ -106,17 +230,21 @@ func (e *Engine) runFCIUSecond() error {
 // runFullSingle executes one plain full-I/O iteration with no
 // cross-iteration computation: stream every sub-block, scatter, apply per
 // interval. Used when cross-iteration is disabled (ablation b1) and when a
-// single iteration remains in the budget.
+// single iteration remains in the budget. Reads run ahead on the I/O
+// pipeline; the priority buffer is not involved.
 func (e *Engine) runFullSingle() error {
 	if err := e.readValues(); err != nil {
 		return err
 	}
+	pass := e.newFCIUPass(fullCells)
+	defer e.finishFCIUPass(pass)
 
 	for j := 0; j < e.p; j++ {
+		lo, hi := e.layout.Meta.Interval(j)
 		for i := 0; i < e.p; i++ {
 			if e.opts.StreamChunkBytes > 0 {
 				err := e.layout.StreamSubBlock(i, j, e.opts.StreamChunkBytes, func(edges []graph.Edge) error {
-					e.scatter(edges, e.valPrev, e.active, e.acc, e.touched)
+					e.scatter(edges, e.valPrev, e.active, e.acc, e.touched, lo, hi)
 					return nil
 				})
 				if err != nil {
@@ -124,35 +252,18 @@ func (e *Engine) runFullSingle() error {
 				}
 				continue
 			}
-			edges, err := e.layout.LoadSubBlock(i, j)
+			edges, ok, err := pass.take(i, j)
 			if err != nil {
 				return err
 			}
-			e.scatter(edges, e.valPrev, e.active, e.acc, e.touched)
+			if !ok {
+				if edges, err = e.layout.LoadSubBlock(i, j); err != nil {
+					return err
+				}
+			}
+			e.scatter(edges, e.valPrev, e.active, e.acc, e.touched, lo, hi)
 		}
 		e.applyInterval(j)
 	}
 	return e.writeValues()
-}
-
-// loadFCIUBlock fetches sub-block (i, j) for an FCIU pass. Secondary
-// sub-blocks (i > j) consult the priority buffer first and are offered to
-// it after a miss, with priority equal to their current active-edge count.
-func (e *Engine) loadFCIUBlock(i, j int) ([]graph.Edge, error) {
-	if e.layout.Meta.SubBlockEdges(i, j) == 0 {
-		return nil, nil
-	}
-	if i <= j {
-		return e.layout.LoadSubBlock(i, j)
-	}
-	k := buffer.Key{I: i, J: j}
-	if edges, ok := e.buf.Get(k); ok {
-		return edges, nil
-	}
-	edges, err := e.layout.LoadSubBlock(i, j)
-	if err != nil {
-		return nil, err
-	}
-	e.buf.Put(k, edges, e.layout.Meta.SubBlockBytes(i, j), activeEdgeCount(edges, e.active))
-	return edges, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"github.com/graphsd/graphsd/internal/buffer"
 	"github.com/graphsd/graphsd/internal/iosched"
+	"github.com/graphsd/graphsd/internal/pipeline"
 	"github.com/graphsd/graphsd/internal/storage"
 )
 
@@ -57,6 +58,18 @@ type Options struct {
 	PersistValues bool
 	// Threads is the scatter/apply parallelism; 0 means GOMAXPROCS.
 	Threads int
+	// PrefetchDepth is the number of sub-blocks the I/O pipeline may hold
+	// in flight ahead of the consumer (also its fetch concurrency). Zero
+	// selects the default of 4; a negative value disables pipelining and
+	// restores fully synchronous loads. Streamed cells (StreamChunkBytes)
+	// and buffer-resident sub-blocks are never prefetched.
+	PrefetchDepth int
+	// PrefetchBytes bounds the decoded bytes held by in-flight and
+	// ready-but-unconsumed prefetches. Zero selects the default of 16 MiB.
+	// A single sub-block larger than the budget is admitted alone, so an
+	// oversized cell degrades to synchronous loading rather than stalling
+	// the pipeline forever.
+	PrefetchBytes int64
 	// OnIteration, when non-nil, is invoked after every logical iteration
 	// with that iteration's statistics — progress reporting for long runs.
 	OnIteration func(IterStat)
@@ -67,6 +80,27 @@ func (o Options) threads() int {
 		return o.Threads
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// defaultPrefetchDepth and defaultPrefetchBytes size the I/O pipeline's
+// read-ahead window when the options leave it unset.
+const (
+	defaultPrefetchDepth = 4
+	defaultPrefetchBytes = 16 << 20
+)
+
+func (o Options) prefetchEnabled() bool { return o.PrefetchDepth >= 0 }
+
+func (o Options) prefetchOptions() pipeline.Options {
+	depth := o.PrefetchDepth
+	if depth == 0 {
+		depth = defaultPrefetchDepth
+	}
+	bytes := o.PrefetchBytes
+	if bytes == 0 {
+		bytes = defaultPrefetchBytes
+	}
+	return pipeline.Options{Depth: depth, Bytes: bytes}
 }
 
 // ForceFull and ForceOnDemand are convenience values for Options.ForceModel.
@@ -102,6 +136,12 @@ type Result struct {
 	// Buffer reports the secondary sub-block buffer outcomes (Figure 12).
 	Buffer buffer.Stats
 
+	// Pipeline aggregates the I/O–compute pipeline outcomes across all
+	// iterations: blocks and bytes prefetched, the wall-clock the consumer
+	// stalled waiting on fetches, and the fetch work hidden behind
+	// computation (overlap).
+	Pipeline pipeline.Stats
+
 	// IterStats traces each logical iteration: which path executed, the
 	// active-vertex count entering it, and its I/O and compute shares.
 	// This is the data series of the Figure 10 experiment.
@@ -121,6 +161,9 @@ type IterStat struct {
 	IO          storage.Snapshot
 	IOTime      time.Duration
 	ComputeTime time.Duration
+	// Pipeline is the iteration's share of the I/O–compute pipeline
+	// activity (stall and overlap wall-clock, blocks prefetched).
+	Pipeline pipeline.Stats
 }
 
 // Time returns the iteration's total execution time under the simulated

@@ -3,8 +3,66 @@ package core
 import (
 	"fmt"
 
+	"github.com/graphsd/graphsd/internal/buffer"
 	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/pipeline"
 )
+
+// sciuRun records that edges[prev.end:end] of a sciuBlock belong to vertex
+// v, where prev is the preceding run (or 0 for the first).
+type sciuRun struct {
+	v   graph.VertexID
+	end int
+}
+
+// sciuBlock is the selectively-loaded content of one sub-block under the
+// on-demand model: the active vertices' edge runs concatenated in vertex
+// order, with per-vertex boundaries for the cross-iteration cache.
+type sciuBlock struct {
+	edges []graph.Edge
+	runs  []sciuRun
+}
+
+// fetchSCIUBlock selectively loads the active vertices' edges of sub-block
+// (req.I, req.J). It is safe on pipeline worker goroutines: the vertex
+// index was preloaded by the consumer (indexCache is read-only here), the
+// active set is not mutated until the apply phase, and each call owns its
+// reader — so the sequential/random access classification of AutoReadAt
+// stays per-sub-block, exactly as in the synchronous path.
+func (e *Engine) fetchSCIUBlock(req pipeline.Request) (sciuBlock, error) {
+	i, j := req.I, req.J
+	var blk sciuBlock
+	idx := e.indexCache[buffer.Key{I: i, J: j}]
+	r, err := e.layout.OpenSubBlock(i, j)
+	if err != nil {
+		return blk, err
+	}
+	bufp, _ := e.ioBufs.Get().(*[]byte)
+	if bufp == nil {
+		bufp = new([]byte)
+	}
+	lo, hi := e.layout.Meta.Interval(i)
+	var loopErr error
+	e.active.ForEachRange(lo, hi, func(v int) bool {
+		var edges []graph.Edge
+		edges, *bufp, loopErr = e.layout.ReadVertexEdges(r, idx, i, graph.VertexID(v), *bufp)
+		if loopErr != nil {
+			return false
+		}
+		if len(edges) == 0 {
+			return true
+		}
+		blk.edges = append(blk.edges, edges...)
+		blk.runs = append(blk.runs, sciuRun{v: graph.VertexID(v), end: len(blk.edges)})
+		return true
+	})
+	e.ioBufs.Put(bufp)
+	closeErr := r.Close()
+	if loopErr != nil {
+		return blk, fmt.Errorf("core: sciu interval %d sub-block %d: %w", i, j, loopErr)
+	}
+	return blk, closeErr
+}
 
 // runSCIU executes one iteration under the selective cross-iteration
 // update model (paper Algorithm 2). Under the on-demand I/O model it loads
@@ -15,6 +73,10 @@ import (
 // and (b) already had its edges loaded scatters its next-iteration
 // contribution immediately into the staged accumulator, and is removed
 // from the next frontier so its edges are not read again.
+//
+// Selective loads run ahead of the scatter work on the I/O pipeline; each
+// request's byte size is the sub-block's active-run total, so the window
+// budget meters what is actually read.
 func (e *Engine) runSCIU() error {
 	// Modelled per-iteration I/O: the index consultation and the vertex
 	// value array read/write-back (the 2|V|·N/B_sr + |V|·N/B_sw terms of
@@ -40,8 +102,9 @@ func (e *Engine) runSCIU() error {
 		dropped = make(map[graph.VertexID]bool)
 	}
 
-	// Scatter: interval by interval, sub-block by sub-block, selectively
-	// loading each active vertex's edge run.
+	// Build the selective-load sequence, preloading every touched vertex
+	// index so the pipeline's fetch workers see a read-only cache.
+	var reqs []pipeline.Request
 	for i := 0; i < e.p; i++ {
 		lo, hi := e.layout.Meta.Interval(i)
 		if e.active.CountRange(lo, hi) == 0 {
@@ -55,49 +118,56 @@ func (e *Engine) runSCIU() error {
 			if err != nil {
 				return err
 			}
-			r, err := e.layout.OpenSubBlock(i, j)
-			if err != nil {
-				return err
-			}
-			var batch []graph.Edge
-			var loopErr error
+			var n int64
 			e.active.ForEachRange(lo, hi, func(v int) bool {
-				var edges []graph.Edge
-				edges, e.readBuf, loopErr = e.layout.ReadVertexEdges(r, idx, i, graph.VertexID(v), e.readBuf)
-				if loopErr != nil {
-					return false
-				}
-				if len(edges) == 0 {
-					return true
-				}
-				batch = append(batch, edges...)
-				if cross {
-					vid := graph.VertexID(v)
-					switch {
-					case dropped != nil && dropped[vid]:
-						// Already over budget for this vertex.
-					case budget > 0 && cachedBytes+int64(len(edges))*recBytes > budget:
-						dropped[vid] = true
-						if prev, ok := e.sciuCache[vid]; ok {
-							cachedBytes -= int64(len(prev)) * recBytes
-							delete(e.sciuCache, vid)
-						}
-					default:
-						e.sciuCache[vid] = append(e.sciuCache[vid], edges...)
-						cachedBytes += int64(len(edges)) * recBytes
-					}
-				}
+				n += idx[v-lo+1] - idx[v-lo]
 				return true
 			})
-			closeErr := r.Close()
-			if loopErr != nil {
-				return fmt.Errorf("core: sciu interval %d sub-block %d: %w", i, j, loopErr)
-			}
-			if closeErr != nil {
-				return closeErr
-			}
-			e.scatter(batch, e.valPrev, e.active, e.acc, e.touched)
+			reqs = append(reqs, pipeline.Request{I: i, J: j, Bytes: n * recBytes})
 		}
+	}
+	var pf *pipeline.Prefetcher[sciuBlock]
+	if e.opts.prefetchEnabled() && len(reqs) >= 2 {
+		pf = pipeline.New(reqs, e.fetchSCIUBlock, e.opts.prefetchOptions())
+		defer e.finishPrefetch(pf)
+	}
+
+	// Scatter: sub-block by sub-block in request order, consuming from the
+	// pipeline when enabled. Cache bookkeeping stays on the consumer.
+	for _, req := range reqs {
+		var blk sciuBlock
+		var err error
+		if pf != nil {
+			_, blk, err = pf.Next()
+		} else {
+			blk, err = e.fetchSCIUBlock(req)
+		}
+		if err != nil {
+			return err
+		}
+		if cross {
+			start := 0
+			for _, run := range blk.runs {
+				edges := blk.edges[start:run.end]
+				start = run.end
+				vid := run.v
+				switch {
+				case dropped != nil && dropped[vid]:
+					// Already over budget for this vertex.
+				case budget > 0 && cachedBytes+int64(len(edges))*recBytes > budget:
+					dropped[vid] = true
+					if prev, ok := e.sciuCache[vid]; ok {
+						cachedBytes -= int64(len(prev)) * recBytes
+						delete(e.sciuCache, vid)
+					}
+				default:
+					e.sciuCache[vid] = append(e.sciuCache[vid], edges...)
+					cachedBytes += int64(len(edges)) * recBytes
+				}
+			}
+		}
+		jLo, jHi := e.layout.Meta.Interval(req.J)
+		e.scatter(blk.edges, e.valPrev, e.active, e.acc, e.touched, jLo, jHi)
 	}
 
 	e.applyAll()
@@ -118,7 +188,7 @@ func (e *Engine) runSCIU() error {
 			if len(edges) == 0 {
 				continue
 			}
-			e.scatter(edges, e.valCur, e.newActive, e.accNext, e.touchedNext)
+			e.scatter(edges, e.valCur, e.newActive, e.accNext, e.touchedNext, 0, e.n)
 			e.prescattered.Activate(v)
 		}
 		e.sciuCache = nil

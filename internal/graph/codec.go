@@ -23,6 +23,11 @@ import (
 //	[4:8]  dst uint32
 //	[8:12] weight float32
 
+// streamBlockBytes is the block size used by the bulk binary readers
+// (ReadBinary, BinaryStream): records are read and decoded a block at a
+// time instead of one ReadFull call per 8/12-byte record.
+const streamBlockBytes = 1 << 20
+
 // EncodeEdge appends the binary encoding of e to buf and returns the
 // extended slice. If weighted is false the weight column is omitted.
 func EncodeEdge(buf []byte, e Edge, weighted bool) []byte {
@@ -57,11 +62,24 @@ func DecodeEdges(buf []byte, weighted bool) ([]Edge, error) {
 	if len(buf)%rec != 0 {
 		return nil, fmt.Errorf("graph: %d bytes is not a multiple of record size %d", len(buf), rec)
 	}
-	edges := make([]Edge, len(buf)/rec)
-	for i := range edges {
-		edges[i] = DecodeEdge(buf[i*rec:], weighted)
+	return AppendEdges(make([]Edge, 0, len(buf)/rec), buf, weighted)
+}
+
+// AppendEdges decodes all edge records in buf, appending them to dst and
+// returning the extended slice. Callers that hold a sized dst (block
+// readers, the I/O pipeline's fetch workers) decode without allocating.
+func AppendEdges(dst []Edge, buf []byte, weighted bool) ([]Edge, error) {
+	rec := EdgeBytes
+	if weighted {
+		rec += WeightBytes
 	}
-	return edges, nil
+	if len(buf)%rec != 0 {
+		return dst, fmt.Errorf("graph: %d bytes is not a multiple of record size %d", len(buf), rec)
+	}
+	for off := 0; off < len(buf); off += rec {
+		dst = append(dst, DecodeEdge(buf[off:], weighted))
+	}
+	return dst, nil
 }
 
 // WriteBinary writes the graph in the binary interchange format:
@@ -112,17 +130,29 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if numV > maxReasonable || numE > maxReasonable {
 		return nil, fmt.Errorf("graph: implausible header counts v=%d e=%d", numV, numE)
 	}
-	g := &Graph{NumVertices: int(numV), Weighted: weighted, Edges: make([]Edge, numE)}
+	g := &Graph{NumVertices: int(numV), Weighted: weighted, Edges: make([]Edge, 0, numE)}
 	rec := EdgeBytes
 	if weighted {
 		rec += WeightBytes
 	}
-	buf := make([]byte, rec)
-	for i := range g.Edges {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("graph: reading edge %d: %w", i, err)
+	// Read and decode in large blocks rather than one ReadFull per record;
+	// the per-call overhead dominates on multi-million-edge graphs.
+	perBlock := streamBlockBytes / rec
+	buf := make([]byte, perBlock*rec)
+	for remaining := int64(numE); remaining > 0; {
+		n := int64(perBlock)
+		if n > remaining {
+			n = remaining
 		}
-		g.Edges[i] = DecodeEdge(buf, weighted)
+		chunk := buf[:n*int64(rec)]
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return nil, fmt.Errorf("graph: reading edges at %d: %w", int64(numE)-remaining, err)
+		}
+		var err error
+		if g.Edges, err = AppendEdges(g.Edges, chunk, weighted); err != nil {
+			return nil, err
+		}
+		remaining -= n
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err

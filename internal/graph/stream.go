@@ -38,12 +38,15 @@ func (s *SliceStream) Next() (Edge, bool, error) {
 func (s *SliceStream) Reset() { s.pos = 0 }
 
 // BinaryStream reads the GSDG binary interchange format incrementally,
-// never holding more than one buffered block in memory.
+// never holding more than one buffered block in memory. Records are pulled
+// from the reader a block at a time and decoded from the block buffer, so
+// the per-record cost is a slice index, not an io.ReadFull call.
 type BinaryStream struct {
 	br        *bufio.Reader
 	remaining uint64
 	rec       int
-	buf       []byte
+	buf       []byte // current block, whole records
+	pos       int    // next undecoded record offset in buf
 
 	// NumVertices and Weighted are read from the header.
 	NumVertices int
@@ -71,7 +74,6 @@ func NewBinaryStream(r io.Reader) (*BinaryStream, error) {
 		br:          br,
 		remaining:   binary.LittleEndian.Uint64(hdr[16:24]),
 		rec:         rec,
-		buf:         make([]byte, rec),
 		NumVertices: int(binary.LittleEndian.Uint64(hdr[8:16])),
 		Weighted:    weighted,
 		NumEdges:    binary.LittleEndian.Uint64(hdr[16:24]),
@@ -80,12 +82,34 @@ func NewBinaryStream(r io.Reader) (*BinaryStream, error) {
 
 // Next implements EdgeStream.
 func (s *BinaryStream) Next() (Edge, bool, error) {
-	if s.remaining == 0 {
-		return Edge{}, false, nil
+	if s.pos >= len(s.buf) {
+		if s.remaining == 0 {
+			return Edge{}, false, nil
+		}
+		if err := s.fill(); err != nil {
+			return Edge{}, false, err
+		}
 	}
+	e := DecodeEdge(s.buf[s.pos:], s.Weighted)
+	s.pos += s.rec
+	return e, true, nil
+}
+
+// fill reads the next block of whole records into the internal buffer.
+func (s *BinaryStream) fill() error {
+	n := uint64(streamBlockBytes / s.rec)
+	if n > s.remaining {
+		n = s.remaining
+	}
+	want := int(n) * s.rec
+	if cap(s.buf) < want {
+		s.buf = make([]byte, want)
+	}
+	s.buf = s.buf[:want]
 	if _, err := io.ReadFull(s.br, s.buf); err != nil {
-		return Edge{}, false, fmt.Errorf("graph: reading edge record: %w", err)
+		return fmt.Errorf("graph: reading edge block: %w", err)
 	}
-	s.remaining--
-	return DecodeEdge(s.buf, s.Weighted), true, nil
+	s.remaining -= n
+	s.pos = 0
+	return nil
 }

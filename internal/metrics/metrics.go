@@ -95,6 +95,15 @@ func Dur(d time.Duration) string {
 	}
 }
 
+// DurZ renders a duration like Dur, but as "—" when zero — for sparse
+// table columns such as per-iteration pipeline stall/overlap.
+func DurZ(d time.Duration) string {
+	if d == 0 {
+		return "—"
+	}
+	return Dur(d)
+}
+
 // Ratio renders a/b as "N.NNx"; "—" when b is zero.
 func Ratio(a, b time.Duration) string {
 	if b == 0 {

@@ -25,6 +25,28 @@ func (l *Layout) LoadSubBlock(i, j int) ([]graph.Edge, error) {
 	return edges, nil
 }
 
+// LoadSubBlockInto reads sub-block (i, j) like LoadSubBlock, but decodes
+// into dst (reset to length zero) and reads the raw bytes through buf,
+// growing either only when too small. The possibly-grown slices are
+// returned; the I/O charge and fault semantics are identical to
+// LoadSubBlock. This is the async-friendly variant the prefetch pipeline
+// uses: each fetch worker owns a dst/buf pair and reuses it across blocks.
+func (l *Layout) LoadSubBlockInto(i, j int, dst []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
+	dst = dst[:0]
+	if l.Meta.SubBlockEdges(i, j) == 0 {
+		return dst, buf, nil
+	}
+	buf, err := l.Dev.ReadFileInto(SubBlockName(i, j), buf)
+	if err != nil {
+		return dst, buf, fmt.Errorf("partition: loading sub-block (%d,%d): %w", i, j, err)
+	}
+	dst, err = graph.AppendEdges(dst, buf, l.Meta.Weighted)
+	if err != nil {
+		return dst, buf, fmt.Errorf("partition: decoding sub-block (%d,%d): %w", i, j, err)
+	}
+	return dst, buf, nil
+}
+
 // StreamSubBlock reads sub-block (i, j) in chunks of at most chunkBytes
 // (rounded down to whole records, minimum one record) and invokes fn for
 // each decoded chunk. Peak memory is one chunk instead of the whole cell,

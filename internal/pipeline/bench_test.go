@@ -1,0 +1,44 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkOverlap measures the wall-clock win of prefetching when fetch
+// and consume cost the same: a synchronous loop pays fetch+consume per
+// block, the pipeline pays ~max(fetch, consume).
+func BenchmarkOverlap(b *testing.B) {
+	const blocks = 64
+	const work = 50 * time.Microsecond
+	fetch := func(r Request) (int, error) {
+		time.Sleep(work)
+		return r.I, nil
+	}
+	consume := func() { time.Sleep(work) }
+
+	b.Run("synchronous", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < blocks; k++ {
+				if _, err := fetch(Request{I: k}); err != nil {
+					b.Fatal(err)
+				}
+				consume()
+			}
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := New(seqRequests(blocks, 1), fetch, Options{Depth: 2})
+			for k := 0; k < blocks; k++ {
+				if _, _, err := p.Next(); err != nil {
+					b.Fatal(err)
+				}
+				consume()
+			}
+			st := p.Stats()
+			p.Close()
+			b.ReportMetric(float64(st.Overlap.Microseconds())/float64(blocks), "overlap-µs/block")
+		}
+	})
+}

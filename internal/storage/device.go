@@ -129,6 +129,14 @@ func (d *Device) WriteFile(name string, data []byte) error {
 // ReadFile reads the whole of name as one sequential stream and charges a
 // sequential read plus one positioning seek.
 func (d *Device) ReadFile(name string) ([]byte, error) {
+	return d.ReadFileInto(name, nil)
+}
+
+// ReadFileInto is ReadFile reading into buf, growing it only when its
+// capacity is insufficient. Accounting and fault semantics are identical;
+// the buffer reuse is what lets the I/O pipeline's fetch workers load block
+// after block without allocating.
+func (d *Device) ReadFileInto(name string, buf []byte) ([]byte, error) {
 	if err := d.checkFault("read", name); err != nil {
 		return nil, err
 	}
@@ -136,14 +144,29 @@ func (d *Device) ReadFile(name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(p)
+	f, err := os.Open(p)
 	if err != nil {
 		return nil, fmt.Errorf("storage: reading %s: %w", name, err)
 	}
-	cost := d.prof.SeqCost(SeqRead, int64(len(data))) + d.prof.SeekLatency
-	d.stats.add(SeqRead, int64(len(data)), cost)
-	d.emit("read", SeqRead, name, -1, int64(len(data)), cost)
-	return data, nil
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading %s: %w", name, err)
+	}
+	size := fi.Size()
+	if int64(cap(buf)) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if size > 0 {
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return nil, fmt.Errorf("storage: reading %s: %w", name, err)
+		}
+	}
+	cost := d.prof.SeqCost(SeqRead, size) + d.prof.SeekLatency
+	d.stats.add(SeqRead, size, cost)
+	d.emit("read", SeqRead, name, -1, size, cost)
+	return buf, nil
 }
 
 // Remove deletes name. Removing a missing file is an error.
@@ -346,7 +369,19 @@ func (r *Reader) AutoReadAt(p []byte, off int64) (int, error) {
 
 // ReadAll reads the remaining whole file sequentially (one seek + stream).
 func (r *Reader) ReadAll() ([]byte, error) {
-	buf := make([]byte, r.size)
+	return r.ReadAllInto(nil)
+}
+
+// ReadAllInto reads the whole file sequentially into buf, growing it only
+// when its capacity is insufficient, and returns the filled slice. The
+// accounting is identical to ReadAll (one seek + sequential stream); the
+// buffer reuse is what lets the I/O pipeline's fetch workers read block
+// after block without allocating.
+func (r *Reader) ReadAllInto(buf []byte) ([]byte, error) {
+	if int64(cap(buf)) < r.size {
+		buf = make([]byte, r.size)
+	}
+	buf = buf[:r.size]
 	if r.size == 0 {
 		return buf, nil
 	}
