@@ -47,7 +47,7 @@ func benchLayout(b *testing.B, g *graph.Graph, sys string) *partition.Layout {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var build func(*storage.Device, *graph.Graph, int) (*partition.Layout, error)
+	var build func(*storage.Device, *graph.Graph, int, ...partition.BuildOption) (*partition.Layout, error)
 	switch sys {
 	case "graphsd":
 		build = partition.Build

@@ -70,3 +70,32 @@ func TestGenerateErrors(t *testing.T) {
 		t.Fatalf("unknown preset succeeded:\n%s", out)
 	}
 }
+
+func TestGenerateDeltaCodec(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "raw.bin")
+	delta := filepath.Join(dir, "delta.bin")
+	for path, codec := range map[string]string{raw: "raw", delta: "delta"} {
+		msg, err := exec.Command(genBin, "-kind", "rmat", "-scale", "9", "-edgefactor", "8",
+			"-codec", codec, "-o", path).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", codec, err, msg)
+		}
+	}
+	fr, err := os.Stat(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := os.Stat(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Size()*2 > fr.Size() {
+		t.Fatalf("delta file %d bytes not at least 2x below raw %d", fd.Size(), fr.Size())
+	}
+	// Text format rejects the codec.
+	if out, err := exec.Command(genBin, "-kind", "chain", "-n", "10", "-format", "text",
+		"-codec", "delta", "-o", filepath.Join(dir, "t.txt")).CombinedOutput(); err == nil {
+		t.Fatalf("text+delta succeeded:\n%s", out)
+	}
+}

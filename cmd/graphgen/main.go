@@ -31,6 +31,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "generator seed")
 		weighted   = flag.Bool("weighted", false, "assign pseudo-random edge weights in (1,16]")
 		format     = flag.String("format", "binary", "output format: binary or text")
+		codecName  = flag.String("codec", "raw", "binary edge stream encoding: raw or delta")
 		out        = flag.String("o", "", "output file (required)")
 	)
 	flag.Parse()
@@ -82,6 +83,10 @@ func main() {
 		gen.Weighted(g, 16, *seed+1)
 	}
 
+	codec, err := graph.ParseCodec(*codecName)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		fatalf("creating %s: %v", *out, err)
@@ -89,8 +94,11 @@ func main() {
 	defer f.Close()
 	switch *format {
 	case "binary":
-		err = graph.WriteBinary(f, g)
+		err = graph.WriteBinaryCodec(f, g, codec)
 	case "text":
+		if codec != graph.CodecRaw {
+			fatalf("-codec %s only applies to the binary format", codec)
+		}
 		err = graph.WriteEdgeList(f, g)
 	default:
 		fatalf("unknown format %q", *format)

@@ -157,3 +157,56 @@ func TestCLIErrors(t *testing.T) {
 		t.Fatalf("error output: %s", out)
 	}
 }
+
+// TestEndToEndDeltaCodec: the delta-compressed workflow — generate a delta
+// binary, preprocess with -codec delta, run, verify against the oracle, and
+// confirm stats reports the compression.
+func TestEndToEndDeltaCodec(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	out := run(t, graphgenBin, "-kind", "rmat", "-scale", "10", "-edgefactor", "8",
+		"-codec", "delta", "-o", graphPath)
+	if !strings.Contains(out, "1024 vertices") {
+		t.Fatalf("graphgen output: %s", out)
+	}
+
+	layoutDir := filepath.Join(dir, "layout")
+	out = run(t, graphsdBin, "preprocess", "-graph", graphPath, "-layout", layoutDir,
+		"-p", "4", "-codec", "delta")
+	if !strings.Contains(out, "codec=delta") || !strings.Contains(out, "compression:") {
+		t.Fatalf("preprocess output: %s", out)
+	}
+
+	out = run(t, graphsdBin, "run", "-layout", layoutDir, "-algorithm", "cc", "-trace", "-top", "3")
+	if !strings.Contains(out, "converged=true") || !strings.Contains(out, "codec: delta") {
+		t.Fatalf("run output: %s", out)
+	}
+	if !strings.Contains(out, "decode") {
+		t.Fatalf("trace missing decode column: %s", out)
+	}
+
+	out = run(t, graphsdBin, "verify", "-graph", graphPath, "-layout", layoutDir, "-algorithm", "cc")
+	if !strings.Contains(out, "OK:") {
+		t.Fatalf("verify output: %s", out)
+	}
+
+	out = run(t, graphsdBin, "stats", "-layout", layoutDir)
+	if !strings.Contains(out, "codec:     delta") || !strings.Contains(out, "on disk:") {
+		t.Fatalf("stats output: %s", out)
+	}
+
+	// External preprocessing accepts the codec too.
+	extDir := filepath.Join(dir, "ext")
+	out = run(t, graphsdBin, "preprocess", "-graph", graphPath, "-layout", extDir,
+		"-p", "4", "-codec", "delta", "-external")
+	if !strings.Contains(out, "codec=delta") {
+		t.Fatalf("external preprocess output: %s", out)
+	}
+
+	// Non-grid layouts reject the codec.
+	out = runExpectFail(t, graphsdBin, "preprocess", "-graph", graphPath,
+		"-layout", filepath.Join(dir, "hus"), "-p", "4", "-system", "husgraph", "-codec", "delta")
+	if !strings.Contains(out, "codec") {
+		t.Fatalf("husgraph delta error output: %s", out)
+	}
+}

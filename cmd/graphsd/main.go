@@ -118,6 +118,7 @@ func cmdPreprocess(args []string) error {
 	system := fs.String("system", "graphsd", "layout format: graphsd, husgraph, lumos")
 	profile := fs.String("profile", "scaled-hdd", "disk model: hdd, scaled-hdd, ssd, pmem")
 	external := fs.Bool("external", false, "use the bounded-memory external preprocessor (graphsd layouts only)")
+	codecName := fs.String("codec", "raw", "sub-block payload encoding: raw or delta (graphsd layouts only)")
 	fs.Parse(args)
 	if *graphPath == "" || *layoutDir == "" {
 		return fmt.Errorf("preprocess: -graph and -layout are required")
@@ -142,11 +143,15 @@ func cmdPreprocess(args []string) error {
 		}
 		intervals = partition.ChooseP(g.Bytes(), budget, 64)
 	}
-	var build func(*storage.Device, *graph.Graph, int) (*partition.Layout, error)
+	codec, err := graph.ParseCodec(*codecName)
+	if err != nil {
+		return err
+	}
+	var build func(*storage.Device, *graph.Graph, int, ...partition.BuildOption) (*partition.Layout, error)
 	switch {
 	case *external && *system == "graphsd":
-		build = func(dev *storage.Device, g *graph.Graph, p int) (*partition.Layout, error) {
-			return partition.BuildExternal(dev, graph.NewSliceStream(g.Edges), g.NumVertices, g.Weighted, p)
+		build = func(dev *storage.Device, g *graph.Graph, p int, opts ...partition.BuildOption) (*partition.Layout, error) {
+			return partition.BuildExternal(dev, graph.NewSliceStream(g.Edges), g.NumVertices, g.Weighted, p, opts...)
 		}
 	case *external:
 		return fmt.Errorf("-external is only implemented for the graphsd layout")
@@ -160,13 +165,18 @@ func cmdPreprocess(args []string) error {
 		return fmt.Errorf("unknown system %q", *system)
 	}
 	start := time.Now()
-	l, err := build(dev, g, intervals)
+	l, err := build(dev, g, intervals, partition.WithCodec(codec))
 	if err != nil {
 		return err
 	}
 	s := dev.Stats()
-	fmt.Printf("layout %s: system=%s P=%d vertices=%d edges=%d\n",
-		*layoutDir, l.Meta.System, l.Meta.P, l.Meta.NumVertices, l.Meta.NumEdges)
+	fmt.Printf("layout %s: system=%s P=%d vertices=%d edges=%d codec=%s\n",
+		*layoutDir, l.Meta.System, l.Meta.P, l.Meta.NumVertices, l.Meta.NumEdges, l.Meta.BlockCodec())
+	if disk := l.Meta.EdgeDiskBytesTotal(); disk > 0 && disk < l.Meta.EdgeBytesTotal() {
+		fmt.Printf("compression: %s decoded -> %s on disk (%.2fx)\n",
+			storage.FormatBytes(l.Meta.EdgeBytesTotal()), storage.FormatBytes(disk),
+			float64(l.Meta.EdgeBytesTotal())/float64(disk))
+	}
 	fmt.Printf("preprocessing: wall=%v cpu=%v written=%s simulated-io=%v\n",
 		time.Since(start).Round(time.Millisecond), l.PrepCPU.Round(time.Millisecond),
 		storage.FormatBytes(s.WriteBytes()), s.TotalTime().Round(time.Millisecond))
@@ -263,17 +273,21 @@ func cmdRun(args []string) error {
 
 	fmt.Println(res)
 	fmt.Printf("I/O: %s\n", res.IO)
+	if res.Codec != "" && res.Codec != "raw" {
+		fmt.Printf("codec: %s, compression=%.2fx, decode=%v (overlapped with compute)\n",
+			res.Codec, res.CompressRatio, res.DecodeTime.Round(time.Microsecond))
+	}
 	if pl := res.Pipeline; pl.Blocks > 0 {
 		fmt.Printf("pipeline: %d blocks (%s) prefetched, stall=%v overlap=%v\n",
 			pl.Blocks, storage.FormatBytes(pl.Bytes),
 			pl.Stall.Round(time.Microsecond), pl.Overlap.Round(time.Microsecond))
 	}
 	if *trace {
-		tr := metrics.NewTable("per-iteration trace", "iter", "path", "active", "bytes", "io time", "compute", "stall", "overlap")
+		tr := metrics.NewTable("per-iteration trace", "iter", "path", "active", "bytes", "io time", "compute", "decode", "stall", "overlap")
 		for _, st := range res.IterStats {
 			tr.AddRow(fmt.Sprint(st.Index), st.Path, fmt.Sprint(st.Active),
 				storage.FormatBytes(st.IO.TotalBytes()), metrics.Dur(st.IOTime), metrics.Dur(st.ComputeTime),
-				metrics.DurZ(st.Pipeline.Stall), metrics.DurZ(st.Pipeline.Overlap))
+				metrics.DurZ(st.DecodeTime), metrics.DurZ(st.Pipeline.Stall), metrics.DurZ(st.Pipeline.Overlap))
 		}
 		if err := tr.Render(os.Stdout); err != nil {
 			return err
@@ -516,6 +530,11 @@ func cmdStats(args []string) error {
 	m := l.Meta
 	fmt.Printf("system:    %s\nvertices:  %d\nedges:     %d\nP:         %d\nweighted:  %t\nedge data: %s\n",
 		m.System, m.NumVertices, m.NumEdges, m.P, m.Weighted, storage.FormatBytes(m.EdgeBytesTotal()))
+	fmt.Printf("codec:     %s\n", m.BlockCodec())
+	if disk := m.EdgeDiskBytesTotal(); disk != m.EdgeBytesTotal() {
+		fmt.Printf("on disk:   %s (%.2fx compression)\n", storage.FormatBytes(disk),
+			float64(m.EdgeBytesTotal())/float64(disk))
+	}
 	if m.System == "graphsd" || m.System == "lumos" {
 		var diag, upper, lower int64
 		for i := 0; i < m.P; i++ {

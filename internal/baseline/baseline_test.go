@@ -13,7 +13,7 @@ import (
 	"github.com/graphsd/graphsd/internal/storage"
 )
 
-type builder func(dev *storage.Device, g *graph.Graph, p int) (*partition.Layout, error)
+type builder func(dev *storage.Device, g *graph.Graph, p int, opts ...partition.BuildOption) (*partition.Layout, error)
 type runner func(l *partition.Layout, prog core.Program, opts baseline.Options) (*core.Result, error)
 
 func buildWith(t *testing.T, b builder, g *graph.Graph, p int, prof storage.Profile) *partition.Layout {

@@ -34,6 +34,10 @@ func RunGridGraph(layout *partition.Layout, prog core.Program, opts Options) (*c
 	maxIter := s.maxIterations(opts)
 	p := layout.Meta.P
 
+	// One reused decode buffer pair across all cells and iterations.
+	var edges []graph.Edge
+	var buf []byte
+
 	iter := 0
 	for ; iter < maxIter; iter++ {
 		if s.active.Empty() {
@@ -42,7 +46,7 @@ func RunGridGraph(layout *partition.Layout, prog core.Program, opts Options) (*c
 		dev.Charge(storage.SeqRead, int64(s.n)*graph.VertexValueBytes)
 		for j := 0; j < p; j++ {
 			for i := 0; i < p; i++ {
-				edges, err := layout.LoadSubBlock(i, j)
+				edges, buf, err = layout.LoadSubBlockInto(i, j, edges, buf)
 				if err != nil {
 					return nil, err
 				}

@@ -51,7 +51,11 @@ func RunHUSGraph(layout *partition.Layout, prog core.Program, opts Options) (*co
 	maxIter := s.maxIterations(opts)
 
 	// Row indexes are immutable; cache them once loaded.
-	rowIndex := make(map[int][]int64)
+	rowIndex := make(map[int]*partition.Index)
+	// Column streaming reuses one decode buffer pair across blocks and
+	// iterations instead of allocating per LoadCol call.
+	var colEdges []graph.Edge
+	var colBuf []byte
 
 	iter := 0
 	for ; iter < maxIter; iter++ {
@@ -64,7 +68,7 @@ func RunHUSGraph(layout *partition.Layout, prog core.Program, opts Options) (*co
 				return nil, err
 			}
 		} else {
-			if err := husFull(layout, s); err != nil {
+			if colEdges, colBuf, err = husFull(layout, s, colEdges, colBuf); err != nil {
 				return nil, err
 			}
 		}
@@ -86,7 +90,7 @@ func RunHUSGraph(layout *partition.Layout, prog core.Program, opts Options) (*co
 
 // husOnDemand selectively loads each active vertex's contiguous edge run
 // from its row block via the row index.
-func husOnDemand(layout *partition.Layout, s *bspState, rowIndex map[int][]int64) error {
+func husOnDemand(layout *partition.Layout, s *bspState, rowIndex map[int]*partition.Index) error {
 	dev := layout.Dev
 	// Modelled index consult + vertex value read/write, as in C_r.
 	dev.Charge(storage.SeqRead, int64(s.n)*graph.IndexEntryBytes)
@@ -119,7 +123,7 @@ func husOnDemand(layout *partition.Layout, s *bspState, rowIndex map[int][]int64
 		var batch []graph.Edge
 		var loopErr error
 		s.active.ForEachRange(lo, hi, func(v int) bool {
-			startOff, endOff := idx[v-lo], idx[v-lo+1]
+			startOff, endOff := idx.Rec[v-lo], idx.Rec[v-lo+1]
 			if startOff == endOff {
 				return true
 			}
@@ -153,20 +157,22 @@ func husOnDemand(layout *partition.Layout, s *bspState, rowIndex map[int][]int64
 }
 
 // husFull streams the destination-major column blocks, applying each
-// interval as soon as its column has been consumed.
-func husFull(layout *partition.Layout, s *bspState) error {
+// interval as soon as its column has been consumed. The decode buffers are
+// threaded through and returned so callers reuse them across iterations.
+func husFull(layout *partition.Layout, s *bspState, edges []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
 	dev := layout.Dev
 	dev.Charge(storage.SeqRead, int64(s.n)*graph.VertexValueBytes)
 	defer dev.Charge(storage.SeqWrite, int64(s.n)*graph.VertexValueBytes)
 
 	for j := 0; j < layout.Meta.P; j++ {
-		edges, err := layout.LoadCol(j)
+		var err error
+		edges, buf, err = layout.LoadColInto(j, edges, buf)
 		if err != nil {
-			return err
+			return edges, buf, err
 		}
 		s.scatter(edges, s.valPrev, s.active, s.acc, s.touched)
 		lo, hi := layout.Meta.Interval(j)
 		s.applyRange(lo, hi)
 	}
-	return nil
+	return edges, buf, nil
 }

@@ -48,6 +48,13 @@ func RunLumos(layout *partition.Layout, prog core.Program, opts Options) (*core.
 		dev.Charge(storage.SeqWrite, int64(s.n)*graph.VertexValueBytes)
 	}
 
+	// Off-diagonal cells decode into one reused buffer pair. The diagonal
+	// gets its own pair because its edges stay live past the inner loop
+	// (scattered again after applyRange) while off-diagonal loads keep
+	// reusing the shared buffer.
+	var edges, diag []graph.Edge
+	var buf, diagBuf []byte
+
 	iter := 0
 	secondaryPending := false
 	for iter < maxIter {
@@ -61,7 +68,7 @@ func RunLumos(layout *partition.Layout, prog core.Program, opts Options) (*core.
 			chargeValues()
 			for j := 0; j < p; j++ {
 				for i := j + 1; i < p; i++ {
-					edges, err := layout.LoadSubBlock(i, j)
+					edges, buf, err = layout.LoadSubBlockInto(i, j, edges, buf)
 					if err != nil {
 						return nil, err
 					}
@@ -76,27 +83,32 @@ func RunLumos(layout *partition.Layout, prog core.Program, opts Options) (*core.
 			// Full out-of-order pass: iteration t plus staged t+1 values.
 			chargeValues()
 			for j := 0; j < p; j++ {
-				var diag []graph.Edge
+				var diagEdges []graph.Edge
 				for i := 0; i < p; i++ {
-					edges, err := layout.LoadSubBlock(i, j)
+					cell := &edges
+					cbuf := &buf
+					if i == j {
+						cell, cbuf = &diag, &diagBuf
+					}
+					*cell, *cbuf, err = layout.LoadSubBlockInto(i, j, *cell, *cbuf)
 					if err != nil {
 						return nil, err
 					}
-					if len(edges) == 0 {
+					if len(*cell) == 0 {
 						continue
 					}
-					s.scatter(edges, s.valPrev, s.active, s.acc, s.touched)
+					s.scatter(*cell, s.valPrev, s.active, s.acc, s.touched)
 					switch {
 					case i < j:
-						s.scatter(edges, s.valCur, s.newActive, s.accNext, s.touchedNext)
+						s.scatter(*cell, s.valCur, s.newActive, s.accNext, s.touchedNext)
 					case i == j:
-						diag = edges
+						diagEdges = *cell
 					}
 				}
 				lo, hi := layout.Meta.Interval(j)
 				s.applyRange(lo, hi)
-				if diag != nil {
-					s.scatter(diag, s.valCur, s.newActive, s.accNext, s.touchedNext)
+				if diagEdges != nil {
+					s.scatter(diagEdges, s.valCur, s.newActive, s.accNext, s.touchedNext)
 				}
 			}
 			chargeValuesBack()
@@ -106,7 +118,7 @@ func RunLumos(layout *partition.Layout, prog core.Program, opts Options) (*core.
 			chargeValues()
 			for j := 0; j < p; j++ {
 				for i := 0; i < p; i++ {
-					edges, err := layout.LoadSubBlock(i, j)
+					edges, buf, err = layout.LoadSubBlockInto(i, j, edges, buf)
 					if err != nil {
 						return nil, err
 					}

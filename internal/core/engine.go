@@ -48,7 +48,7 @@ type Engine struct {
 
 	// indexCache holds per-sub-block vertex indexes once loaded; the
 	// structures are immutable so they are kept for the whole run.
-	indexCache map[buffer.Key][]int64
+	indexCache map[buffer.Key]*partition.Index
 
 	// sciuCache holds the edges of this iteration's active vertices so the
 	// cross-iteration phase can reuse them without re-reading (Alg 2,
@@ -107,6 +107,7 @@ func NewEngine(layout *partition.Layout, prog Program, opts Options) (*Engine, e
 		NumVertices:     layout.Meta.NumVertices,
 		NumEdges:        layout.Meta.NumEdges,
 		EdgeRecordBytes: layout.Meta.EdgeRecordBytes(),
+		EdgeBytesOnDisk: layout.Meta.EdgeDiskBytesTotal(),
 		P:               layout.Meta.P,
 	})
 	if err != nil {
@@ -133,7 +134,7 @@ func NewEngine(layout *partition.Layout, prog Program, opts Options) (*Engine, e
 		active:       bitset.NewActiveSet(n),
 		newActive:    bitset.NewActiveSet(n),
 		prescattered: bitset.NewActiveSet(n),
-		indexCache:   make(map[buffer.Key][]int64),
+		indexCache:   make(map[buffer.Key]*partition.Index),
 	}
 	e.buf = buffer.NewWithPolicy(bufBytes, opts.BufferPolicy)
 	if prog.HasAux() {
@@ -162,6 +163,7 @@ func (e *Engine) run() (*Result, error) {
 	start := time.Now()
 	dev := e.layout.Dev
 	dev.ResetStats()
+	decodeStart := e.layout.DecodeTime()
 
 	var err error
 	e.degrees, err = e.layout.LoadDegrees()
@@ -201,6 +203,7 @@ func (e *Engine) run() (*Result, error) {
 		ioBefore := dev.Stats()
 		computeBefore := e.computeTime
 		plBefore := e.plStats
+		decodeBefore := e.layout.DecodeTime()
 		path := ""
 
 		if secondaryPending {
@@ -244,6 +247,7 @@ func (e *Engine) run() (*Result, error) {
 			IO:          ioDelta,
 			IOTime:      ioDelta.TotalTime(),
 			ComputeTime: e.computeTime - computeBefore,
+			DecodeTime:  e.layout.DecodeTime() - decodeBefore,
 			Pipeline:    e.plStats.Sub(plBefore),
 		}
 		iterStats = append(iterStats, st)
@@ -277,6 +281,9 @@ func (e *Engine) run() (*Result, error) {
 		Outputs:           outputs,
 		WallTime:          time.Since(start),
 		ComputeTime:       e.computeTime,
+		DecodeTime:        e.layout.DecodeTime() - decodeStart,
+		Codec:             e.layout.Meta.BlockCodec().String(),
+		CompressRatio:     compressRatio(&e.layout.Meta),
 		IO:                dev.Stats(),
 		Decisions:         append([]iosched.Decision(nil), e.sched.History()...),
 		SchedulerOverhead: e.sched.TotalOverhead(),
@@ -284,6 +291,16 @@ func (e *Engine) run() (*Result, error) {
 		Pipeline:          e.plStats,
 		IterStats:         iterStats,
 	}, nil
+}
+
+// compressRatio returns decoded/on-disk edge payload bytes — 1.0 for raw
+// layouts, >1 when the delta codec shrank the blocks.
+func compressRatio(m *partition.Manifest) float64 {
+	disk := m.EdgeDiskBytesTotal()
+	if disk <= 0 {
+		return 1
+	}
+	return float64(m.EdgeBytesTotal()) / float64(disk)
 }
 
 // decide selects the iteration's I/O access model, honouring ForceModel.
@@ -298,7 +315,7 @@ func (e *Engine) decide(iter int) iosched.Model {
 
 // index returns the vertex index of sub-block (i, j), loading and caching
 // it on first use.
-func (e *Engine) index(i, j int) ([]int64, error) {
+func (e *Engine) index(i, j int) (*partition.Index, error) {
 	k := buffer.Key{I: i, J: j}
 	if idx, ok := e.indexCache[k]; ok {
 		return idx, nil

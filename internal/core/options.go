@@ -128,6 +128,15 @@ type Result struct {
 	ComputeTime time.Duration
 	IO          storage.Snapshot
 
+	// Codec is the layout's sub-block payload encoding ("raw" or "delta").
+	// CompressRatio is decoded/on-disk edge payload bytes (1.0 for raw);
+	// DecodeTime is the cumulative wall-clock spent decoding payloads —
+	// under pipelined prefetch it runs on fetch workers, overlapped with
+	// compute, so it is not an additive share of WallTime.
+	Codec         string
+	CompressRatio float64
+	DecodeTime    time.Duration
+
 	// Decisions is the per-iteration scheduler trace (Figure 10) and
 	// SchedulerOverhead its cumulative cost (Figure 11).
 	Decisions         []iosched.Decision
@@ -158,9 +167,12 @@ type IterStat struct {
 	Active int
 	// IO is the device traffic attributed to the iteration; IOTime and
 	// ComputeTime are its simulated-disk and measured-CPU shares.
+	// DecodeTime is the payload decode wall-clock attributed to the
+	// iteration (overlapped with compute when prefetching).
 	IO          storage.Snapshot
 	IOTime      time.Duration
 	ComputeTime time.Duration
+	DecodeTime  time.Duration
 	// Pipeline is the iteration's share of the I/O–compute pipeline
 	// activity (stall and overlap wall-clock, blocks prefetched).
 	Pipeline pipeline.Stats

@@ -120,9 +120,11 @@ func (e *Engine) runSCIU() error {
 			}
 			var n int64
 			e.active.ForEachRange(lo, hi, func(v int) bool {
-				n += idx[v-lo+1] - idx[v-lo]
+				n += idx.Rec[v-lo+1] - idx.Rec[v-lo]
 				return true
 			})
+			// Bytes meters the prefetch window: decoded size, like the
+			// FCIU requests, since the window bounds memory residency.
 			reqs = append(reqs, pipeline.Request{I: i, J: j, Bytes: n * recBytes})
 		}
 	}

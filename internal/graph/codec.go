@@ -85,15 +85,29 @@ func AppendEdges(dst []Edge, buf []byte, weighted bool) ([]Edge, error) {
 // WriteBinary writes the graph in the binary interchange format:
 //
 //	magic  "GSDG" (4 bytes)
-//	flags  uint32 (bit 0: weighted)
+//	flags  uint32 (bit 0: weighted, bit 1: delta-encoded edges)
 //	numVertices uint64
 //	numEdges    uint64
 //	edge records
+//
+// Raw records are the fixed-width encoding above. With the delta flag set,
+// each edge is instead zigzag-varint src and dst gaps from the previous edge
+// (starting from vertex 0), followed inline by the float32 weight when
+// weighted — a streaming-friendly variant of the sub-block delta codec for
+// graphs that leave graphgen already sorted.
 func WriteBinary(w io.Writer, g *Graph) error {
+	return WriteBinaryCodec(w, g, CodecRaw)
+}
+
+// WriteBinaryCodec writes the interchange format with the given edge codec.
+func WriteBinaryCodec(w io.Writer, g *Graph, codec Codec) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	var flags uint32
 	if g.Weighted {
 		flags |= 1
+	}
+	if codec == CodecDelta {
+		flags |= 2
 	}
 	hdr := make([]byte, 0, 24)
 	hdr = append(hdr, 'G', 'S', 'D', 'G')
@@ -103,9 +117,20 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if _, err := bw.Write(hdr); err != nil {
 		return fmt.Errorf("graph: writing header: %w", err)
 	}
-	buf := make([]byte, 0, 16)
+	buf := make([]byte, 0, 24)
+	var prevSrc, prevDst int64
 	for _, e := range g.Edges {
-		buf = EncodeEdge(buf[:0], e, g.Weighted)
+		if codec == CodecDelta {
+			s, d := int64(e.Src), int64(e.Dst)
+			buf = binary.AppendVarint(buf[:0], s-prevSrc)
+			buf = binary.AppendVarint(buf, d-prevDst)
+			if g.Weighted {
+				buf = binary.LittleEndian.AppendUint32(buf, floatBits(e.Weight))
+			}
+			prevSrc, prevDst = s, d
+		} else {
+			buf = EncodeEdge(buf[:0], e, g.Weighted)
+		}
 		if _, err := bw.Write(buf); err != nil {
 			return fmt.Errorf("graph: writing edges: %w", err)
 		}
@@ -123,7 +148,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if string(hdr[0:4]) != "GSDG" {
 		return nil, fmt.Errorf("graph: bad magic %q", hdr[0:4])
 	}
-	weighted := binary.LittleEndian.Uint32(hdr[4:8])&1 != 0
+	flags := binary.LittleEndian.Uint32(hdr[4:8])
+	weighted := flags&1 != 0
+	delta := flags&2 != 0
 	numV := binary.LittleEndian.Uint64(hdr[8:16])
 	numE := binary.LittleEndian.Uint64(hdr[16:24])
 	const maxReasonable = 1 << 40
@@ -131,6 +158,15 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: implausible header counts v=%d e=%d", numV, numE)
 	}
 	g := &Graph{NumVertices: int(numV), Weighted: weighted, Edges: make([]Edge, 0, numE)}
+	if delta {
+		if err := readBinaryDelta(br, g, numE); err != nil {
+			return nil, err
+		}
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
 	rec := EdgeBytes
 	if weighted {
 		rec += WeightBytes
@@ -158,6 +194,36 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// readBinaryDelta decodes the delta-flagged interchange edge stream.
+func readBinaryDelta(br *bufio.Reader, g *Graph, numE uint64) error {
+	var prevSrc, prevDst int64
+	wbuf := make([]byte, WeightBytes)
+	for i := uint64(0); i < numE; i++ {
+		sGap, err := binary.ReadVarint(br)
+		if err != nil {
+			return fmt.Errorf("graph: reading delta edge %d src: %w", i, err)
+		}
+		dGap, err := binary.ReadVarint(br)
+		if err != nil {
+			return fmt.Errorf("graph: reading delta edge %d dst: %w", i, err)
+		}
+		prevSrc += sGap
+		prevDst += dGap
+		if prevSrc < 0 || prevSrc > math.MaxUint32 || prevDst < 0 || prevDst > math.MaxUint32 {
+			return fmt.Errorf("graph: delta edge %d out of uint32 range (%d, %d)", i, prevSrc, prevDst)
+		}
+		e := Edge{Src: VertexID(prevSrc), Dst: VertexID(prevDst)}
+		if g.Weighted {
+			if _, err := io.ReadFull(br, wbuf); err != nil {
+				return fmt.Errorf("graph: reading delta edge %d weight: %w", i, err)
+			}
+			e.Weight = bitsToFloat(binary.LittleEndian.Uint32(wbuf))
+		}
+		g.Edges = append(g.Edges, e)
+	}
+	return nil
 }
 
 // ReadEdgeList parses a whitespace-separated text edge list, the common

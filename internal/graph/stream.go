@@ -48,6 +48,11 @@ type BinaryStream struct {
 	buf       []byte // current block, whole records
 	pos       int    // next undecoded record offset in buf
 
+	// delta-flagged streams decode varint gaps straight off the reader.
+	delta            bool
+	prevSrc, prevDst int64
+	wbuf             []byte
+
 	// NumVertices and Weighted are read from the header.
 	NumVertices int
 	Weighted    bool
@@ -65,7 +70,8 @@ func NewBinaryStream(r io.Reader) (*BinaryStream, error) {
 	if string(hdr[0:4]) != "GSDG" {
 		return nil, fmt.Errorf("graph: bad magic %q", hdr[0:4])
 	}
-	weighted := binary.LittleEndian.Uint32(hdr[4:8])&1 != 0
+	flags := binary.LittleEndian.Uint32(hdr[4:8])
+	weighted := flags&1 != 0
 	rec := EdgeBytes
 	if weighted {
 		rec += WeightBytes
@@ -74,6 +80,8 @@ func NewBinaryStream(r io.Reader) (*BinaryStream, error) {
 		br:          br,
 		remaining:   binary.LittleEndian.Uint64(hdr[16:24]),
 		rec:         rec,
+		delta:       flags&2 != 0,
+		wbuf:        make([]byte, WeightBytes),
 		NumVertices: int(binary.LittleEndian.Uint64(hdr[8:16])),
 		Weighted:    weighted,
 		NumEdges:    binary.LittleEndian.Uint64(hdr[16:24]),
@@ -82,6 +90,9 @@ func NewBinaryStream(r io.Reader) (*BinaryStream, error) {
 
 // Next implements EdgeStream.
 func (s *BinaryStream) Next() (Edge, bool, error) {
+	if s.delta {
+		return s.nextDelta()
+	}
 	if s.pos >= len(s.buf) {
 		if s.remaining == 0 {
 			return Edge{}, false, nil
@@ -94,6 +105,39 @@ func (s *BinaryStream) Next() (Edge, bool, error) {
 	s.pos += s.rec
 	return e, true, nil
 }
+
+// nextDelta decodes the next edge of a delta-flagged stream (WriteBinaryCodec
+// with CodecDelta): zigzag-varint src and dst gaps, inline float32 weight.
+func (s *BinaryStream) nextDelta() (Edge, bool, error) {
+	if s.remaining == 0 {
+		return Edge{}, false, nil
+	}
+	sGap, err := binary.ReadVarint(s.br)
+	if err != nil {
+		return Edge{}, false, fmt.Errorf("graph: reading delta edge src: %w", err)
+	}
+	dGap, err := binary.ReadVarint(s.br)
+	if err != nil {
+		return Edge{}, false, fmt.Errorf("graph: reading delta edge dst: %w", err)
+	}
+	s.prevSrc += sGap
+	s.prevDst += dGap
+	if s.prevSrc < 0 || s.prevSrc > maxVertex || s.prevDst < 0 || s.prevDst > maxVertex {
+		return Edge{}, false, fmt.Errorf("graph: delta edge out of uint32 range (%d, %d)", s.prevSrc, s.prevDst)
+	}
+	e := Edge{Src: VertexID(s.prevSrc), Dst: VertexID(s.prevDst)}
+	if s.Weighted {
+		if _, err := io.ReadFull(s.br, s.wbuf); err != nil {
+			return Edge{}, false, fmt.Errorf("graph: reading delta edge weight: %w", err)
+		}
+		e.Weight = bitsToFloat(binary.LittleEndian.Uint32(s.wbuf))
+	}
+	s.remaining--
+	return e, true, nil
+}
+
+// maxVertex is the largest representable VertexID.
+const maxVertex = int64(^uint32(0))
 
 // fill reads the next block of whole records into the internal buffer.
 func (s *BinaryStream) fill() error {

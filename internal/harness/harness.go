@@ -210,7 +210,7 @@ func (e *env) layout(system string, weighted bool) (*partition.Layout, error) {
 	if weighted {
 		g = e.gw
 	}
-	var build func(*storage.Device, *graph.Graph, int) (*partition.Layout, error)
+	var build func(*storage.Device, *graph.Graph, int, ...partition.BuildOption) (*partition.Layout, error)
 	switch system {
 	case "graphsd":
 		build = partition.Build

@@ -72,11 +72,33 @@ type Config struct {
 	Profile     storage.Profile
 	NumVertices int
 	NumEdges    int64
-	// EdgeRecordBytes is M (+W for weighted graphs).
+	// EdgeRecordBytes is M (+W for weighted graphs) — the decoded record
+	// size.
 	EdgeRecordBytes int
+	// EdgeBytesOnDisk is the total on-disk edge payload. Under a compressed
+	// sub-block codec this is smaller than NumEdges·EdgeRecordBytes, and it
+	// is what both cost formulas must charge — the device moves compressed
+	// bytes. Zero falls back to the uncompressed total.
+	EdgeBytesOnDisk int64
 	// P is the number of vertex intervals; an active run touches up to P
 	// sub-blocks, each requiring its own positioning seek.
 	P int
+}
+
+// edgeBytesOnDisk resolves the EdgeBytesOnDisk fallback.
+func (c Config) edgeBytesOnDisk() int64 {
+	if c.EdgeBytesOnDisk > 0 {
+		return c.EdgeBytesOnDisk
+	}
+	return c.NumEdges * int64(c.EdgeRecordBytes)
+}
+
+// diskBytesPerEdge returns the average on-disk bytes of one edge record.
+func (c Config) diskBytesPerEdge() float64 {
+	if c.NumEdges == 0 {
+		return float64(c.EdgeRecordBytes)
+	}
+	return float64(c.edgeBytesOnDisk()) / float64(c.NumEdges)
 }
 
 // Validate checks the configuration.
@@ -112,18 +134,28 @@ func New(cfg Config) (*Scheduler, error) {
 	return &Scheduler{cfg: cfg}, nil
 }
 
-// CostFull returns C_s, the constant full-model cost per iteration.
+// CostFull returns C_s, the constant full-model cost per iteration. The
+// edge term uses on-disk bytes: a compressed layout streams fewer bytes, so
+// its full-model cost genuinely drops and the SCIU/FCIU break-even point
+// shifts with it.
 func (s *Scheduler) CostFull() time.Duration {
 	p := s.cfg.Profile
 	vBytes := int64(s.cfg.NumVertices) * graph.VertexValueBytes
-	eBytes := s.cfg.NumEdges * int64(s.cfg.EdgeRecordBytes)
+	eBytes := s.cfg.edgeBytesOnDisk()
 	return p.SeqCost(storage.SeqRead, vBytes+eBytes) + p.SeqCost(storage.SeqWrite, vBytes)
 }
 
 // EstimateOnDemand computes the S_seq/S_ran split and C_r for the given
 // active set in one pass over the active vertices and the degree table.
+// Bytes are estimated at the layout's average on-disk bytes per edge, so a
+// compressed layout's selective reads are costed at what the device will
+// actually move.
 func (s *Scheduler) EstimateOnDemand(active *bitset.ActiveSet, degrees []uint32) (seqBytes, ranBytes, seeks int64) {
-	rec := int64(s.cfg.EdgeRecordBytes)
+	rec := s.cfg.diskBytesPerEdge()
+	firstRec := int64(rec)
+	if firstRec < 1 {
+		firstRec = 1
+	}
 	prev := -2
 	var runBytes int64
 	flushRun := func() {
@@ -135,7 +167,7 @@ func (s *Scheduler) EstimateOnDemand(active *bitset.ActiveSet, degrees []uint32)
 		// whole run as sequential payload with P positioning seeks, charging
 		// the first record of the run as random.
 		seeks += int64(s.cfg.P)
-		first := rec
+		first := firstRec
 		if first > runBytes {
 			first = runBytes
 		}
@@ -147,7 +179,7 @@ func (s *Scheduler) EstimateOnDemand(active *bitset.ActiveSet, degrees []uint32)
 		if v != prev+1 {
 			flushRun()
 		}
-		runBytes += int64(degrees[v]) * rec
+		runBytes += int64(float64(degrees[v]) * rec)
 		prev = v
 		return true
 	})

@@ -287,3 +287,40 @@ func TestOverheadIsSmall(t *testing.T) {
 		t.Fatalf("decision took %v", elapsed)
 	}
 }
+
+func TestEdgeBytesOnDiskLowersCosts(t *testing.T) {
+	cfg := testConfig(1000, 50000)
+	plain, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3x-compressed layout: same edges, a third of the payload on disk.
+	comp := cfg
+	comp.EdgeBytesOnDisk = cfg.NumEdges * int64(cfg.EdgeRecordBytes) / 3
+	small, err := New(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.CostFull() >= plain.CostFull() {
+		t.Fatalf("compressed CostFull %v not below raw %v", small.CostFull(), plain.CostFull())
+	}
+	// CostFull matches the formula with on-disk bytes substituted.
+	vBytes := int64(cfg.NumVertices) * graph.VertexValueBytes
+	want := cfg.Profile.SeqCost(storage.SeqRead, vBytes+comp.EdgeBytesOnDisk) +
+		cfg.Profile.SeqCost(storage.SeqWrite, vBytes)
+	if got := small.CostFull(); got != want {
+		t.Fatalf("compressed CostFull = %v, want %v", got, want)
+	}
+
+	// The on-demand estimate shrinks proportionally too.
+	active := bitset.NewActiveSet(1000)
+	for v := 100; v < 200; v++ {
+		active.Activate(v)
+	}
+	deg := uniformDegrees(1000, 5)
+	seqA, ranA, _ := plain.EstimateOnDemand(active, deg)
+	seqB, ranB, _ := small.EstimateOnDemand(active, deg)
+	if seqB+ranB >= seqA+ranA {
+		t.Fatalf("compressed on-demand bytes %d not below raw %d", seqB+ranB, seqA+ranA)
+	}
+}

@@ -3,6 +3,8 @@ package partition
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
+	"time"
 
 	"github.com/graphsd/graphsd/internal/graph"
 	"github.com/graphsd/graphsd/internal/storage"
@@ -11,18 +13,8 @@ import (
 // LoadSubBlock reads sub-block (i, j) in full as one sequential stream and
 // decodes its edges. Empty sub-blocks cost no I/O.
 func (l *Layout) LoadSubBlock(i, j int) ([]graph.Edge, error) {
-	if l.Meta.SubBlockEdges(i, j) == 0 {
-		return nil, nil
-	}
-	data, err := l.Dev.ReadFile(SubBlockName(i, j))
-	if err != nil {
-		return nil, fmt.Errorf("partition: loading sub-block (%d,%d): %w", i, j, err)
-	}
-	edges, err := graph.DecodeEdges(data, l.Meta.Weighted)
-	if err != nil {
-		return nil, fmt.Errorf("partition: decoding sub-block (%d,%d): %w", i, j, err)
-	}
-	return edges, nil
+	edges, _, err := l.LoadSubBlockInto(i, j, nil, nil)
+	return edges, err
 }
 
 // LoadSubBlockInto reads sub-block (i, j) like LoadSubBlock, but decodes
@@ -30,7 +22,9 @@ func (l *Layout) LoadSubBlock(i, j int) ([]graph.Edge, error) {
 // growing either only when too small. The possibly-grown slices are
 // returned; the I/O charge and fault semantics are identical to
 // LoadSubBlock. This is the async-friendly variant the prefetch pipeline
-// uses: each fetch worker owns a dst/buf pair and reuses it across blocks.
+// uses: each fetch worker owns a dst/buf pair and reuses it across blocks —
+// under the delta codec, that worker also runs the decompression, so decode
+// overlaps compute exactly like the reads themselves.
 func (l *Layout) LoadSubBlockInto(i, j int, dst []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
 	dst = dst[:0]
 	if l.Meta.SubBlockEdges(i, j) == 0 {
@@ -40,23 +34,35 @@ func (l *Layout) LoadSubBlockInto(i, j int, dst []graph.Edge, buf []byte) ([]gra
 	if err != nil {
 		return dst, buf, fmt.Errorf("partition: loading sub-block (%d,%d): %w", i, j, err)
 	}
-	dst, err = graph.AppendEdges(dst, buf, l.Meta.Weighted)
+	t0 := time.Now()
+	if l.Meta.BlockCodec() == graph.CodecDelta {
+		iLo, _ := l.Meta.Interval(i)
+		jLo, _ := l.Meta.Interval(j)
+		dst, err = graph.AppendDeltaBlock(dst, buf, graph.VertexID(iLo), graph.VertexID(jLo), l.Meta.Weighted)
+	} else {
+		dst, err = graph.AppendEdges(dst, buf, l.Meta.Weighted)
+	}
+	l.noteDecode(t0)
 	if err != nil {
 		return dst, buf, fmt.Errorf("partition: decoding sub-block (%d,%d): %w", i, j, err)
 	}
 	return dst, buf, nil
 }
 
-// StreamSubBlock reads sub-block (i, j) in chunks of at most chunkBytes
-// (rounded down to whole records, minimum one record) and invokes fn for
-// each decoded chunk. Peak memory is one chunk instead of the whole cell,
-// which is how a production engine keeps its residency bounded even when a
-// skewed grid produces an oversized cell. The chunk slice passed to fn is
-// reused; fn must not retain it.
+// StreamSubBlock reads sub-block (i, j) in chunks of at most chunkBytes of
+// decoded edges (rounded down to whole records, minimum one record — for
+// delta blocks, minimum one source run) and invokes fn for each decoded
+// chunk. Peak memory is one chunk instead of the whole cell, which is how a
+// production engine keeps its residency bounded even when a skewed grid
+// produces an oversized cell. The chunk slice passed to fn is reused; fn
+// must not retain it.
 func (l *Layout) StreamSubBlock(i, j int, chunkBytes int64, fn func(edges []graph.Edge) error) error {
 	total := l.Meta.SubBlockEdges(i, j)
 	if total == 0 {
 		return nil
+	}
+	if l.Meta.BlockCodec() == graph.CodecDelta {
+		return l.streamDeltaSubBlock(i, j, chunkBytes, fn)
 	}
 	rec := int64(l.Meta.EdgeRecordBytes())
 	perChunk := chunkBytes / rec
@@ -69,6 +75,7 @@ func (l *Layout) StreamSubBlock(i, j int, chunkBytes int64, fn func(edges []grap
 	}
 	defer r.Close()
 	buf := make([]byte, perChunk*rec)
+	var edges []graph.Edge
 	for off := int64(0); off < total; off += perChunk {
 		n := perChunk
 		if off+n > total {
@@ -78,7 +85,9 @@ func (l *Layout) StreamSubBlock(i, j int, chunkBytes int64, fn func(edges []grap
 		if _, err := r.AutoReadAt(chunk, off*rec); err != nil {
 			return fmt.Errorf("partition: streaming sub-block (%d,%d)@%d: %w", i, j, off, err)
 		}
-		edges, err := graph.DecodeEdges(chunk, l.Meta.Weighted)
+		t0 := time.Now()
+		edges, err = graph.AppendEdges(edges[:0], chunk, l.Meta.Weighted)
+		l.noteDecode(t0)
 		if err != nil {
 			return err
 		}
@@ -89,28 +98,183 @@ func (l *Layout) StreamSubBlock(i, j int, chunkBytes int64, fn func(edges []grap
 	return nil
 }
 
+// streamDeltaSubBlock streams a delta-codec sub-block. Varint runs have no
+// fixed record boundaries, so chunks are cut at source-run boundaries using
+// the per-vertex byte index; the index read is charged like any other.
+func (l *Layout) streamDeltaSubBlock(i, j int, chunkBytes int64, fn func(edges []graph.Edge) error) error {
+	idx, err := l.LoadIndex(i, j)
+	if err != nil {
+		return err
+	}
+	r, err := l.OpenSubBlock(i, j)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	rec := int64(l.Meta.EdgeRecordBytes())
+	perChunk := chunkBytes / rec
+	if perChunk < 1 {
+		perChunk = 1
+	}
+	nv := len(idx.Rec) - 1
+	wbase := idx.Off[nv]
+	var buf []byte
+	var edges []graph.Edge
+	for a := 0; a < nv; {
+		b := a + 1
+		for b < nv && idx.Rec[b+1]-idx.Rec[a] <= perChunk {
+			b++
+		}
+		r0, r1 := idx.Rec[a], idx.Rec[b]
+		if r0 == r1 {
+			a = b
+			continue
+		}
+		o0, o1 := idx.Off[a], idx.Off[b]
+		if int64(cap(buf)) < o1-o0 {
+			buf = make([]byte, o1-o0)
+		}
+		buf = buf[:o1-o0]
+		if _, err := r.AutoReadAt(buf, o0); err != nil {
+			return fmt.Errorf("partition: streaming sub-block (%d,%d)@%d: %w", i, j, o0, err)
+		}
+		t0 := time.Now()
+		edges, err = graph.AppendDeltaRuns(edges[:0], buf, idx.srcBase, idx.dstBase)
+		l.noteDecode(t0)
+		if err != nil {
+			return fmt.Errorf("partition: decoding sub-block (%d,%d) chunk: %w", i, j, err)
+		}
+		if int64(len(edges)) != r1-r0 {
+			return fmt.Errorf("partition: sub-block (%d,%d) chunk decoded %d edges, index says %d", i, j, len(edges), r1-r0)
+		}
+		if l.Meta.Weighted {
+			if buf, err = l.readWeightColumn(r, buf, wbase, r0, r1, edges); err != nil {
+				return fmt.Errorf("partition: sub-block (%d,%d) weights: %w", i, j, err)
+			}
+		}
+		if err := fn(edges); err != nil {
+			return err
+		}
+		a = b
+	}
+	return nil
+}
+
+// readWeightColumn fills edges' weights from the trailing float32 column:
+// records [r0, r1) read at column base wbase, through buf (grown as
+// needed and returned).
+func (l *Layout) readWeightColumn(r *storage.Reader, buf []byte, wbase, r0, r1 int64, edges []graph.Edge) ([]byte, error) {
+	n := (r1 - r0) * graph.WeightBytes
+	if int64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := r.AutoReadAt(buf, wbase+r0*graph.WeightBytes); err != nil {
+		return buf, err
+	}
+	for k := range edges {
+		edges[k].Weight = math.Float32frombits(binary.LittleEndian.Uint32(buf[k*graph.WeightBytes:]))
+	}
+	return buf, nil
+}
+
+// Index locates each vertex's edges inside one sub-block payload.
+type Index struct {
+	// Rec holds CSR record offsets: the edges of vertex v (lo <= v < hi)
+	// occupy records [Rec[v-lo], Rec[v-lo+1]) of the decoded sub-block.
+	Rec []int64
+	// Off holds byte offsets into delta-codec payloads: vertex v's run
+	// occupies bytes [Off[v-lo], Off[v-lo+1]), and Off[hi-lo] marks the end
+	// of the varint section — the start of the weight column. Nil for raw
+	// blocks, where byte positions follow from Rec and the record size.
+	Off []int64
+
+	srcBase, dstBase graph.VertexID
+}
+
 // LoadIndex reads the per-vertex offset index of sub-block (i, j). The
-// returned slice has IntervalLen(i)+1 entries: the edges of vertex v
-// (lo <= v < hi) occupy records [idx[v-lo], idx[v-lo+1]) in the sub-block.
-// The read is charged sequentially: indexes are small and loaded in one
-// stream, matching the 2|V|·N index/value term of the paper's C_r model.
-func (l *Layout) LoadIndex(i, j int) ([]int64, error) {
+// index has IntervalLen(i)+1 entries (see Index). The read is charged
+// sequentially: indexes are small and loaded in one stream, matching the
+// 2|V|·N index/value term of the paper's C_r model.
+func (l *Layout) LoadIndex(i, j int) (*Index, error) {
 	data, err := l.Dev.ReadFile(IndexName(i, j))
 	if err != nil {
 		return nil, fmt.Errorf("partition: loading index (%d,%d): %w", i, j, err)
 	}
-	return decodeIndex(data)
+	delta := l.Meta.BlockCodec() == graph.CodecDelta
+	rec, off, err := l.decodeIndexData(data, delta)
+	if err != nil {
+		return nil, fmt.Errorf("partition: index (%d,%d): %w", i, j, err)
+	}
+	iLo, _ := l.Meta.Interval(i)
+	jLo, _ := l.Meta.Interval(j)
+	return &Index{Rec: rec, Off: off, srcBase: graph.VertexID(iLo), dstBase: graph.VertexID(jLo)}, nil
 }
 
-func decodeIndex(data []byte) ([]int64, error) {
-	if len(data)%graph.IndexEntryBytes != 0 {
-		return nil, fmt.Errorf("partition: index size %d not a multiple of %d", len(data), graph.IndexEntryBytes)
+// decodeIndexData parses an index file. Format v1 stores fixed 8-byte
+// entries; v2 stores a uvarint count followed by uvarint deltas of the
+// monotone offsets — and, when delta is true, a second delta sequence of
+// run byte offsets.
+func (l *Layout) decodeIndexData(data []byte, delta bool) (rec, off []int64, err error) {
+	if l.Meta.FormatVersion < 2 {
+		if len(data)%graph.IndexEntryBytes != 0 {
+			return nil, nil, fmt.Errorf("index size %d not a multiple of %d", len(data), graph.IndexEntryBytes)
+		}
+		rec = make([]int64, len(data)/graph.IndexEntryBytes)
+		for k := range rec {
+			rec[k] = int64(binary.LittleEndian.Uint64(data[k*graph.IndexEntryBytes:]))
+		}
+		return rec, nil, nil
 	}
-	idx := make([]int64, len(data)/graph.IndexEntryBytes)
-	for k := range idx {
-		idx[k] = int64(binary.LittleEndian.Uint64(data[k*graph.IndexEntryBytes:]))
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("bad index entry count")
 	}
-	return idx, nil
+	sections := 1
+	if delta {
+		sections = 2
+	}
+	// Each entry takes at least one byte per section.
+	if n*uint64(sections) > uint64(len(data)-k) {
+		return nil, nil, fmt.Errorf("index entry count %d exceeds %d payload bytes", n, len(data)-k)
+	}
+	rec, used, err := decodeMonotoneDeltas(data[k:], int(n))
+	if err != nil {
+		return nil, nil, fmt.Errorf("record offsets: %w", err)
+	}
+	pos := k + used
+	if delta {
+		off, used, err = decodeMonotoneDeltas(data[pos:], int(n))
+		if err != nil {
+			return nil, nil, fmt.Errorf("byte offsets: %w", err)
+		}
+		pos += used
+	}
+	if pos != len(data) {
+		return nil, nil, fmt.Errorf("index has %d trailing bytes", len(data)-pos)
+	}
+	return rec, off, nil
+}
+
+// decodeMonotoneDeltas reads n uvarint deltas and returns the running sums
+// plus the number of bytes consumed.
+func decodeMonotoneDeltas(data []byte, n int) ([]int64, int, error) {
+	vals := make([]int64, n)
+	pos := 0
+	var sum uint64
+	for i := 0; i < n; i++ {
+		d, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return nil, 0, fmt.Errorf("bad delta varint at entry %d", i)
+		}
+		pos += k
+		sum += d
+		if sum > 1<<62 {
+			return nil, 0, fmt.Errorf("offset overflow at entry %d", i)
+		}
+		vals[i] = int64(sum)
+	}
+	return vals, pos, nil
 }
 
 // OpenSubBlock opens sub-block (i, j) for positional reads. The caller must
@@ -130,13 +294,18 @@ func (l *Layout) OpenSubBlock(i, j int) (*storage.Reader, error) {
 // interval i using its index. The access is auto-classified: contiguous
 // active vertices produce sequential reads, scattered ones random reads —
 // the S_seq / S_ran split of the paper's on-demand cost model emerges from
-// the access pattern itself.
-func (l *Layout) ReadVertexEdges(r *storage.Reader, idx []int64, i int, v graph.VertexID, buf []byte) ([]graph.Edge, []byte, error) {
+// the access pattern itself. Under the delta codec the vertex's run is read
+// by its compressed byte range (fewer bytes, same classification); weights
+// come from the trailing column in a second positional read.
+func (l *Layout) ReadVertexEdges(r *storage.Reader, idx *Index, i int, v graph.VertexID, buf []byte) ([]graph.Edge, []byte, error) {
 	lo, hi := l.Meta.Interval(i)
 	if int(v) < lo || int(v) >= hi {
 		return nil, buf, fmt.Errorf("partition: vertex %d outside interval %d [%d,%d)", v, i, lo, hi)
 	}
-	start, end := idx[int(v)-lo], idx[int(v)-lo+1]
+	if idx.Off != nil {
+		return l.readVertexEdgesDelta(r, idx, v, lo, buf)
+	}
+	start, end := idx.Rec[int(v)-lo], idx.Rec[int(v)-lo+1]
 	if start == end {
 		return nil, buf, nil
 	}
@@ -152,6 +321,34 @@ func (l *Layout) ReadVertexEdges(r *storage.Reader, idx []int64, i int, v graph.
 	edges, err := graph.DecodeEdges(buf, l.Meta.Weighted)
 	if err != nil {
 		return nil, buf, err
+	}
+	return edges, buf, nil
+}
+
+// readVertexEdgesDelta is the delta-codec arm of ReadVertexEdges.
+func (l *Layout) readVertexEdgesDelta(r *storage.Reader, idx *Index, v graph.VertexID, lo int, buf []byte) ([]graph.Edge, []byte, error) {
+	k := int(v) - lo
+	o0, o1 := idx.Off[k], idx.Off[k+1]
+	if o0 == o1 {
+		return nil, buf, nil
+	}
+	if int64(cap(buf)) < o1-o0 {
+		buf = make([]byte, o1-o0)
+	}
+	buf = buf[:o1-o0]
+	if _, err := r.AutoReadAt(buf, o0); err != nil {
+		return nil, buf, fmt.Errorf("partition: reading edges of vertex %d: %w", v, err)
+	}
+	edges, err := graph.AppendDeltaRuns(nil, buf, idx.srcBase, idx.dstBase)
+	if err != nil {
+		return nil, buf, fmt.Errorf("partition: decoding edges of vertex %d: %w", v, err)
+	}
+	if l.Meta.Weighted {
+		r0, r1 := idx.Rec[k], idx.Rec[k+1]
+		wbase := idx.Off[len(idx.Off)-1]
+		if buf, err = l.readWeightColumn(r, buf, wbase, r0, r1, edges); err != nil {
+			return nil, buf, fmt.Errorf("partition: reading weights of vertex %d: %w", v, err)
+		}
 	}
 	return edges, buf, nil
 }
@@ -174,23 +371,30 @@ func (l *Layout) LoadDegrees() ([]uint32, error) {
 
 // LoadRow reads HUS-Graph/Lumos row block i in full.
 func (l *Layout) LoadRow(i int) ([]graph.Edge, error) {
-	if !l.Dev.Exists(RowName(i)) {
-		return nil, nil
-	}
-	data, err := l.Dev.ReadFile(RowName(i))
-	if err != nil {
-		return nil, fmt.Errorf("partition: loading row %d: %w", i, err)
-	}
-	return graph.DecodeEdges(data, l.Meta.Weighted)
+	edges, _, err := l.LoadRowInto(i, nil, nil)
+	return edges, err
+}
+
+// LoadRowInto reads row block i like LoadRow, decoding into dst and
+// reading through buf like LoadSubBlockInto — the per-iteration loop of
+// the row-major baselines reuses both instead of allocating per block.
+// Row blocks are always raw: the row-major preprocessors reject delta.
+func (l *Layout) LoadRowInto(i int, dst []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
+	return l.loadRawFileInto(RowName(i), "row", i, dst, buf)
 }
 
 // LoadRowIndex reads the per-vertex index of HUS-Graph row block i.
-func (l *Layout) LoadRowIndex(i int) ([]int64, error) {
+func (l *Layout) LoadRowIndex(i int) (*Index, error) {
 	data, err := l.Dev.ReadFile(RowIndexName(i))
 	if err != nil {
 		return nil, fmt.Errorf("partition: loading row index %d: %w", i, err)
 	}
-	return decodeIndex(data)
+	rec, _, err := l.decodeIndexData(data, false)
+	if err != nil {
+		return nil, fmt.Errorf("partition: row index %d: %w", i, err)
+	}
+	lo, _ := l.Meta.Interval(i)
+	return &Index{Rec: rec, srcBase: graph.VertexID(lo)}, nil
 }
 
 // OpenRow opens row block i for positional reads; (nil, nil) if absent.
@@ -207,14 +411,34 @@ func (l *Layout) OpenRow(i int) (*storage.Reader, error) {
 
 // LoadCol reads HUS-Graph column block j in full.
 func (l *Layout) LoadCol(j int) ([]graph.Edge, error) {
-	if !l.Dev.Exists(ColName(j)) {
-		return nil, nil
+	edges, _, err := l.LoadColInto(j, nil, nil)
+	return edges, err
+}
+
+// LoadColInto reads column block j like LoadCol, with the same buffer
+// reuse as LoadRowInto.
+func (l *Layout) LoadColInto(j int, dst []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
+	return l.loadRawFileInto(ColName(j), "column", j, dst, buf)
+}
+
+// loadRawFileInto reads a raw fixed-record edge file (row or column block)
+// through reusable buffers; absent files decode to zero edges.
+func (l *Layout) loadRawFileInto(name, kind string, i int, dst []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
+	dst = dst[:0]
+	if !l.Dev.Exists(name) {
+		return dst, buf, nil
 	}
-	data, err := l.Dev.ReadFile(ColName(j))
+	buf, err := l.Dev.ReadFileInto(name, buf)
 	if err != nil {
-		return nil, fmt.Errorf("partition: loading column %d: %w", j, err)
+		return dst, buf, fmt.Errorf("partition: loading %s %d: %w", kind, i, err)
 	}
-	return graph.DecodeEdges(data, l.Meta.Weighted)
+	t0 := time.Now()
+	dst, err = graph.AppendEdges(dst, buf, l.Meta.Weighted)
+	l.noteDecode(t0)
+	if err != nil {
+		return dst, buf, fmt.Errorf("partition: decoding %s %d: %w", kind, i, err)
+	}
+	return dst, buf, nil
 }
 
 // ChargeVertexValueRead charges the sequential read of the whole vertex

@@ -3,6 +3,7 @@ package partition
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -34,6 +35,18 @@ func (t *buildTimer) write(dev *storage.Device, name string, data []byte) error 
 // cpu returns the wall time elapsed outside device writes.
 func (t *buildTimer) cpu() time.Duration { return time.Since(t.start) - t.devWalls }
 
+// BuildOption configures a preprocessor run.
+type BuildOption func(*gridOptions)
+
+// WithCodec selects the sub-block payload encoding: graph.CodecRaw
+// (fixed-width records, the default) or graph.CodecDelta (per-source runs
+// of zigzag-delta varint dst gaps with a separate weight column). Delta
+// requires the src-sorted graphsd grid — the row-major preprocessors
+// reject it.
+func WithCodec(c graph.Codec) BuildOption {
+	return func(o *gridOptions) { o.codec = c }
+}
+
 // Build runs GraphSD's preprocessing (paper §3.2): bucket the edges into a
 // P×P grid by (source interval, destination interval), sort each sub-block
 // by source vertex, write the sub-block payloads plus a per-vertex offset
@@ -41,16 +54,23 @@ func (t *buildTimer) cpu() time.Duration { return time.Since(t.start) - t.devWal
 // model. The raw-graph read and all writes are charged to the device, so
 // the Figure 8 preprocessing comparison can be reproduced from device
 // stats.
-func Build(dev *storage.Device, g *graph.Graph, p int) (*Layout, error) {
-	return buildGrid(dev, g, p, gridOptions{system: "graphsd", sort: true, index: true})
+func Build(dev *storage.Device, g *graph.Graph, p int, opts ...BuildOption) (*Layout, error) {
+	return buildGrid(dev, g, p, applyBuildOptions(gridOptions{system: "graphsd", sort: true, index: true}, opts))
 }
 
 // BuildLumos writes the Lumos-style layout: the same grid bucketing but
 // with edges left in input order and no per-vertex indexes. Lumos streams
 // whole blocks and never queries individual vertices, so it skips the sort
 // — which is why it has the shortest preprocessing time in Figure 8.
-func BuildLumos(dev *storage.Device, g *graph.Graph, p int) (*Layout, error) {
-	return buildGrid(dev, g, p, gridOptions{system: "lumos", sort: false, index: false})
+func BuildLumos(dev *storage.Device, g *graph.Graph, p int, opts ...BuildOption) (*Layout, error) {
+	return buildGrid(dev, g, p, applyBuildOptions(gridOptions{system: "lumos", sort: false, index: false}, opts))
+}
+
+func applyBuildOptions(o gridOptions, opts []BuildOption) gridOptions {
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
 }
 
 // BuildHUSGraph writes the HUS-Graph-style layout: two complete copies of
@@ -59,7 +79,10 @@ func BuildLumos(dev *storage.Device, g *graph.Graph, p int) (*Layout, error) {
 // grouped by destination interval and sorted by destination (for the
 // streaming path). Double copy + double sort is why HUS-Graph preprocessing
 // is the slowest in Figure 8.
-func BuildHUSGraph(dev *storage.Device, g *graph.Graph, p int) (*Layout, error) {
+func BuildHUSGraph(dev *storage.Device, g *graph.Graph, p int, opts ...BuildOption) (*Layout, error) {
+	if o := applyBuildOptions(gridOptions{}, opts); o.codec != graph.CodecRaw {
+		return nil, fmt.Errorf("partition: codec %q requires the graphsd grid layout", o.codec)
+	}
 	if err := validateBuild(g, p); err != nil {
 		return nil, err
 	}
@@ -78,7 +101,7 @@ func BuildHUSGraph(dev *storage.Device, g *graph.Graph, p int) (*Layout, error) 
 		}
 		lo, hi := m.Interval(i)
 		idx := buildVertexIndex(rows[i], lo, hi, func(e graph.Edge) graph.VertexID { return e.Src })
-		if err := writeIndex(dev, bt, rowIndexName(i), idx); err != nil {
+		if err := writeIndex(dev, bt, rowIndexName(i), idx, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -117,6 +140,7 @@ type gridOptions struct {
 	system string
 	sort   bool
 	index  bool
+	codec  graph.Codec
 }
 
 func validateBuild(g *graph.Graph, p int) error {
@@ -158,10 +182,15 @@ func buildGrid(dev *storage.Device, g *graph.Graph, p int, opt gridOptions) (*La
 	if err := validateBuild(g, p); err != nil {
 		return nil, err
 	}
+	if opt.codec == graph.CodecDelta && !opt.sort {
+		return nil, fmt.Errorf("partition: codec %q requires src-sorted sub-blocks", opt.codec)
+	}
 	chargeRawRead(dev, g)
 	bt := newBuildTimer()
 
 	m := newManifest(opt.system, g, p)
+	m.Codec = opt.codec.String()
+	m.BlockBytes = newGridInt64(p)
 
 	// Bucket edges into the P×P grid.
 	grid := make([][]graph.Edge, p*p)
@@ -178,16 +207,8 @@ func buildGrid(dev *storage.Device, g *graph.Graph, p int, opt gridOptions) (*La
 			if opt.sort {
 				sortEdgesBySrc(cell)
 			}
-			if len(cell) > 0 {
-				if err := writeEdges(dev, bt, SubBlockName(i, j), cell, g.Weighted); err != nil {
-					return nil, err
-				}
-			}
-			if opt.index {
-				idx := buildVertexIndex(cell, lo, hi, func(e graph.Edge) graph.VertexID { return e.Src })
-				if err := writeIndex(dev, bt, IndexName(i, j), idx); err != nil {
-					return nil, err
-				}
+			if err := writeCell(dev, bt, m, opt, i, j, lo, hi, cell, g.Weighted); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -233,7 +254,68 @@ func buildVertexIndex(edges []graph.Edge, lo, hi int, key func(graph.Edge) graph
 	return idx
 }
 
-func writeEdges(dev *storage.Device, bt *buildTimer, name string, edges []graph.Edge, weighted bool) error {
+// newGridInt64 allocates a zeroed P×P int64 grid.
+func newGridInt64(p int) [][]int64 {
+	g := make([][]int64, p)
+	for i := range g {
+		g[i] = make([]int64, p)
+	}
+	return g
+}
+
+// writeCell writes one grid cell's payload and per-vertex index in the
+// manifest's codec, recording the on-disk payload size in BlockBytes.
+func writeCell(dev *storage.Device, bt *buildTimer, m *Manifest, opt gridOptions, i, j, lo, hi int, cell []graph.Edge, weighted bool) error {
+	var rec, off []int64
+	if opt.index || opt.codec == graph.CodecDelta {
+		rec = buildVertexIndex(cell, lo, hi, func(e graph.Edge) graph.VertexID { return e.Src })
+	}
+	if opt.codec == graph.CodecDelta {
+		off = make([]int64, len(rec))
+	}
+	if len(cell) > 0 {
+		var payload []byte
+		if opt.codec == graph.CodecDelta {
+			dstLo, _ := m.Interval(j)
+			payload = encodeDeltaCell(cell, rec, lo, dstLo, weighted, off)
+		} else {
+			payload = encodeRawEdges(cell, weighted)
+		}
+		m.BlockBytes[i][j] = int64(len(payload))
+		if err := bt.write(dev, SubBlockName(i, j), payload); err != nil {
+			return err
+		}
+	}
+	if opt.index {
+		if err := writeIndex(dev, bt, IndexName(i, j), rec, off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeDeltaCell encodes a src-sorted cell with the delta codec. rec is
+// the cell's CSR record index; off (same length) is filled with the byte
+// offset of each vertex's run, off[hi-lo] with the end of the varint
+// section — which is where the weight column begins.
+func encodeDeltaCell(cell []graph.Edge, rec []int64, lo, dstLo int, weighted bool, off []int64) []byte {
+	payload := binary.AppendUvarint(nil, uint64(len(cell)))
+	for v := 0; v < len(rec)-1; v++ {
+		off[v] = int64(len(payload))
+		if start, end := rec[v], rec[v+1]; end > start {
+			payload = graph.EncodeDeltaRun(payload, cell[start:end], graph.VertexID(lo), graph.VertexID(dstLo))
+		}
+	}
+	off[len(rec)-1] = int64(len(payload))
+	if weighted {
+		for _, e := range cell {
+			payload = binary.LittleEndian.AppendUint32(payload, math.Float32bits(e.Weight))
+		}
+	}
+	return payload
+}
+
+func encodeRawEdges(edges []graph.Edge, weighted bool) []byte {
 	rec := graph.EdgeBytes
 	if weighted {
 		rec += graph.WeightBytes
@@ -242,15 +324,33 @@ func writeEdges(dev *storage.Device, bt *buildTimer, name string, edges []graph.
 	for _, e := range edges {
 		buf = graph.EncodeEdge(buf, e, weighted)
 	}
+	return buf
+}
+
+func writeEdges(dev *storage.Device, bt *buildTimer, name string, edges []graph.Edge, weighted bool) error {
+	return bt.write(dev, name, encodeRawEdges(edges, weighted))
+}
+
+// writeIndex writes a per-vertex index in the v2 format: a uvarint entry
+// count, then the record offsets as uvarint deltas (the sequence is
+// monotone, so deltas are non-negative), then — for delta-codec blocks —
+// the run byte offsets, delta-encoded the same way.
+func writeIndex(dev *storage.Device, bt *buildTimer, name string, rec, off []int64) error {
+	buf := binary.AppendUvarint(nil, uint64(len(rec)))
+	buf = appendMonotoneDeltas(buf, rec)
+	if off != nil {
+		buf = appendMonotoneDeltas(buf, off)
+	}
 	return bt.write(dev, name, buf)
 }
 
-func writeIndex(dev *storage.Device, bt *buildTimer, name string, idx []int64) error {
-	buf := make([]byte, 0, len(idx)*graph.IndexEntryBytes)
-	for _, off := range idx {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(off))
+func appendMonotoneDeltas(buf []byte, vals []int64) []byte {
+	prev := int64(0)
+	for _, v := range vals {
+		buf = binary.AppendUvarint(buf, uint64(v-prev))
+		prev = v
 	}
-	return bt.write(dev, name, buf)
+	return buf
 }
 
 func writeDegrees(dev *storage.Device, bt *buildTimer, g *graph.Graph) error {

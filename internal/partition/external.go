@@ -25,15 +25,18 @@ import (
 // The result is byte-identical to Build's layout; tests assert that. The
 // spill traffic (one extra sequential write + read of the edge data) is
 // charged to the device like every other preprocessing I/O.
-func BuildExternal(dev *storage.Device, src graph.EdgeStream, numVertices int, weighted bool, p int) (*Layout, error) {
+func BuildExternal(dev *storage.Device, src graph.EdgeStream, numVertices int, weighted bool, p int, opts ...BuildOption) (*Layout, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("partition: interval count must be positive, got %d", p)
 	}
 	if numVertices < 0 {
 		return nil, fmt.Errorf("partition: negative vertex count %d", numVertices)
 	}
+	opt := applyBuildOptions(gridOptions{system: "graphsd", sort: true, index: true}, opts)
 	bt := newBuildTimer()
 	m := newManifest("graphsd", &graph.Graph{NumVertices: numVertices, Weighted: weighted}, p)
+	m.Codec = opt.codec.String()
+	m.BlockBytes = newGridInt64(p)
 
 	// Pass 1: spill edges into per-source-interval run files.
 	spills := make([]*storage.Writer, p)
@@ -95,13 +98,7 @@ func BuildExternal(dev *storage.Device, src graph.EdgeStream, numVertices int, w
 		for j := 0; j < p; j++ {
 			sortEdgesBySrc(cells[j])
 			m.EdgeCounts[i][j] = int64(len(cells[j]))
-			if len(cells[j]) > 0 {
-				if err := writeEdges(dev, bt, SubBlockName(i, j), cells[j], weighted); err != nil {
-					return nil, err
-				}
-			}
-			idx := buildVertexIndex(cells[j], lo, hi, func(e graph.Edge) graph.VertexID { return e.Src })
-			if err := writeIndex(dev, bt, IndexName(i, j), idx); err != nil {
+			if err := writeCell(dev, bt, m, opt, i, j, lo, hi, cells[j], weighted); err != nil {
 				return nil, err
 			}
 		}

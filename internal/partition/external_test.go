@@ -57,8 +57,11 @@ func TestBuildExternalMatchesInMemoryBuild(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for k := range ib {
-				if ia[k] != ib[k] {
+			if len(ia.Rec) != len(ib.Rec) {
+				t.Fatalf("cell (%d,%d) index lengths differ: %d vs %d", i, j, len(ia.Rec), len(ib.Rec))
+			}
+			for k := range ib.Rec {
+				if ia.Rec[k] != ib.Rec[k] {
 					t.Fatalf("cell (%d,%d) index entry %d differs", i, j, k)
 				}
 			}

@@ -8,6 +8,7 @@ package partition
 import (
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/graphsd/graphsd/internal/graph"
@@ -29,6 +30,14 @@ type Manifest struct {
 	// EdgeCounts[i][j] is the number of edges in sub-block (i, j). For
 	// row-major layouts (husgraph, lumos) only EdgeCounts[i][0] is used.
 	EdgeCounts [][]int64 `json:"edge_counts"`
+	// Codec names the sub-block payload encoding: "raw" (fixed-width
+	// records, also the meaning of the empty string in pre-v2 manifests)
+	// or "delta" (per-source-run zigzag varints, graph.CodecDelta).
+	Codec string `json:"codec,omitempty"`
+	// BlockBytes[i][j] is the on-disk payload size of sub-block (i, j) in
+	// bytes. Recorded by v2 grid builds; nil in v1 manifests and row-major
+	// layouts, where payload size follows from the edge count.
+	BlockBytes [][]int64 `json:"block_bytes,omitempty"`
 }
 
 // Layout is an opened partitioned graph on a device.
@@ -39,10 +48,34 @@ type Layout struct {
 	// preprocessor spent building this layout, exclusive of device writes.
 	// Zero for layouts opened with Load.
 	PrepCPU time.Duration
+
+	// decodeNanos accumulates wall time spent decoding block payloads into
+	// edges. Block-granular loads only — the per-vertex on-demand path skips
+	// the clock so its tight loop stays unperturbed. Concurrent fetch
+	// workers add to it, hence atomic.
+	decodeNanos atomic.Int64
 }
 
-// FormatVersion is the current manifest format version.
-const FormatVersion = 1
+// noteDecode charges decode wall time since t0.
+func (l *Layout) noteDecode(t0 time.Time) { l.decodeNanos.Add(time.Since(t0).Nanoseconds()) }
+
+// DecodeTime returns the cumulative payload decode time of this layout.
+// With pipelined prefetch the decodes run on fetch workers, so this can
+// exceed the wall time attributable to decoding.
+func (l *Layout) DecodeTime() time.Duration { return time.Duration(l.decodeNanos.Load()) }
+
+// FormatVersion is the manifest format version written by this package.
+// Version history:
+//
+//	1 — fixed-width edge records, fixed 8-byte index entries
+//	2 — optional delta payload codec, varint-delta index entries,
+//	    per-block on-disk sizes in the manifest
+//
+// Readers accept every version back to minFormatVersion.
+const FormatVersion = 2
+
+// minFormatVersion is the oldest manifest version still readable.
+const minFormatVersion = 1
 
 // Interval returns the half-open vertex range [lo, hi) of interval i.
 // Intervals split [0, NumVertices) into P near-equal contiguous ranges.
@@ -74,7 +107,8 @@ func (m *Manifest) IntervalLen(i int) int {
 	return hi - lo
 }
 
-// EdgeRecordBytes returns the on-disk record size of one edge.
+// EdgeRecordBytes returns the in-memory (decoded) record size of one edge,
+// which is also the on-disk record size under the raw codec.
 func (m *Manifest) EdgeRecordBytes() int {
 	if m.Weighted {
 		return graph.EdgeBytes + graph.WeightBytes
@@ -82,9 +116,35 @@ func (m *Manifest) EdgeRecordBytes() int {
 	return graph.EdgeBytes
 }
 
-// EdgeBytesTotal returns the total on-disk edge payload in bytes.
+// BlockCodec returns the sub-block payload codec. Manifests that fail
+// Validate aside, the codec string always parses; unknown strings fall back
+// to raw.
+func (m *Manifest) BlockCodec() graph.Codec {
+	c, _ := graph.ParseCodec(m.Codec)
+	return c
+}
+
+// EdgeBytesTotal returns the total decoded edge payload in bytes — the
+// number the engine's memory budgeting (buffer charges, prefetch window,
+// ChooseP) works in, independent of the on-disk codec.
 func (m *Manifest) EdgeBytesTotal() int64 {
 	return m.NumEdges * int64(m.EdgeRecordBytes())
+}
+
+// EdgeDiskBytesTotal returns the total on-disk edge payload in bytes: the
+// sum of recorded block sizes when the manifest has them, otherwise the
+// fixed-record total. This is the number the I/O cost model works in.
+func (m *Manifest) EdgeDiskBytesTotal() int64 {
+	if m.BlockBytes == nil {
+		return m.EdgeBytesTotal()
+	}
+	var total int64
+	for _, row := range m.BlockBytes {
+		for _, b := range row {
+			total += b
+		}
+	}
+	return total
 }
 
 // SubBlockEdges returns the edge count of sub-block (i, j).
@@ -92,15 +152,50 @@ func (m *Manifest) SubBlockEdges(i, j int) int64 {
 	return m.EdgeCounts[i][j]
 }
 
-// SubBlockBytes returns the on-disk size of sub-block (i, j) in bytes.
+// SubBlockBytes returns the decoded size of sub-block (i, j) in bytes —
+// what the edges occupy in memory once loaded, used for buffer charging and
+// prefetch-window admission.
 func (m *Manifest) SubBlockBytes(i, j int) int64 {
 	return m.EdgeCounts[i][j] * int64(m.EdgeRecordBytes())
 }
 
+// SubBlockDiskBytes returns the on-disk payload size of sub-block (i, j):
+// the recorded compressed size when available, the fixed-record size
+// otherwise.
+func (m *Manifest) SubBlockDiskBytes(i, j int) int64 {
+	if m.BlockBytes == nil {
+		return m.SubBlockBytes(i, j)
+	}
+	return m.BlockBytes[i][j]
+}
+
 // Validate checks internal consistency of the manifest.
 func (m *Manifest) Validate() error {
-	if m.FormatVersion != FormatVersion {
-		return fmt.Errorf("partition: unsupported format version %d", m.FormatVersion)
+	if m.FormatVersion < minFormatVersion || m.FormatVersion > FormatVersion {
+		return fmt.Errorf("partition: unsupported format version %d (supported %d..%d)",
+			m.FormatVersion, minFormatVersion, FormatVersion)
+	}
+	codec, err := graph.ParseCodec(m.Codec)
+	if err != nil {
+		return fmt.Errorf("partition: %w", err)
+	}
+	if codec != graph.CodecRaw && m.FormatVersion < 2 {
+		return fmt.Errorf("partition: codec %q requires format version >= 2, got %d", m.Codec, m.FormatVersion)
+	}
+	if codec == graph.CodecDelta && m.BlockBytes == nil {
+		return fmt.Errorf("partition: codec %q without recorded block sizes", m.Codec)
+	}
+	if m.BlockBytes != nil {
+		if len(m.BlockBytes) != m.P {
+			return fmt.Errorf("partition: block size rows %d != P %d", len(m.BlockBytes), m.P)
+		}
+		for i, row := range m.BlockBytes {
+			for _, b := range row {
+				if b < 0 {
+					return fmt.Errorf("partition: negative block size in row %d", i)
+				}
+			}
+		}
 	}
 	if m.NumVertices < 0 || m.NumEdges < 0 {
 		return fmt.Errorf("partition: negative counts v=%d e=%d", m.NumVertices, m.NumEdges)

@@ -162,8 +162,8 @@ func TestIndexLocatesEveryVertex(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(idx) != hi-lo+1 {
-				t.Fatalf("index (%d,%d) has %d entries, want %d", i, j, len(idx), hi-lo+1)
+			if len(idx.Rec) != hi-lo+1 {
+				t.Fatalf("index (%d,%d) has %d entries, want %d", i, j, len(idx.Rec), hi-lo+1)
 			}
 			r, err := l.OpenSubBlock(i, j)
 			if err != nil {
@@ -288,12 +288,12 @@ func TestBuildHUSGraphLayout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(idx) != 4 { // 3 vertices + 1
-		t.Fatalf("row index len = %d", len(idx))
+	if len(idx.Rec) != 4 { // 3 vertices + 1
+		t.Fatalf("row index len = %d", len(idx.Rec))
 	}
 	// Vertex 2 has 2 edges in row 0.
-	if idx[3]-idx[2] != 2 {
-		t.Fatalf("vertex 2 edge count via index = %d", idx[3]-idx[2])
+	if idx.Rec[3]-idx.Rec[2] != 2 {
+		t.Fatalf("vertex 2 edge count via index = %d", idx.Rec[3]-idx.Rec[2])
 	}
 	// Column 1 holds edges with dst in {3,4,5}, sorted by dst.
 	col1, err := l.LoadCol(1)
@@ -364,7 +364,7 @@ func TestPreprocessingWriteVolumeOrdering(t *testing.T) {
 		t.Fatal(err)
 	}
 	volumes := map[string]int64{}
-	for name, build := range map[string]func(*storage.Device, *graph.Graph, int) (*Layout, error){
+	for name, build := range map[string]func(*storage.Device, *graph.Graph, int, ...BuildOption) (*Layout, error){
 		"graphsd": Build, "husgraph": BuildHUSGraph, "lumos": BuildLumos,
 	} {
 		dev := testDevice(t)
