@@ -210,3 +210,39 @@ func TestEndToEndDeltaCodec(t *testing.T) {
 		t.Fatalf("husgraph delta error output: %s", out)
 	}
 }
+
+// TestEndToEndCheckpointResume: the fault-tolerance workflow — run with
+// crash-safe checkpoints enabled, then resume from the final checkpoint and
+// reach the same converged state.
+func TestEndToEndCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	run(t, graphgenBin, "-kind", "rmat", "-scale", "9", "-edgefactor", "8", "-o", graphPath)
+	layoutDir := filepath.Join(dir, "layout")
+	run(t, graphsdBin, "preprocess", "-graph", graphPath, "-layout", layoutDir, "-p", "4")
+
+	ckDir := filepath.Join(dir, "ck")
+	out := run(t, graphsdBin, "run", "-layout", layoutDir, "-algorithm", "pr",
+		"-iterations", "6", "-checkpoint", ckDir, "-checkpoint-every", "2", "-retries", "3", "-top", "1")
+	if !strings.Contains(out, "checkpoints: 3 written") {
+		t.Fatalf("checkpointed run output: %s", out)
+	}
+
+	out = run(t, graphsdBin, "run", "-layout", layoutDir, "-algorithm", "pr",
+		"-iterations", "6", "-checkpoint", ckDir, "-resume", "-top", "1")
+	if !strings.Contains(out, "resumed from checkpoint at iteration 6") {
+		t.Fatalf("resumed run output: %s", out)
+	}
+
+	// -resume needs a checkpoint dir; checkpoints need a graphsd layout.
+	out = runExpectFail(t, graphsdBin, "run", "-layout", layoutDir, "-algorithm", "pr", "-resume")
+	if !strings.Contains(out, "-resume requires -checkpoint") {
+		t.Fatalf("resume error output: %s", out)
+	}
+	husDir := filepath.Join(dir, "hus")
+	run(t, graphsdBin, "preprocess", "-graph", graphPath, "-layout", husDir, "-p", "4", "-system", "husgraph")
+	out = runExpectFail(t, graphsdBin, "run", "-layout", husDir, "-algorithm", "pr", "-checkpoint", ckDir)
+	if !strings.Contains(out, "graphsd layouts") {
+		t.Fatalf("husgraph checkpoint error output: %s", out)
+	}
+}

@@ -198,6 +198,10 @@ func cmdRun(args []string) error {
 	tracePath := fs.String("iotrace", "", "record a JSONL I/O trace to this file")
 	prefetchDepth := fs.Int("prefetch-depth", 0, "I/O pipeline read-ahead depth (0: default, negative: disable)")
 	prefetchBytes := fs.Int64("prefetch-bytes", 0, "I/O pipeline window byte budget (0: default)")
+	ckDir := fs.String("checkpoint", "", "checkpoint directory (enables crash-safe iteration checkpoints)")
+	ckEvery := fs.Int("checkpoint-every", 4, "iterations between checkpoints (with -checkpoint)")
+	resume := fs.Bool("resume", false, "resume from the checkpoint in -checkpoint, if present")
+	retries := fs.Int("retries", 0, "retry transient read faults up to N times with exponential backoff")
 	fs.Parse(args)
 	if *layoutDir == "" || *alg == "" {
 		return fmt.Errorf("run: -layout and -algorithm are required")
@@ -217,6 +221,20 @@ func cmdRun(args []string) error {
 	prog, err := algorithms.ByName(*alg, graph.VertexID(*source))
 	if err != nil {
 		return err
+	}
+	if *resume && *ckDir == "" {
+		return fmt.Errorf("run: -resume requires -checkpoint")
+	}
+	if *ckDir != "" && l.Meta.System != "graphsd" {
+		return fmt.Errorf("run: -checkpoint is only supported for graphsd layouts (this one is %q)", l.Meta.System)
+	}
+	if *ckDir != "" && *ckEvery <= 0 {
+		return fmt.Errorf("run: -checkpoint-every must be positive")
+	}
+	if *retries > 0 {
+		pol := storage.DefaultRetryPolicy
+		pol.MaxRetries = *retries
+		dev.SetRetryPolicy(pol)
 	}
 
 	if *tracePath != "" {
@@ -246,6 +264,9 @@ func cmdRun(args []string) error {
 	opts.DisableCrossIteration = *noCross
 	opts.PrefetchDepth = *prefetchDepth
 	opts.PrefetchBytes = *prefetchBytes
+	if *ckDir != "" {
+		opts.Checkpoint = core.CheckpointOptions{Every: *ckEvery, Dir: *ckDir, Resume: *resume}
+	}
 	switch *force {
 	case "":
 	case "full":
@@ -281,6 +302,16 @@ func cmdRun(args []string) error {
 		fmt.Printf("pipeline: %d blocks (%s) prefetched, stall=%v overlap=%v\n",
 			pl.Blocks, storage.FormatBytes(pl.Bytes),
 			pl.Stall.Round(time.Microsecond), pl.Overlap.Round(time.Microsecond))
+	}
+	if res.Resumed {
+		fmt.Printf("resumed from checkpoint at iteration %d\n", res.ResumedFrom)
+	}
+	if res.Checkpoints > 0 {
+		fmt.Printf("checkpoints: %d written to %s\n", res.Checkpoints, *ckDir)
+	}
+	if res.IO.Retries > 0 || res.Pipeline.Fallbacks > 0 {
+		fmt.Printf("fault recovery: %d retried reads, %d pipeline fallbacks to synchronous loads\n",
+			res.IO.Retries, res.Pipeline.Fallbacks)
 	}
 	if *trace {
 		tr := metrics.NewTable("per-iteration trace", "iter", "path", "active", "bytes", "io time", "compute", "decode", "stall", "overlap")

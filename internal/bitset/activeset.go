@@ -124,3 +124,17 @@ func (s *ActiveSet) Slice() []int {
 
 // Bits exposes the underlying dense bitset for read-only use.
 func (s *ActiveSet) Bits() *Bitset { return s.bits }
+
+// Words exposes the underlying bit words for serialization (see
+// Bitset.Words). Read-only.
+func (s *ActiveSet) Words() []uint64 { return s.bits.Words() }
+
+// LoadWords overwrites the set from a Words snapshot, recomputing the
+// cached population count.
+func (s *ActiveSet) LoadWords(words []uint64) error {
+	if err := s.bits.SetWords(words); err != nil {
+		return err
+	}
+	s.count = s.bits.Count()
+	return nil
+}

@@ -144,6 +144,21 @@ func (b *Bitset) Fill() {
 	}
 }
 
+// Words exposes the underlying 64-bit words (LSB-first within each word)
+// for serialization. The returned slice aliases the bitset; callers must
+// treat it as read-only.
+func (b *Bitset) Words() []uint64 { return b.words }
+
+// SetWords overwrites the bitset from a Words snapshot of a bitset with the
+// same capacity.
+func (b *Bitset) SetWords(words []uint64) error {
+	if len(words) != len(b.words) {
+		return fmt.Errorf("bitset: SetWords length %d, want %d", len(words), len(b.words))
+	}
+	copy(b.words, words)
+	return nil
+}
+
 // Clone returns a deep copy of the bitset.
 func (b *Bitset) Clone() *Bitset {
 	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}

@@ -1,0 +1,290 @@
+// Package checkpoint persists engine execution state at iteration
+// boundaries so an interrupted out-of-core run can resume instead of
+// recomputing every completed iteration. The file is written crash-safely
+// (write-temp + fsync + rename, then directory fsync) and carries a magic
+// header plus a CRC32C of the body, so a torn or corrupted checkpoint is
+// detected at load rather than resumed from.
+//
+// The checkpoint directory is a plain host directory, deliberately outside
+// the simulated storage.Device: checkpoints are operational state of the
+// run, not graph data, and they must survive exactly the faults the device
+// is being used to inject.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// FileName is the checkpoint file inside the checkpoint directory.
+const FileName = "checkpoint.bin"
+
+// magic identifies a checkpoint file; the trailing digits are the format
+// version.
+var magic = [8]byte{'G', 'S', 'D', 'C', 'K', 'P', '0', '1'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// State is the engine state captured at an iteration boundary: everything
+// needed to re-enter the BSP loop and produce results bit-identical to an
+// uninterrupted run.
+type State struct {
+	// Algorithm is the program name; resume refuses a mismatched program.
+	Algorithm string
+	// NumVertices and P pin the layout shape the state belongs to.
+	NumVertices int
+	P           int
+	// Iteration is the number of completed iterations.
+	Iteration int
+	// SecondaryPending records that the interrupted run's next iteration
+	// is the deferred second FCIU phase.
+	SecondaryPending bool
+	// Values holds the vertex values after Iteration iterations.
+	Values []float64
+	// Aux holds the program's auxiliary per-vertex state; nil when the
+	// program keeps none.
+	Aux []float64
+	// AccNext holds the staged next-iteration accumulators (cross-
+	// iteration contributions scattered ahead of the barrier).
+	AccNext []float64
+	// Active holds the frontier bitset words entering the next iteration;
+	// TouchedNext the staged next-iteration touched bitset words.
+	Active      []uint64
+	TouchedNext []uint64
+}
+
+// Path returns the checkpoint file path inside dir.
+func Path(dir string) string { return filepath.Join(dir, FileName) }
+
+// Exists reports whether dir holds a checkpoint file.
+func Exists(dir string) bool {
+	_, err := os.Stat(Path(dir))
+	return err == nil
+}
+
+// Remove deletes the checkpoint in dir, if any.
+func Remove(dir string) error {
+	err := os.Remove(Path(dir))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("checkpoint: removing: %w", err)
+	}
+	return nil
+}
+
+// Save atomically writes s to dir, replacing any previous checkpoint. The
+// data path is temp file → fsync → rename → directory fsync; a crash at any
+// point leaves either the previous checkpoint or the new one, never a torn
+// file under the final name.
+func Save(dir string, s *State) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: creating dir: %w", err)
+	}
+	body := s.appendBody(nil)
+	head := make([]byte, 0, len(magic)+4)
+	head = append(head, magic[:]...)
+	head = binary.LittleEndian.AppendUint32(head, crc32.Checksum(body, castagnoli))
+
+	p := Path(dir)
+	tmp := p + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	_, werr := f.Write(head)
+	if werr == nil {
+		_, werr = f.Write(body)
+	}
+	serr := f.Sync()
+	cerr := f.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: writing: %w", err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: publishing: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and validates the checkpoint in dir.
+func Load(dir string) (*State, error) {
+	data, err := os.ReadFile(Path(dir))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(data) < len(magic)+4 {
+		return nil, fmt.Errorf("checkpoint: file truncated at %d bytes", len(data))
+	}
+	if string(data[:len(magic)]) != string(magic[:]) {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", data[:len(magic)])
+	}
+	want := binary.LittleEndian.Uint32(data[len(magic):])
+	body := data[len(magic)+4:]
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("checkpoint: body crc32c %08x, header records %08x — checkpoint corrupt", got, want)
+	}
+	s := &State{}
+	if err := s.parseBody(body); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return s, nil
+}
+
+const (
+	flagSecondaryPending = 1 << 0
+	flagHasAux           = 1 << 1
+)
+
+func (s *State) appendBody(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s.Algorithm)))
+	buf = append(buf, s.Algorithm...)
+	buf = binary.AppendUvarint(buf, uint64(s.NumVertices))
+	buf = binary.AppendUvarint(buf, uint64(s.P))
+	buf = binary.AppendUvarint(buf, uint64(s.Iteration))
+	var flags byte
+	if s.SecondaryPending {
+		flags |= flagSecondaryPending
+	}
+	if s.Aux != nil {
+		flags |= flagHasAux
+	}
+	buf = append(buf, flags)
+	buf = appendFloats(buf, s.Values)
+	if s.Aux != nil {
+		buf = appendFloats(buf, s.Aux)
+	}
+	buf = appendFloats(buf, s.AccNext)
+	buf = appendWords(buf, s.Active)
+	buf = appendWords(buf, s.TouchedNext)
+	return buf
+}
+
+func (s *State) parseBody(data []byte) error {
+	r := &reader{data: data}
+	nameLen := r.uvarint("algorithm length")
+	name := r.bytes(int(nameLen), "algorithm name")
+	s.Algorithm = string(name)
+	s.NumVertices = int(r.uvarint("vertex count"))
+	s.P = int(r.uvarint("interval count"))
+	s.Iteration = int(r.uvarint("iteration"))
+	flags := r.byte("flags")
+	s.SecondaryPending = flags&flagSecondaryPending != 0
+	s.Values = r.floats("values")
+	if flags&flagHasAux != 0 {
+		s.Aux = r.floats("aux")
+	}
+	s.AccNext = r.floats("accumulators")
+	s.Active = r.words("active bitset")
+	s.TouchedNext = r.words("touched bitset")
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.data) != 0 {
+		return fmt.Errorf("%d trailing bytes", len(r.data))
+	}
+	return nil
+}
+
+func appendFloats(buf []byte, vals []float64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	for _, v := range vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+func appendWords(buf []byte, words []uint64) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(words)))
+	for _, w := range words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+// reader is a cursor over the checkpoint body that records the first
+// decode error instead of forcing error checks at every field.
+type reader struct {
+	data []byte
+	err  error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated or corrupt %s", what)
+	}
+}
+
+func (r *reader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, k := binary.Uvarint(r.data)
+	if k <= 0 {
+		r.fail(what)
+		return 0
+	}
+	r.data = r.data[k:]
+	return v
+}
+
+func (r *reader) byte(what string) byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.data) < 1 {
+		r.fail(what)
+		return 0
+	}
+	b := r.data[0]
+	r.data = r.data[1:]
+	return b
+}
+
+func (r *reader) bytes(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.data) {
+		r.fail(what)
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *reader) floats(what string) []float64 {
+	n := r.uvarint(what)
+	raw := r.bytes(int(n)*8, what)
+	if r.err != nil {
+		return nil
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return vals
+}
+
+func (r *reader) words(what string) []uint64 {
+	n := r.uvarint(what)
+	raw := r.bytes(int(n)*8, what)
+	if r.err != nil {
+		return nil
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	return words
+}

@@ -1,0 +1,306 @@
+package core_test
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/checkpoint"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// Chaos harness: seeded probabilistic fault injection over full engine runs.
+// The contract under test is the tentpole of the fault-tolerance work: a run
+// subjected to transient read faults (recovered by device retries and
+// pipeline degradation) must produce results bit-identical to a fault-free
+// run, on every update path and codec; and a run killed mid-stream must
+// resume from its checkpoint to the same final values.
+
+func requireIdenticalOutputs(t *testing.T, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("output length %d, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if math.Float64bits(want[v]) != math.Float64bits(got[v]) {
+			t.Fatalf("vertex %d: output %v differs from fault-free %v", v, got[v], want[v])
+		}
+	}
+}
+
+func chaosLayout(t *testing.T, codec graph.Codec, seed int64) *partition.Layout {
+	t.Helper()
+	dev, err := storage.OpenDevice(t.TempDir(), storage.ScaledHDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.RMAT(9, 8, gen.Graph500, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := partition.Build(dev, g, 4, partition.WithCodec(codec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// chaosRecord is one row of the BENCH_chaos.json-style CI artifact.
+type chaosRecord struct {
+	Path       string `json:"path"`
+	Codec      string `json:"codec"`
+	Ops        int64  `json:"chaos_ops"`
+	Transient  int64  `json:"transient_faults"`
+	Retries    int64  `json:"device_retries"`
+	Fallbacks  int    `json:"pipeline_fallbacks"`
+	Iterations int    `json:"iterations"`
+	Identical  bool   `json:"bit_identical"`
+}
+
+// TestChaosRunsBitIdentical injects transient read faults into every
+// combination of update path (FCIU via PageRank, SCIU via on-demand BFS) and
+// sub-block codec, and requires the faulty run to converge to outputs
+// bit-identical to the fault-free baseline, with the recovery machinery
+// demonstrably exercised (device retries observed). When CHAOS_OUT names a
+// file, a JSON artifact summarising each combination is written for CI.
+func TestChaosRunsBitIdentical(t *testing.T) {
+	paths := []struct {
+		name string
+		prog func() core.Program
+		opts core.Options
+	}{
+		{"fciu", func() core.Program { return &algorithms.PageRank{Iterations: 6} }, core.Options{}},
+		{"sciu", func() core.Program { return &algorithms.BFS{Source: 0} }, core.Options{ForceModel: core.ForceOnDemand}},
+	}
+	var records []chaosRecord
+	for _, codec := range []graph.Codec{graph.CodecRaw, graph.CodecDelta} {
+		for _, p := range paths {
+			t.Run(p.name+"/"+codec.String(), func(t *testing.T) {
+				l := chaosLayout(t, codec, 5)
+				base, err := core.Run(l, p.prog(), p.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				chaos := storage.NewChaos(storage.ChaosOptions{
+					Seed:              42,
+					TransientReadProb: 0.05,
+					Match: func(op, name string) bool {
+						return op == "read" || op == "readat"
+					},
+				})
+				l.Dev.SetFaultInjector(chaos.Injector())
+				l.Dev.SetRetryPolicy(storage.RetryPolicy{
+					MaxRetries: 5,
+					BaseDelay:  time.Millisecond,
+					MaxDelay:   50 * time.Millisecond,
+					Seed:       1,
+				})
+				res, err := core.Run(l, p.prog(), p.opts)
+				l.Dev.SetFaultInjector(nil)
+				l.Dev.SetRetryPolicy(storage.RetryPolicy{})
+				if err != nil {
+					t.Fatalf("chaos run did not survive: %v", err)
+				}
+
+				cs := chaos.Stats()
+				if cs.Transient == 0 {
+					t.Fatalf("chaos injected no faults over %d ops — harness not exercised", cs.Ops)
+				}
+				if res.IO.Retries == 0 {
+					t.Fatal("faults injected but device recorded no retries")
+				}
+				if res.Iterations != base.Iterations || res.Converged != base.Converged {
+					t.Fatalf("faulty run: %d iters converged=%t, fault-free: %d iters converged=%t",
+						res.Iterations, res.Converged, base.Iterations, base.Converged)
+				}
+				requireIdenticalOutputs(t, base.Outputs, res.Outputs)
+				records = append(records, chaosRecord{
+					Path:       p.name,
+					Codec:      codec.String(),
+					Ops:        cs.Ops,
+					Transient:  cs.Transient,
+					Retries:    res.IO.Retries,
+					Fallbacks:  res.Pipeline.Fallbacks,
+					Iterations: res.Iterations,
+					Identical:  true,
+				})
+			})
+		}
+	}
+
+	if path := os.Getenv("CHAOS_OUT"); path != "" && len(records) > 0 {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFCIUPipelineDegradesToSync proves the prefetch pipeline degrades to
+// synchronous loads — counted in Pipeline.Fallbacks — rather than cancelling
+// the run, when a prefetched sub-block read faults transiently and the
+// device itself has no retry budget.
+func TestFCIUPipelineDegradesToSync(t *testing.T) {
+	l := chaosLayout(t, graph.CodecRaw, 6)
+	base, err := core.Run(l, &algorithms.PageRank{Iterations: 4}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fired atomic.Bool
+	l.Dev.SetFaultInjector(func(op, name string) error {
+		if op == "read" && strings.HasPrefix(name, "blocks/") && fired.CompareAndSwap(false, true) {
+			return storage.Transient(errors.New("cosmic ray"))
+		}
+		return nil
+	})
+	res, err := core.Run(l, &algorithms.PageRank{Iterations: 4}, core.Options{})
+	l.Dev.SetFaultInjector(nil)
+	if err != nil {
+		t.Fatalf("run did not degrade past transient pipeline fault: %v", err)
+	}
+	if res.Pipeline.Fallbacks == 0 {
+		t.Fatal("transient pipeline fault recorded no fallbacks")
+	}
+	requireIdenticalOutputs(t, base.Outputs, res.Outputs)
+}
+
+// TestSCIUPipelineDegradesToSync is the same contract for the selective
+// (on-demand) path: a transient fault in a prefetched selective load drops
+// the iteration to synchronous per-vertex reads mid-stream.
+func TestSCIUPipelineDegradesToSync(t *testing.T) {
+	l := chaosLayout(t, graph.CodecDelta, 6)
+	opts := core.Options{ForceModel: core.ForceOnDemand}
+	prog := func() core.Program { return &algorithms.BFS{Source: 0} }
+	base, err := core.Run(l, prog(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fired atomic.Bool
+	l.Dev.SetFaultInjector(func(op, name string) error {
+		if op == "readat" && fired.CompareAndSwap(false, true) {
+			return storage.Transient(errors.New("bus glitch"))
+		}
+		return nil
+	})
+	res, err := core.Run(l, prog(), opts)
+	l.Dev.SetFaultInjector(nil)
+	if err != nil {
+		t.Fatalf("sciu run did not degrade past transient fault: %v", err)
+	}
+	if res.Pipeline.Fallbacks == 0 {
+		t.Fatal("transient sciu fault recorded no fallbacks")
+	}
+	requireIdenticalOutputs(t, base.Outputs, res.Outputs)
+}
+
+// TestCrashAndResumeBitIdentical kills a checkpointed run mid-flight (every
+// device op fails permanently after iteration 3) and resumes it from the
+// checkpoint written at the iteration-4 boundary; the resumed run must
+// finish with outputs bit-identical to a run that was never interrupted,
+// across both codecs, including across an FCIU second-phase boundary.
+func TestCrashAndResumeBitIdentical(t *testing.T) {
+	for _, codec := range []graph.Codec{graph.CodecRaw, graph.CodecDelta} {
+		t.Run(codec.String(), func(t *testing.T) {
+			l := chaosLayout(t, codec, 7)
+			prog := func() core.Program { return &algorithms.PageRank{Iterations: 8} }
+			base, err := core.Run(l, prog(), core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ckDir := t.TempDir()
+			power := errors.New("power loss")
+			_, err = core.Run(l, prog(), core.Options{
+				Checkpoint: core.CheckpointOptions{Every: 2, Dir: ckDir},
+				OnIteration: func(st core.IterStat) {
+					if st.Index == 3 {
+						l.Dev.SetFaultInjector(func(op, name string) error { return power })
+					}
+				},
+			})
+			l.Dev.SetFaultInjector(nil)
+			if !errors.Is(err, power) {
+				t.Fatalf("crashed run returned %v, want injected power loss", err)
+			}
+			if !checkpoint.Exists(ckDir) {
+				t.Fatal("no checkpoint survived the crash")
+			}
+
+			res, err := core.Run(l, prog(), core.Options{
+				Checkpoint: core.CheckpointOptions{Every: 2, Dir: ckDir, Resume: true},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Resumed || res.ResumedFrom != 4 {
+				t.Fatalf("resumed=%t from %d, want resume from iteration 4", res.Resumed, res.ResumedFrom)
+			}
+			if res.Iterations != base.Iterations {
+				t.Fatalf("resumed run ran %d iterations, uninterrupted ran %d", res.Iterations, base.Iterations)
+			}
+			if res.Checkpoints == 0 {
+				t.Fatal("resumed run wrote no further checkpoints")
+			}
+			requireIdenticalOutputs(t, base.Outputs, res.Outputs)
+		})
+	}
+}
+
+// TestResumeValidation covers the resume edge cases: an empty directory
+// starts fresh, a checkpoint from another algorithm is refused, and a
+// corrupted checkpoint fails the run instead of silently restarting.
+func TestResumeValidation(t *testing.T) {
+	l := chaosLayout(t, graph.CodecRaw, 8)
+	ckDir := t.TempDir()
+
+	res, err := core.Run(l, &algorithms.PageRank{Iterations: 4}, core.Options{
+		Checkpoint: core.CheckpointOptions{Every: 2, Dir: ckDir, Resume: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed {
+		t.Fatal("run resumed from an empty checkpoint dir")
+	}
+	if res.Checkpoints == 0 {
+		t.Fatal("checkpointed run wrote no checkpoints")
+	}
+
+	_, err = core.Run(l, &algorithms.BFS{Source: 0}, core.Options{
+		Checkpoint: core.CheckpointOptions{Dir: ckDir, Resume: true},
+	})
+	if err == nil || !strings.Contains(err.Error(), "algorithm") {
+		t.Fatalf("pagerank checkpoint resumed by bfs: %v", err)
+	}
+
+	data, err := os.ReadFile(checkpoint.Path(ckDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(checkpoint.Path(ckDir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Run(l, &algorithms.PageRank{Iterations: 4}, core.Options{
+		Checkpoint: core.CheckpointOptions{Dir: ckDir, Resume: true},
+	})
+	if err == nil || !strings.Contains(err.Error(), "crc32c") {
+		t.Fatalf("corrupt checkpoint resumed: %v", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/graphsd/graphsd/internal/bitset"
 	"github.com/graphsd/graphsd/internal/buffer"
+	"github.com/graphsd/graphsd/internal/checkpoint"
 	"github.com/graphsd/graphsd/internal/graph"
 	"github.com/graphsd/graphsd/internal/iosched"
 	"github.com/graphsd/graphsd/internal/partition"
@@ -172,6 +173,26 @@ func (e *Engine) run() (*Result, error) {
 	}
 	e.prog.Init(e.n, e.valPrev, e.aux, e.active)
 	copy(e.valCur, e.valPrev)
+
+	iter := 0
+	secondaryPending := false
+	resumed := false
+	checkpoints := 0
+	ck := e.opts.Checkpoint
+	if ck.Resume && ck.Dir != "" && checkpoint.Exists(ck.Dir) {
+		st, err := checkpoint.Load(ck.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.restoreCheckpoint(st); err != nil {
+			return nil, err
+		}
+		iter = st.Iteration
+		secondaryPending = st.SecondaryPending
+		resumed = true
+	}
+	resumedFrom := iter
+
 	if e.opts.PersistValues {
 		e.valStore, err = vertexstore.New(dev, "primary", e.n)
 		if err != nil {
@@ -187,8 +208,6 @@ func (e *Engine) run() (*Result, error) {
 		maxIter = e.opts.MaxIterations
 	}
 
-	iter := 0
-	secondaryPending := false
 	var iterStats []IterStat
 	for iter < maxIter {
 		if !secondaryPending && e.active.Empty() && e.touchedNext.Empty() {
@@ -265,6 +284,12 @@ func (e *Engine) run() (*Result, error) {
 		e.valPrev, e.valCur = e.valCur, e.valPrev
 		copy(e.valCur, e.valPrev)
 		iter++
+		if ck.saveEnabled() && iter%ck.Every == 0 {
+			if err := e.saveCheckpoint(ck.Dir, iter, secondaryPending); err != nil {
+				return nil, err
+			}
+			checkpoints++
+		}
 	}
 
 	outputs := make([]float64, e.n)
@@ -290,6 +315,9 @@ func (e *Engine) run() (*Result, error) {
 		Buffer:            e.buf.Stats(),
 		Pipeline:          e.plStats,
 		IterStats:         iterStats,
+		Resumed:           resumed,
+		ResumedFrom:       resumedFrom,
+		Checkpoints:       checkpoints,
 	}, nil
 }
 

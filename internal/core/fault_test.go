@@ -9,6 +9,7 @@ import (
 	"github.com/graphsd/graphsd/internal/algorithms"
 	"github.com/graphsd/graphsd/internal/core"
 	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/graph"
 	"github.com/graphsd/graphsd/internal/partition"
 	"github.com/graphsd/graphsd/internal/storage"
 )
@@ -17,7 +18,7 @@ import (
 // path — degree load, full sub-block loads, selective index/edge reads —
 // rather than silently producing partial results.
 
-func faultLayout(t *testing.T) *partition.Layout {
+func faultLayoutCodec(t *testing.T, codec graph.Codec) *partition.Layout {
 	t.Helper()
 	dev, err := storage.OpenDevice(t.TempDir(), storage.ScaledHDD)
 	if err != nil {
@@ -27,11 +28,15 @@ func faultLayout(t *testing.T) *partition.Layout {
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := partition.Build(dev, g, 4)
+	l, err := partition.Build(dev, g, 4, partition.WithCodec(codec))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return l
+}
+
+func faultLayout(t *testing.T) *partition.Layout {
+	return faultLayoutCodec(t, graph.CodecRaw)
 }
 
 func TestEngineSurfacesDegreeLoadFailure(t *testing.T) {
@@ -50,17 +55,21 @@ func TestEngineSurfacesDegreeLoadFailure(t *testing.T) {
 }
 
 func TestEngineSurfacesSubBlockReadFailure(t *testing.T) {
-	l := faultLayout(t)
-	boom := errors.New("unreadable block")
-	l.Dev.SetFaultInjector(func(op, name string) error {
-		if strings.HasPrefix(name, "blocks/") && strings.HasSuffix(name, ".edges") && op == "read" {
-			return boom
-		}
-		return nil
-	})
-	_, err := core.Run(l, &algorithms.PageRank{Iterations: 2}, core.Options{})
-	if !errors.Is(err, boom) {
-		t.Fatalf("sub-block fault not surfaced: %v", err)
+	for _, codec := range []graph.Codec{graph.CodecRaw, graph.CodecDelta} {
+		t.Run(codec.String(), func(t *testing.T) {
+			l := faultLayoutCodec(t, codec)
+			boom := errors.New("unreadable block")
+			l.Dev.SetFaultInjector(func(op, name string) error {
+				if strings.HasPrefix(name, "blocks/") && strings.HasSuffix(name, ".edges") && op == "read" {
+					return boom
+				}
+				return nil
+			})
+			_, err := core.Run(l, &algorithms.PageRank{Iterations: 2}, core.Options{})
+			if !errors.Is(err, boom) {
+				t.Fatalf("sub-block fault not surfaced: %v", err)
+			}
+		})
 	}
 }
 
@@ -81,17 +90,48 @@ func TestEngineSurfacesIndexReadFailure(t *testing.T) {
 }
 
 func TestEngineSurfacesSelectiveEdgeReadFailure(t *testing.T) {
-	l := faultLayout(t)
-	boom := errors.New("bad sector")
-	l.Dev.SetFaultInjector(func(op, name string) error {
-		if op == "readat" {
-			return boom
-		}
-		return nil
-	})
-	_, err := core.Run(l, &algorithms.BFS{Source: 0}, core.Options{ForceModel: core.ForceOnDemand})
-	if !errors.Is(err, boom) {
-		t.Fatalf("selective-read fault not surfaced: %v", err)
+	for _, codec := range []graph.Codec{graph.CodecRaw, graph.CodecDelta} {
+		t.Run(codec.String(), func(t *testing.T) {
+			l := faultLayoutCodec(t, codec)
+			boom := errors.New("bad sector")
+			l.Dev.SetFaultInjector(func(op, name string) error {
+				if op == "readat" {
+					return boom
+				}
+				return nil
+			})
+			_, err := core.Run(l, &algorithms.BFS{Source: 0}, core.Options{ForceModel: core.ForceOnDemand})
+			if !errors.Is(err, boom) {
+				t.Fatalf("selective-read fault not surfaced: %v", err)
+			}
+		})
+	}
+}
+
+// TestEngineSurfacesSCIUMidStreamFailure fails the on-demand path after it
+// has already read some vertex edges: the partially-built iteration must be
+// abandoned with the error, never folded into a partial Result. Covers both
+// codecs, since the delta path decodes incrementally per vertex.
+func TestEngineSurfacesSCIUMidStreamFailure(t *testing.T) {
+	for _, codec := range []graph.Codec{graph.CodecRaw, graph.CodecDelta} {
+		t.Run(codec.String(), func(t *testing.T) {
+			l := faultLayoutCodec(t, codec)
+			boom := errors.New("head crash")
+			var reads atomic.Int64
+			l.Dev.SetFaultInjector(func(op, name string) error {
+				if op == "readat" && reads.Add(1) > 5 {
+					return boom
+				}
+				return nil
+			})
+			res, err := core.Run(l, &algorithms.BFS{Source: 0}, core.Options{ForceModel: core.ForceOnDemand})
+			if !errors.Is(err, boom) {
+				t.Fatalf("mid-stream sciu fault not surfaced: %v", err)
+			}
+			if res != nil {
+				t.Fatal("partial result returned alongside error")
+			}
+		})
 	}
 }
 

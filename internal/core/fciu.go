@@ -4,6 +4,7 @@ import (
 	"github.com/graphsd/graphsd/internal/buffer"
 	"github.com/graphsd/graphsd/internal/graph"
 	"github.com/graphsd/graphsd/internal/pipeline"
+	"github.com/graphsd/graphsd/internal/storage"
 )
 
 // fciuMode selects which grid cells an FCIU/full pass will read from disk,
@@ -25,10 +26,18 @@ const (
 // request list is built in the exact order the pass consumes sub-blocks, so
 // the consumer only has to check whether the cell it is about to process is
 // the pipeline's next delivery.
+//
+// degraded records that a prefetched block failed with a transient fault:
+// the pipeline has cancelled its remaining admissions, so the rest of the
+// pass falls back to synchronous loads (which carry the device's own retry
+// policy) instead of aborting the run. fallbacks counts the blocks loaded
+// that way.
 type fciuPass struct {
-	pf   *pipeline.Prefetcher[[]graph.Edge]
-	reqs []pipeline.Request
-	next int
+	pf        *pipeline.Prefetcher[[]graph.Edge]
+	reqs      []pipeline.Request
+	next      int
+	degraded  bool
+	fallbacks int
 }
 
 // newFCIUPass snapshots the buffer residency and builds the pass's prefetch
@@ -68,14 +77,28 @@ func (e *Engine) newFCIUPass(mode fciuMode) *fciuPass {
 
 // take returns the prefetched edges for sub-block (i, j) when it is the
 // pipeline's next delivery; ok is false when (i, j) was not prefetched
-// (pipelining off, cell streamed/empty, or expected buffer hit) and the
-// caller must load synchronously.
+// (pipelining off, cell streamed/empty, expected buffer hit, or the pass has
+// degraded to synchronous loads) and the caller must load synchronously.
+//
+// A transient fetch error does not abort the pass: the failing block and
+// every later one are reported as not-prefetched, so the caller re-reads
+// them synchronously through the device's retry path. Permanent errors are
+// surfaced as-is.
 func (p *fciuPass) take(i, j int) (edges []graph.Edge, ok bool, err error) {
 	if p.pf == nil || p.next >= len(p.reqs) || p.reqs[p.next].I != i || p.reqs[p.next].J != j {
 		return nil, false, nil
 	}
 	p.next++
+	if p.degraded {
+		p.fallbacks++
+		return nil, false, nil
+	}
 	_, edges, err = p.pf.Next()
+	if err != nil && storage.IsTransient(err) {
+		p.degraded = true
+		p.fallbacks++
+		return nil, false, nil
+	}
 	return edges, true, err
 }
 
@@ -85,6 +108,7 @@ func (e *Engine) finishFCIUPass(p *fciuPass) {
 	if p.pf != nil {
 		e.finishPrefetch(p.pf)
 	}
+	e.plStats.Fallbacks += p.fallbacks
 }
 
 // nextFCIUBlock fetches sub-block (i, j) for an FCIU pass, preferring the

@@ -73,7 +73,30 @@ type Options struct {
 	// OnIteration, when non-nil, is invoked after every logical iteration
 	// with that iteration's statistics — progress reporting for long runs.
 	OnIteration func(IterStat)
+	// Checkpoint configures crash-safe iteration checkpointing and resume.
+	Checkpoint CheckpointOptions
 }
+
+// CheckpointOptions controls checkpoint/resume of an engine run. A
+// checkpoint captures the complete BSP loop state at an iteration boundary
+// (vertex values, staged cross-iteration accumulators, frontier bitsets),
+// so a run resumed from it produces results bit-identical to one that was
+// never interrupted.
+type CheckpointOptions struct {
+	// Every saves a checkpoint after every Every completed iterations.
+	// Zero (with Resume unset) disables checkpointing.
+	Every int
+	// Dir is the host directory holding the checkpoint file. It is a plain
+	// directory, not part of the simulated device, so injected device
+	// faults never corrupt recovery state.
+	Dir string
+	// Resume restores the checkpoint in Dir before the first iteration.
+	// When Dir holds no checkpoint the run simply starts fresh; a corrupt
+	// or mismatched checkpoint is an error.
+	Resume bool
+}
+
+func (c CheckpointOptions) saveEnabled() bool { return c.Every > 0 && c.Dir != "" }
 
 func (o Options) threads() int {
 	if o.Threads > 0 {
@@ -155,6 +178,13 @@ type Result struct {
 	// active-vertex count entering it, and its I/O and compute shares.
 	// This is the data series of the Figure 10 experiment.
 	IterStats []IterStat
+
+	// Resumed reports that the run restored a checkpoint; ResumedFrom is
+	// the completed-iteration count it picked up at. Checkpoints counts
+	// the checkpoints written during this run.
+	Resumed     bool
+	ResumedFrom int
+	Checkpoints int
 }
 
 // IterStat describes one logical iteration of an engine run.

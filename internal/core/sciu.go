@@ -6,6 +6,7 @@ import (
 	"github.com/graphsd/graphsd/internal/buffer"
 	"github.com/graphsd/graphsd/internal/graph"
 	"github.com/graphsd/graphsd/internal/pipeline"
+	"github.com/graphsd/graphsd/internal/storage"
 )
 
 // sciuRun records that edges[prev.end:end] of a sciuBlock belong to vertex
@@ -135,13 +136,26 @@ func (e *Engine) runSCIU() error {
 	}
 
 	// Scatter: sub-block by sub-block in request order, consuming from the
-	// pipeline when enabled. Cache bookkeeping stays on the consumer.
+	// pipeline when enabled. Cache bookkeeping stays on the consumer. A
+	// transient fetch fault mid-stream degrades the rest of the iteration
+	// to synchronous selective loads (retried by the device) instead of
+	// cancelling the run; the abandoned pipeline is still closed by the
+	// deferred finishPrefetch.
+	degraded := false
+	fallbacks := 0
 	for _, req := range reqs {
 		var blk sciuBlock
 		var err error
-		if pf != nil {
+		if pf != nil && !degraded {
 			_, blk, err = pf.Next()
-		} else {
+			if err != nil && storage.IsTransient(err) {
+				degraded = true
+			}
+		}
+		if pf == nil || degraded {
+			if degraded {
+				fallbacks++
+			}
 			blk, err = e.fetchSCIUBlock(req)
 		}
 		if err != nil {
@@ -171,6 +185,7 @@ func (e *Engine) runSCIU() error {
 		jLo, jHi := e.layout.Meta.Interval(req.J)
 		e.scatter(blk.edges, e.valPrev, e.active, e.acc, e.touched, jLo, jHi)
 	}
+	e.plStats.Fallbacks += fallbacks
 
 	e.applyAll()
 

@@ -27,6 +27,9 @@ type Event struct {
 	Offset int64  `json:"off"`
 	Bytes  int64  `json:"bytes"`
 	SimNs  int64  `json:"sim_ns"`
+	// Retries counts the transient-fault retries the operation needed
+	// before succeeding (omitted when zero — the healthy-device case).
+	Retries int `json:"retries,omitempty"`
 }
 
 // Recorder serializes device trace events to an io.Writer as JSON lines.
@@ -56,13 +59,14 @@ func (r *Recorder) record(ev storage.TraceEvent) {
 	}
 	r.seq++
 	line, err := json.Marshal(Event{
-		Seq:    r.seq,
-		Op:     ev.Op,
-		Class:  ev.Class.String(),
-		Name:   ev.Name,
-		Offset: ev.Offset,
-		Bytes:  ev.Bytes,
-		SimNs:  int64(ev.Cost),
+		Seq:     r.seq,
+		Op:      ev.Op,
+		Class:   ev.Class.String(),
+		Name:    ev.Name,
+		Offset:  ev.Offset,
+		Bytes:   ev.Bytes,
+		SimNs:   int64(ev.Cost),
+		Retries: ev.Retries,
 	})
 	if err != nil {
 		r.err = err
@@ -107,6 +111,10 @@ type Summary struct {
 	// RandomOps and SequentialOps split read operations by class.
 	RandomOps     int64
 	SequentialOps int64
+	// Retries sums the transient-fault retries across all operations;
+	// RetriedOps counts operations that needed at least one.
+	Retries    int64
+	RetriedOps int64
 	// TopFiles lists the busiest files by bytes, descending.
 	TopFiles []FileSummary
 }
@@ -142,6 +150,10 @@ func Analyze(r io.Reader, topN int) (*Summary, error) {
 		s.TotalBytes += ev.Bytes
 		s.SimTime += time.Duration(ev.SimNs)
 		s.ByClass[ev.Class] += ev.Bytes
+		if ev.Retries > 0 {
+			s.Retries += int64(ev.Retries)
+			s.RetriedOps++
+		}
 		switch ev.Class {
 		case "rand-read", "rand-write":
 			s.RandomOps++
@@ -194,6 +206,11 @@ func (s *Summary) Render(w io.Writer) error {
 	}
 	if _, err := fmt.Fprintf(w, "sequential ops: %.0f%%\n", 100*s.SequentialFraction()); err != nil {
 		return err
+	}
+	if s.Retries > 0 {
+		if _, err := fmt.Fprintf(w, "retries: %d across %d ops\n", s.Retries, s.RetriedOps); err != nil {
+			return err
+		}
 	}
 	for _, f := range s.TopFiles {
 		if _, err := fmt.Fprintf(w, "  %-40s %6d ops  %s\n", f.Name, f.Ops, storage.FormatBytes(f.Bytes)); err != nil {

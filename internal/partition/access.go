@@ -32,7 +32,10 @@ func (l *Layout) LoadSubBlockInto(i, j int, dst []graph.Edge, buf []byte) ([]gra
 	}
 	buf, err := l.Dev.ReadFileInto(SubBlockName(i, j), buf)
 	if err != nil {
-		return dst, buf, fmt.Errorf("partition: loading sub-block (%d,%d): %w", i, j, err)
+		return dst, buf, fmt.Errorf("partition: loading sub-block (%d,%d) [%s]: %w", i, j, l.Meta.BlockCodec(), err)
+	}
+	if err := l.Meta.VerifyBlockSum(i, j, buf); err != nil {
+		return dst, buf, fmt.Errorf("partition: sub-block (%d,%d) [%s]: %w", i, j, l.Meta.BlockCodec(), err)
 	}
 	t0 := time.Now()
 	if l.Meta.BlockCodec() == graph.CodecDelta {
@@ -44,7 +47,7 @@ func (l *Layout) LoadSubBlockInto(i, j int, dst []graph.Edge, buf []byte) ([]gra
 	}
 	l.noteDecode(t0)
 	if err != nil {
-		return dst, buf, fmt.Errorf("partition: decoding sub-block (%d,%d): %w", i, j, err)
+		return dst, buf, fmt.Errorf("partition: decoding sub-block (%d,%d) [%s]: %w", i, j, l.Meta.BlockCodec(), err)
 	}
 	return dst, buf, nil
 }
@@ -83,13 +86,13 @@ func (l *Layout) StreamSubBlock(i, j int, chunkBytes int64, fn func(edges []grap
 		}
 		chunk := buf[:n*rec]
 		if _, err := r.AutoReadAt(chunk, off*rec); err != nil {
-			return fmt.Errorf("partition: streaming sub-block (%d,%d)@%d: %w", i, j, off, err)
+			return fmt.Errorf("partition: streaming sub-block (%d,%d)@%d [raw]: %w", i, j, off, err)
 		}
 		t0 := time.Now()
 		edges, err = graph.AppendEdges(edges[:0], chunk, l.Meta.Weighted)
 		l.noteDecode(t0)
 		if err != nil {
-			return err
+			return fmt.Errorf("partition: decoding sub-block (%d,%d)@%d [raw]: %w", i, j, off, err)
 		}
 		if err := fn(edges); err != nil {
 			return err
@@ -136,13 +139,13 @@ func (l *Layout) streamDeltaSubBlock(i, j int, chunkBytes int64, fn func(edges [
 		}
 		buf = buf[:o1-o0]
 		if _, err := r.AutoReadAt(buf, o0); err != nil {
-			return fmt.Errorf("partition: streaming sub-block (%d,%d)@%d: %w", i, j, o0, err)
+			return fmt.Errorf("partition: streaming sub-block (%d,%d)@%d [delta]: %w", i, j, o0, err)
 		}
 		t0 := time.Now()
 		edges, err = graph.AppendDeltaRuns(edges[:0], buf, idx.srcBase, idx.dstBase)
 		l.noteDecode(t0)
 		if err != nil {
-			return fmt.Errorf("partition: decoding sub-block (%d,%d) chunk: %w", i, j, err)
+			return fmt.Errorf("partition: decoding sub-block (%d,%d) chunk [delta]: %w", i, j, err)
 		}
 		if int64(len(edges)) != r1-r0 {
 			return fmt.Errorf("partition: sub-block (%d,%d) chunk decoded %d edges, index says %d", i, j, len(edges), r1-r0)
@@ -316,11 +319,11 @@ func (l *Layout) ReadVertexEdges(r *storage.Reader, idx *Index, i int, v graph.V
 	}
 	buf = buf[:n]
 	if _, err := r.AutoReadAt(buf, start*rec); err != nil {
-		return nil, buf, fmt.Errorf("partition: reading edges of vertex %d: %w", v, err)
+		return nil, buf, fmt.Errorf("partition: %s [raw]: reading edges of vertex %d: %w", r.Name(), v, err)
 	}
 	edges, err := graph.DecodeEdges(buf, l.Meta.Weighted)
 	if err != nil {
-		return nil, buf, err
+		return nil, buf, fmt.Errorf("partition: %s [raw]: decoding edges of vertex %d: %w", r.Name(), v, err)
 	}
 	return edges, buf, nil
 }
@@ -337,17 +340,17 @@ func (l *Layout) readVertexEdgesDelta(r *storage.Reader, idx *Index, v graph.Ver
 	}
 	buf = buf[:o1-o0]
 	if _, err := r.AutoReadAt(buf, o0); err != nil {
-		return nil, buf, fmt.Errorf("partition: reading edges of vertex %d: %w", v, err)
+		return nil, buf, fmt.Errorf("partition: %s [delta]: reading edges of vertex %d: %w", r.Name(), v, err)
 	}
 	edges, err := graph.AppendDeltaRuns(nil, buf, idx.srcBase, idx.dstBase)
 	if err != nil {
-		return nil, buf, fmt.Errorf("partition: decoding edges of vertex %d: %w", v, err)
+		return nil, buf, fmt.Errorf("partition: %s [delta]: decoding edges of vertex %d: %w", r.Name(), v, err)
 	}
 	if l.Meta.Weighted {
 		r0, r1 := idx.Rec[k], idx.Rec[k+1]
 		wbase := idx.Off[len(idx.Off)-1]
 		if buf, err = l.readWeightColumn(r, buf, wbase, r0, r1, edges); err != nil {
-			return nil, buf, fmt.Errorf("partition: reading weights of vertex %d: %w", v, err)
+			return nil, buf, fmt.Errorf("partition: %s [delta]: reading weights of vertex %d: %w", r.Name(), v, err)
 		}
 	}
 	return edges, buf, nil
@@ -380,7 +383,7 @@ func (l *Layout) LoadRow(i int) ([]graph.Edge, error) {
 // the row-major baselines reuses both instead of allocating per block.
 // Row blocks are always raw: the row-major preprocessors reject delta.
 func (l *Layout) LoadRowInto(i int, dst []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
-	return l.loadRawFileInto(RowName(i), "row", i, dst, buf)
+	return l.loadRawFileInto(RowName(i), "row", i, l.Meta.RowSums, dst, buf)
 }
 
 // LoadRowIndex reads the per-vertex index of HUS-Graph row block i.
@@ -418,25 +421,31 @@ func (l *Layout) LoadCol(j int) ([]graph.Edge, error) {
 // LoadColInto reads column block j like LoadCol, with the same buffer
 // reuse as LoadRowInto.
 func (l *Layout) LoadColInto(j int, dst []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
-	return l.loadRawFileInto(ColName(j), "column", j, dst, buf)
+	return l.loadRawFileInto(ColName(j), "column", j, l.Meta.ColSums, dst, buf)
 }
 
 // loadRawFileInto reads a raw fixed-record edge file (row or column block)
-// through reusable buffers; absent files decode to zero edges.
-func (l *Layout) loadRawFileInto(name, kind string, i int, dst []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
+// through reusable buffers, verifying its payload against sums[i] when the
+// manifest recorded checksums; absent files decode to zero edges.
+func (l *Layout) loadRawFileInto(name, kind string, i int, sums []uint32, dst []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
 	dst = dst[:0]
 	if !l.Dev.Exists(name) {
 		return dst, buf, nil
 	}
 	buf, err := l.Dev.ReadFileInto(name, buf)
 	if err != nil {
-		return dst, buf, fmt.Errorf("partition: loading %s %d: %w", kind, i, err)
+		return dst, buf, fmt.Errorf("partition: loading %s %d [raw]: %w", kind, i, err)
+	}
+	if sums != nil {
+		if err := verifySum(sums[i], buf); err != nil {
+			return dst, buf, fmt.Errorf("partition: %s %d [raw]: %w", kind, i, err)
+		}
 	}
 	t0 := time.Now()
 	dst, err = graph.AppendEdges(dst, buf, l.Meta.Weighted)
 	l.noteDecode(t0)
 	if err != nil {
-		return dst, buf, fmt.Errorf("partition: decoding %s %d: %w", kind, i, err)
+		return dst, buf, fmt.Errorf("partition: decoding %s %d [raw]: %w", kind, i, err)
 	}
 	return dst, buf, nil
 }

@@ -90,15 +90,19 @@ func BuildHUSGraph(dev *storage.Device, g *graph.Graph, p int, opts ...BuildOpti
 	bt := newBuildTimer()
 
 	m := newManifest("husgraph", g, p)
+	m.RowSums = make([]uint32, p)
+	m.ColSums = make([]uint32, p)
 
 	// Copy 1: row blocks by source interval, sorted by source vertex.
 	rows := bucketEdges(g, p, func(e graph.Edge) int { return m.IntervalOf(e.Src) })
 	for i := 0; i < p; i++ {
 		sortEdgesBySrc(rows[i])
 		m.EdgeCounts[i][0] = int64(len(rows[i]))
-		if err := writeEdges(dev, bt, RowName(i), rows[i], g.Weighted); err != nil {
+		sum, err := writeEdges(dev, bt, RowName(i), rows[i], g.Weighted)
+		if err != nil {
 			return nil, err
 		}
+		m.RowSums[i] = sum
 		lo, hi := m.Interval(i)
 		idx := buildVertexIndex(rows[i], lo, hi, func(e graph.Edge) graph.VertexID { return e.Src })
 		if err := writeIndex(dev, bt, rowIndexName(i), idx, nil); err != nil {
@@ -116,9 +120,11 @@ func BuildHUSGraph(dev *storage.Device, g *graph.Graph, p int, opts ...BuildOpti
 			}
 			return x.Src < y.Src
 		})
-		if err := writeEdges(dev, bt, ColName(j), cols[j], g.Weighted); err != nil {
+		sum, err := writeEdges(dev, bt, ColName(j), cols[j], g.Weighted)
+		if err != nil {
 			return nil, err
 		}
+		m.ColSums[j] = sum
 	}
 
 	if err := writeDegrees(dev, bt, g); err != nil {
@@ -191,6 +197,7 @@ func buildGrid(dev *storage.Device, g *graph.Graph, p int, opt gridOptions) (*La
 	m := newManifest(opt.system, g, p)
 	m.Codec = opt.codec.String()
 	m.BlockBytes = newGridInt64(p)
+	m.BlockSums = newGridUint32(p)
 
 	// Bucket edges into the P×P grid.
 	grid := make([][]graph.Edge, p*p)
@@ -263,6 +270,15 @@ func newGridInt64(p int) [][]int64 {
 	return g
 }
 
+// newGridUint32 allocates a zeroed P×P uint32 grid.
+func newGridUint32(p int) [][]uint32 {
+	g := make([][]uint32, p)
+	for i := range g {
+		g[i] = make([]uint32, p)
+	}
+	return g
+}
+
 // writeCell writes one grid cell's payload and per-vertex index in the
 // manifest's codec, recording the on-disk payload size in BlockBytes.
 func writeCell(dev *storage.Device, bt *buildTimer, m *Manifest, opt gridOptions, i, j, lo, hi int, cell []graph.Edge, weighted bool) error {
@@ -282,6 +298,7 @@ func writeCell(dev *storage.Device, bt *buildTimer, m *Manifest, opt gridOptions
 			payload = encodeRawEdges(cell, weighted)
 		}
 		m.BlockBytes[i][j] = int64(len(payload))
+		m.BlockSums[i][j] = Checksum(payload)
 		if err := bt.write(dev, SubBlockName(i, j), payload); err != nil {
 			return err
 		}
@@ -327,8 +344,10 @@ func encodeRawEdges(edges []graph.Edge, weighted bool) []byte {
 	return buf
 }
 
-func writeEdges(dev *storage.Device, bt *buildTimer, name string, edges []graph.Edge, weighted bool) error {
-	return bt.write(dev, name, encodeRawEdges(edges, weighted))
+// writeEdges writes a raw edge file and returns its payload checksum.
+func writeEdges(dev *storage.Device, bt *buildTimer, name string, edges []graph.Edge, weighted bool) (uint32, error) {
+	payload := encodeRawEdges(edges, weighted)
+	return Checksum(payload), bt.write(dev, name, payload)
 }
 
 // writeIndex writes a per-vertex index in the v2 format: a uvarint entry

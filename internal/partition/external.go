@@ -37,6 +37,7 @@ func BuildExternal(dev *storage.Device, src graph.EdgeStream, numVertices int, w
 	m := newManifest("graphsd", &graph.Graph{NumVertices: numVertices, Weighted: weighted}, p)
 	m.Codec = opt.codec.String()
 	m.BlockBytes = newGridInt64(p)
+	m.BlockSums = newGridUint32(p)
 
 	// Pass 1: spill edges into per-source-interval run files.
 	spills := make([]*storage.Writer, p)

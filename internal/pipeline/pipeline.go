@@ -29,21 +29,27 @@ type Request struct {
 // blocked in Next waiting for a block; Overlap is the share of fetch work
 // hidden behind the consumer's computation (Fetch − Stall, floored at zero).
 type Stats struct {
-	Blocks  int
-	Bytes   int64
-	Stall   time.Duration
-	Fetch   time.Duration
-	Overlap time.Duration
+	Blocks int
+	Bytes  int64
+	// Fallbacks counts blocks that were loaded synchronously after the
+	// consumer degraded from pipelined to synchronous reads on a transient
+	// fetch fault. The consumer increments it — the prefetcher itself only
+	// ever reports what it delivered.
+	Fallbacks int
+	Stall     time.Duration
+	Fetch     time.Duration
+	Overlap   time.Duration
 }
 
 // Add returns the field-wise sum of s and o.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Blocks:  s.Blocks + o.Blocks,
-		Bytes:   s.Bytes + o.Bytes,
-		Stall:   s.Stall + o.Stall,
-		Fetch:   s.Fetch + o.Fetch,
-		Overlap: s.Overlap + o.Overlap,
+		Blocks:    s.Blocks + o.Blocks,
+		Bytes:     s.Bytes + o.Bytes,
+		Fallbacks: s.Fallbacks + o.Fallbacks,
+		Stall:     s.Stall + o.Stall,
+		Fetch:     s.Fetch + o.Fetch,
+		Overlap:   s.Overlap + o.Overlap,
 	}
 }
 
@@ -51,11 +57,12 @@ func (s Stats) Add(o Stats) Stats {
 // activity to a phase: snapshot before, snapshot after, subtract.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Blocks:  s.Blocks - o.Blocks,
-		Bytes:   s.Bytes - o.Bytes,
-		Stall:   s.Stall - o.Stall,
-		Fetch:   s.Fetch - o.Fetch,
-		Overlap: s.Overlap - o.Overlap,
+		Blocks:    s.Blocks - o.Blocks,
+		Bytes:     s.Bytes - o.Bytes,
+		Fallbacks: s.Fallbacks - o.Fallbacks,
+		Stall:     s.Stall - o.Stall,
+		Fetch:     s.Fetch - o.Fetch,
+		Overlap:   s.Overlap - o.Overlap,
 	}
 }
 

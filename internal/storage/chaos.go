@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrCrashed is the permanent error a Chaos injector returns for every
+// operation once its crash point is reached, simulating the process dying
+// mid-run: nothing after the crash op succeeds.
+var ErrCrashed = errors.New("storage: chaos: simulated crash")
+
+// ChaosOptions configures a Chaos injector. All probabilities are per
+// matching operation.
+type ChaosOptions struct {
+	// Seed seeds the fault sequence; equal seeds over equal op streams
+	// inject identical faults.
+	Seed int64
+	// TransientReadProb is the probability that a "read"/"readat" op fails
+	// with a Transient-marked error (recoverable by retrying).
+	TransientReadProb float64
+	// TornWriteProb is the probability that a "write" op fails with an
+	// ErrTornWrite-wrapped error (a crash mid-write; see ErrTornWrite).
+	TornWriteProb float64
+	// CrashAfterOps, when positive, makes every op after the first
+	// CrashAfterOps matching ops fail permanently with ErrCrashed.
+	CrashAfterOps int64
+	// Match, when non-nil, limits injection to ops it reports true for;
+	// non-matching ops pass through uncounted.
+	Match func(op, name string) bool
+}
+
+// ChaosStats counts what a Chaos injector has done.
+type ChaosStats struct {
+	Ops       int64 // matching operations observed
+	Transient int64 // transient read faults injected
+	Torn      int64 // torn writes injected
+	Crashed   int64 // operations failed after the crash point
+}
+
+// Chaos is a seeded probabilistic fault injector for Device. Install its
+// Injector with SetFaultInjector to subject a run to transient read faults,
+// torn writes, and a crash-at-op point, all reproducible from the seed.
+// Safe for concurrent use.
+type Chaos struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	opts  ChaosOptions
+	stats ChaosStats
+}
+
+// NewChaos returns a Chaos injector driven by o.
+func NewChaos(o ChaosOptions) *Chaos {
+	return &Chaos{rng: rand.New(rand.NewSource(o.Seed)), opts: o}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (c *Chaos) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Injector returns the function to install with Device.SetFaultInjector.
+func (c *Chaos) Injector() func(op, name string) error {
+	return func(op, name string) error {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if c.opts.Match != nil && !c.opts.Match(op, name) {
+			return nil
+		}
+		c.stats.Ops++
+		if c.opts.CrashAfterOps > 0 && c.stats.Ops > c.opts.CrashAfterOps {
+			c.stats.Crashed++
+			return fmt.Errorf("chaos: op %d (%s %s): %w", c.stats.Ops, op, name, ErrCrashed)
+		}
+		switch op {
+		case "read", "readat":
+			if c.opts.TransientReadProb > 0 && c.rng.Float64() < c.opts.TransientReadProb {
+				c.stats.Transient++
+				return Transient(fmt.Errorf("chaos: transient read fault on %s (op %d)", name, c.stats.Ops))
+			}
+		case "write":
+			if c.opts.TornWriteProb > 0 && c.rng.Float64() < c.opts.TornWriteProb {
+				c.stats.Torn++
+				return fmt.Errorf("chaos: torn write on %s (op %d): %w", name, c.stats.Ops, ErrTornWrite)
+			}
+		}
+		return nil
+	}
+}

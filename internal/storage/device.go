@@ -1,8 +1,10 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,6 +16,12 @@ import (
 // Device is a directory-backed simulated disk. Every operation performs the
 // real file I/O and charges simulated time from the device Profile; the
 // charge is recorded in per-class counters retrievable with Stats.
+//
+// Reads that fail with a transient error (see IsTransient) are retried
+// under the installed RetryPolicy with capped exponential backoff; the
+// backoff is charged as simulated device time, never slept. Writes are
+// published atomically (write-temp + fsync + rename) so a crash mid-write
+// can never leave a torn file under the final name.
 //
 // Device methods are safe for concurrent use.
 type Device struct {
@@ -27,6 +35,12 @@ type Device struct {
 	mu     sync.RWMutex
 	fault  func(op, name string) error
 	tracer func(TraceEvent)
+
+	// retry configures transient-read retries; the zero policy disables
+	// them. retryRng drives the backoff jitter. Guarded by retryMu.
+	retryMu  sync.Mutex
+	retry    RetryPolicy
+	retryRng *rand.Rand
 }
 
 // OpenDevice opens (creating if needed) a device rooted at dir.
@@ -54,6 +68,7 @@ func (d *Device) Stats() Snapshot {
 		s.Ops[c] = d.stats.ops[c].Load()
 		s.Time[c] = time.Duration(d.stats.nanos[c].Load())
 	}
+	s.Retries = d.stats.retries.Load()
 	return s
 }
 
@@ -64,6 +79,7 @@ func (d *Device) ResetStats() {
 		d.stats.ops[c].Store(0)
 		d.stats.nanos[c].Store(0)
 	}
+	d.stats.retries.Store(0)
 }
 
 // Charge records an I/O of n bytes in class c without touching any file.
@@ -73,18 +89,76 @@ func (d *Device) ResetStats() {
 func (d *Device) Charge(c Class, n int64) time.Duration {
 	cost := d.prof.Cost(c, n)
 	d.stats.add(c, n, cost)
-	d.emit("charge", c, "", -1, n, cost)
+	d.emit("charge", c, "", -1, n, cost, 0)
 	return cost
 }
 
 // SetFaultInjector installs fn, which is consulted before every file
 // operation with the operation name ("create", "write", "read", "readat",
 // "remove") and file name; a non-nil return aborts the operation with that
-// error. Pass nil to clear. For tests.
+// error. With a RetryPolicy installed, transiently failing reads re-consult
+// the injector on every attempt. Pass nil to clear. For tests.
 func (d *Device) SetFaultInjector(fn func(op, name string) error) {
 	d.mu.Lock()
 	d.fault = fn
 	d.mu.Unlock()
+}
+
+// SetRetryPolicy installs p for transient-read retries. The zero policy
+// (the default) disables retrying.
+func (d *Device) SetRetryPolicy(p RetryPolicy) {
+	d.retryMu.Lock()
+	d.retry = p
+	d.retryRng = rand.New(rand.NewSource(p.Seed))
+	d.retryMu.Unlock()
+}
+
+// retryRead runs attempt, re-running it after transient failures until it
+// succeeds, fails permanently, or exhausts the policy's retry budget. It
+// returns the number of retries performed and the cumulative backoff
+// delay; the caller folds the delay into the operation's simulated cost —
+// the wall clock never sleeps, keeping chaos tests fast and deterministic.
+func (d *Device) retryRead(attempt func() error) (retries int, backoff time.Duration, err error) {
+	for try := 0; ; try++ {
+		err = attempt()
+		d.retryMu.Lock()
+		pol := d.retry
+		d.retryMu.Unlock()
+		if err == nil || try >= pol.MaxRetries || !IsTransient(err) {
+			return retries, backoff, err
+		}
+		backoff += d.backoffDelay(pol, try)
+		retries++
+	}
+}
+
+// backoffDelay computes the backoff before retry number attempt (0-based):
+// exponential growth from BaseDelay, capped at MaxDelay, with uniform
+// jitter in [delay/2, delay) drawn from the policy's seeded source.
+func (d *Device) backoffDelay(pol RetryPolicy, attempt int) time.Duration {
+	base := pol.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if attempt > 30 {
+		attempt = 30 // shift guard; real budgets are single digits
+	}
+	delay := base << uint(attempt)
+	if delay <= 0 || (pol.MaxDelay > 0 && delay > pol.MaxDelay) {
+		delay = pol.MaxDelay
+		if delay <= 0 {
+			delay = base
+		}
+	}
+	d.retryMu.Lock()
+	rng := d.retryRng
+	var j float64
+	if rng != nil {
+		j = rng.Float64()
+	}
+	d.retryMu.Unlock()
+	half := delay / 2
+	return half + time.Duration(j*float64(half))
 }
 
 func (d *Device) checkFault(op, name string) error {
@@ -105,10 +179,14 @@ func (d *Device) path(name string) (string, error) {
 }
 
 // WriteFile writes data to name as one sequential stream, replacing any
-// existing file, and charges a sequential write.
+// existing file, and charges a sequential write. The write is atomic: data
+// lands in a temp file in the same directory, is fsynced, and is renamed
+// over name, so a crash (or injected torn write) leaves either the old
+// intact file or nothing — never a torn one.
 func (d *Device) WriteFile(name string, data []byte) error {
-	if err := d.checkFault("write", name); err != nil {
-		return err
+	fault := d.checkFault("write", name)
+	if fault != nil && !errors.Is(fault, ErrTornWrite) {
+		return fault
 	}
 	p, err := d.path(name)
 	if err != nil {
@@ -117,13 +195,37 @@ func (d *Device) WriteFile(name string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("storage: creating parent dir: %w", err)
 	}
-	if err := os.WriteFile(p, data, 0o644); err != nil {
+	tmp := p + ".tmp"
+	if fault != nil {
+		// Injected torn write: the crash lands mid-stream, after a prefix
+		// of the payload reached the temp file and before the publishing
+		// rename — the final name is never touched.
+		_ = os.WriteFile(tmp, data[:len(data)/2], 0o644)
+		return fault
+	}
+	if err := writeFileAtomic(p, tmp, data); err != nil {
 		return fmt.Errorf("storage: writing %s: %w", name, err)
 	}
 	cost := d.prof.Cost(SeqWrite, int64(len(data)))
 	d.stats.add(SeqWrite, int64(len(data)), cost)
-	d.emit("write", SeqWrite, name, -1, int64(len(data)), cost)
+	d.emit("write", SeqWrite, name, -1, int64(len(data)), cost, 0)
 	return nil
+}
+
+// writeFileAtomic publishes data at p via tmp: write, fsync, rename.
+func writeFileAtomic(p, tmp string, data []byte) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	serr := f.Sync()
+	cerr := f.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, p)
 }
 
 // ReadFile reads the whole of name as one sequential stream and charges a
@@ -137,35 +239,43 @@ func (d *Device) ReadFile(name string) ([]byte, error) {
 // the buffer reuse is what lets the I/O pipeline's fetch workers load block
 // after block without allocating.
 func (d *Device) ReadFileInto(name string, buf []byte) ([]byte, error) {
-	if err := d.checkFault("read", name); err != nil {
-		return nil, err
-	}
 	p, err := d.path(name)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.Open(p)
-	if err != nil {
-		return nil, fmt.Errorf("storage: reading %s: %w", name, err)
-	}
-	defer f.Close()
-	fi, err := f.Stat()
-	if err != nil {
-		return nil, fmt.Errorf("storage: reading %s: %w", name, err)
-	}
-	size := fi.Size()
-	if int64(cap(buf)) < size {
-		buf = make([]byte, size)
-	}
-	buf = buf[:size]
-	if size > 0 {
-		if _, err := io.ReadFull(f, buf); err != nil {
-			return nil, fmt.Errorf("storage: reading %s: %w", name, err)
+	var size int64
+	retries, backoff, err := d.retryRead(func() error {
+		if err := d.checkFault("read", name); err != nil {
+			return err
 		}
+		f, err := os.Open(p)
+		if err != nil {
+			return fmt.Errorf("storage: reading %s: %w", name, err)
+		}
+		defer f.Close()
+		fi, err := f.Stat()
+		if err != nil {
+			return fmt.Errorf("storage: reading %s: %w", name, err)
+		}
+		size = fi.Size()
+		if int64(cap(buf)) < size {
+			buf = make([]byte, size)
+		}
+		buf = buf[:size]
+		if size > 0 {
+			if _, err := io.ReadFull(f, buf); err != nil {
+				return fmt.Errorf("storage: reading %s: %w", name, err)
+			}
+		}
+		return nil
+	})
+	d.stats.addRetries(int64(retries))
+	if err != nil {
+		return nil, err
 	}
-	cost := d.prof.SeqCost(SeqRead, size) + d.prof.SeekLatency
+	cost := d.prof.SeqCost(SeqRead, size) + d.prof.SeekLatency + backoff
 	d.stats.add(SeqRead, size, cost)
-	d.emit("read", SeqRead, name, -1, size, cost)
+	d.emit("read", SeqRead, name, -1, size, cost, retries)
 	return buf, nil
 }
 
@@ -287,7 +397,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 	n, err := w.f.Write(p)
 	cost := w.dev.prof.SeqCost(SeqWrite, int64(n))
 	w.dev.stats.add(SeqWrite, int64(n), cost)
-	w.dev.emit("append", SeqWrite, w.name, w.n, int64(n), cost)
+	w.dev.emit("append", SeqWrite, w.name, w.n, int64(n), cost, 0)
 	w.n += int64(n)
 	if err != nil {
 		return n, fmt.Errorf("storage: writing %s: %w", w.name, err)
@@ -298,9 +408,11 @@ func (w *Writer) Write(p []byte) (int, error) {
 // BytesWritten returns the number of bytes written so far.
 func (w *Writer) BytesWritten() int64 { return w.n }
 
-// Close flushes and closes the file.
+// Close flushes the file to stable storage and closes it.
 func (w *Writer) Close() error {
-	if err := w.f.Close(); err != nil {
+	serr := w.f.Sync()
+	cerr := w.f.Close()
+	if err := errors.Join(serr, cerr); err != nil {
 		return fmt.Errorf("storage: closing %s: %w", w.name, err)
 	}
 	return nil
@@ -334,22 +446,34 @@ func (r *Reader) ReadAt(p []byte, off int64, c Class) (int, error) {
 	if !c.IsRead() {
 		return 0, fmt.Errorf("storage: ReadAt with write class %v", c)
 	}
-	if err := r.dev.checkFault("readat", r.name); err != nil {
+	var n int
+	var eof error
+	retries, backoff, err := r.dev.retryRead(func() error {
+		if err := r.dev.checkFault("readat", r.name); err != nil {
+			return err
+		}
+		var rerr error
+		n, rerr = r.f.ReadAt(p, off)
+		if rerr != nil && rerr != io.EOF {
+			return fmt.Errorf("storage: reading %s@%d: %w", r.name, off, rerr)
+		}
+		eof = rerr
+		return nil
+	})
+	r.dev.stats.addRetries(int64(retries))
+	if err != nil {
 		return 0, err
 	}
-	n, err := r.f.ReadAt(p, off)
 	var cost time.Duration
 	if c == SeqRead {
 		cost = r.dev.prof.SeqCost(c, int64(n))
 	} else {
 		cost = r.dev.prof.Cost(c, int64(n))
 	}
+	cost += backoff
 	r.dev.stats.add(c, int64(n), cost)
-	r.dev.emit("readat", c, r.name, off, int64(n), cost)
-	if err != nil && err != io.EOF {
-		return n, fmt.Errorf("storage: reading %s@%d: %w", r.name, off, err)
-	}
-	return n, err
+	r.dev.emit("readat", c, r.name, off, int64(n), cost, retries)
+	return n, eof
 }
 
 // AutoReadAt reads len(p) bytes at off, classifying the access itself: a
@@ -385,15 +509,22 @@ func (r *Reader) ReadAllInto(buf []byte) ([]byte, error) {
 	if r.size == 0 {
 		return buf, nil
 	}
-	if err := r.dev.checkFault("readat", r.name); err != nil {
+	retries, backoff, err := r.dev.retryRead(func() error {
+		if err := r.dev.checkFault("readat", r.name); err != nil {
+			return err
+		}
+		if _, err := r.f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			return fmt.Errorf("storage: reading %s: %w", r.name, err)
+		}
+		return nil
+	})
+	r.dev.stats.addRetries(int64(retries))
+	if err != nil {
 		return nil, err
 	}
-	if _, err := r.f.ReadAt(buf, 0); err != nil && err != io.EOF {
-		return nil, fmt.Errorf("storage: reading %s: %w", r.name, err)
-	}
-	cost := r.dev.prof.SeqCost(SeqRead, r.size) + r.dev.prof.SeekLatency
+	cost := r.dev.prof.SeqCost(SeqRead, r.size) + r.dev.prof.SeekLatency + backoff
 	r.dev.stats.add(SeqRead, r.size, cost)
-	r.dev.emit("readall", SeqRead, r.name, 0, r.size, cost)
+	r.dev.emit("readall", SeqRead, r.name, 0, r.size, cost, retries)
 	r.mu.Lock()
 	r.lastEnd = r.size
 	r.mu.Unlock()

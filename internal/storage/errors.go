@@ -1,0 +1,79 @@
+package storage
+
+import (
+	"errors"
+	"syscall"
+	"time"
+)
+
+// transientError marks an error as transient: the operation failed for a
+// reason that retrying may fix (a flaky cable, an interrupted syscall, a
+// momentarily busy device), as opposed to a permanent condition such as a
+// missing file or corrupt payload.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so that IsTransient reports true for it. Fault
+// injectors use it to distinguish recoverable read faults from permanent
+// failures. Transient(nil) is nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient classifies err for the retry machinery: true for errors
+// marked with Transient anywhere in the chain and for OS errors a disk can
+// recover from by retrying (interrupted or temporarily unavailable
+// syscalls). Missing files, invalid names, and corrupt payloads are
+// permanent.
+func IsTransient(err error) bool {
+	var t *transientError
+	if errors.As(err, &t) {
+		return true
+	}
+	for _, errno := range []syscall.Errno{syscall.EINTR, syscall.EAGAIN, syscall.EBUSY, syscall.ETIMEDOUT} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrTornWrite is the fault-injection directive for a torn write: when a
+// fault injector returns an error wrapping it from a "write" op, the device
+// simulates a crash mid-write — a prefix of the payload reaches the
+// temporary file and the publishing rename never happens, so the final name
+// is left untouched (absent, or holding its previous intact contents).
+var ErrTornWrite = errors.New("storage: torn write")
+
+// RetryPolicy configures how a Device retries reads that fail with a
+// transient error. The zero value disables retrying, which is the device
+// default — fault-injection tests that expect a single attempt keep their
+// semantics unless a policy is installed.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure;
+	// 0 disables retrying.
+	MaxRetries int
+	// BaseDelay is the backoff before the first retry; each subsequent
+	// retry doubles it, capped at MaxDelay. Backoff is charged as
+	// simulated device time, never slept, so runs stay fast and
+	// reproducible. Zero selects 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the per-retry backoff. Zero means uncapped.
+	MaxDelay time.Duration
+	// Seed seeds the jitter source; equal seeds give identical backoff
+	// sequences, keeping simulated costs reproducible.
+	Seed int64
+}
+
+// DefaultRetryPolicy is a sensible production policy: a few quick retries
+// with exponential backoff capped well below a human-noticeable stall.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxRetries: 3,
+	BaseDelay:  time.Millisecond,
+	MaxDelay:   100 * time.Millisecond,
+}

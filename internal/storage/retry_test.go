@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func retryDevice(t *testing.T) *Device {
+	t.Helper()
+	dev, err := OpenDevice(t.TempDir(), HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestTransientClassification(t *testing.T) {
+	if IsTransient(nil) {
+		t.Fatal("nil classified transient")
+	}
+	if IsTransient(errors.New("boom")) {
+		t.Fatal("plain error classified transient")
+	}
+	err := Transient(errors.New("flaky"))
+	if !IsTransient(err) {
+		t.Fatal("marked error not classified transient")
+	}
+	if !IsTransient(fmt.Errorf("outer: %w", err)) {
+		t.Fatal("wrapped marked error not classified transient")
+	}
+	if Transient(nil) != nil {
+		t.Fatal("Transient(nil) != nil")
+	}
+}
+
+func TestRetryRecoversTransientRead(t *testing.T) {
+	dev := retryDevice(t)
+	if err := dev.WriteFile("f", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetRetryPolicy(RetryPolicy{MaxRetries: 3, BaseDelay: time.Millisecond})
+
+	var attempts atomic.Int64
+	dev.SetFaultInjector(func(op, name string) error {
+		if op != "read" {
+			return nil
+		}
+		if attempts.Add(1) <= 2 {
+			return Transient(errors.New("flaky read"))
+		}
+		return nil
+	})
+	var traced TraceEvent
+	dev.SetTracer(func(ev TraceEvent) {
+		if ev.Op == "read" {
+			traced = ev
+		}
+	})
+
+	data, err := dev.ReadFile("f")
+	if err != nil {
+		t.Fatalf("read after transient faults: %v", err)
+	}
+	if string(data) != "payload" {
+		t.Fatalf("payload corrupted: %q", data)
+	}
+	if got := dev.Stats().Retries; got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+	if traced.Retries != 2 {
+		t.Fatalf("trace Retries = %d, want 2", traced.Retries)
+	}
+	// Backoff is charged as simulated time: the read must cost more than a
+	// clean one.
+	dev.SetFaultInjector(nil)
+	dev.SetTracer(nil)
+	before := dev.Stats()
+	if _, err := dev.ReadFile("f"); err != nil {
+		t.Fatal(err)
+	}
+	clean := dev.Stats().Sub(before).Time[SeqRead]
+	if traced.Cost <= clean {
+		t.Fatalf("retried read cost %v not above clean cost %v", traced.Cost, clean)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	dev := retryDevice(t)
+	if err := dev.WriteFile("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetRetryPolicy(RetryPolicy{MaxRetries: 2, BaseDelay: time.Millisecond})
+	var attempts atomic.Int64
+	dev.SetFaultInjector(func(op, name string) error {
+		if op == "read" {
+			attempts.Add(1)
+			return Transient(errors.New("always flaky"))
+		}
+		return nil
+	})
+	if _, err := dev.ReadFile("f"); !IsTransient(err) {
+		t.Fatalf("want transient error after exhausted budget, got %v", err)
+	}
+	if got := attempts.Load(); got != 3 { // 1 attempt + 2 retries
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+	if got := dev.Stats().Retries; got != 2 {
+		t.Fatalf("Retries = %d, want 2", got)
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	dev := retryDevice(t)
+	if err := dev.WriteFile("f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetRetryPolicy(RetryPolicy{MaxRetries: 5, BaseDelay: time.Millisecond})
+	var attempts atomic.Int64
+	boom := errors.New("disk on fire")
+	dev.SetFaultInjector(func(op, name string) error {
+		if op == "read" {
+			attempts.Add(1)
+			return boom
+		}
+		return nil
+	})
+	if _, err := dev.ReadFile("f"); !errors.Is(err, boom) {
+		t.Fatalf("want permanent error, got %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry on permanent errors)", got)
+	}
+	if got := dev.Stats().Retries; got != 0 {
+		t.Fatalf("Retries = %d, want 0", got)
+	}
+}
+
+func TestReadAtRetries(t *testing.T) {
+	dev := retryDevice(t)
+	if err := dev.WriteFile("f", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetRetryPolicy(RetryPolicy{MaxRetries: 3, BaseDelay: time.Millisecond})
+	var attempts atomic.Int64
+	dev.SetFaultInjector(func(op, name string) error {
+		if op == "readat" && attempts.Add(1) == 1 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	r, err := dev.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 4)
+	n, err := r.ReadAt(buf, 3, RandRead)
+	if err != nil || n != 4 || string(buf) != "3456" {
+		t.Fatalf("ReadAt = %d, %v, %q", n, err, buf)
+	}
+	if got := dev.Stats().Retries; got != 1 {
+		t.Fatalf("Retries = %d, want 1", got)
+	}
+}
+
+func TestWriteFileAtomicUnderTornWrite(t *testing.T) {
+	dev := retryDevice(t)
+	if err := dev.WriteFile("f", []byte("old intact contents")); err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultInjector(func(op, name string) error {
+		if op == "write" && name == "f" {
+			return fmt.Errorf("chaos: %w", ErrTornWrite)
+		}
+		return nil
+	})
+	err := dev.WriteFile("f", []byte("new contents that tear"))
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("want torn-write error, got %v", err)
+	}
+	dev.SetFaultInjector(nil)
+	data, err := dev.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "old intact contents" {
+		t.Fatalf("torn write corrupted the published file: %q", data)
+	}
+}
+
+func TestTornWriteOnFreshFileLeavesNothing(t *testing.T) {
+	dev := retryDevice(t)
+	dev.SetFaultInjector(func(op, name string) error {
+		if op == "write" {
+			return fmt.Errorf("chaos: %w", ErrTornWrite)
+		}
+		return nil
+	})
+	if err := dev.WriteFile("fresh", []byte("half of me will land in a temp file")); !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("want torn-write error, got %v", err)
+	}
+	if dev.Exists("fresh") {
+		t.Fatal("torn write published the final name")
+	}
+}
+
+func TestChaosDeterministicFromSeed(t *testing.T) {
+	sequence := func() []int64 {
+		c := NewChaos(ChaosOptions{Seed: 7, TransientReadProb: 0.3})
+		inj := c.Injector()
+		var fails []int64
+		for i := 0; i < 200; i++ {
+			if err := inj("read", "f"); err != nil {
+				if !IsTransient(err) {
+					t.Fatalf("chaos read fault not transient: %v", err)
+				}
+				fails = append(fails, int64(i))
+			}
+		}
+		return fails
+	}
+	a, b := sequence(), sequence()
+	if len(a) == 0 {
+		t.Fatal("no faults injected at p=0.3 over 200 ops")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fault counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different fault positions at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChaosCrashAfterOps(t *testing.T) {
+	c := NewChaos(ChaosOptions{Seed: 1, CrashAfterOps: 3})
+	inj := c.Injector()
+	for i := 0; i < 3; i++ {
+		if err := inj("read", "f"); err != nil {
+			t.Fatalf("op %d before crash point failed: %v", i, err)
+		}
+	}
+	err := inj("read", "f")
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed after crash point, got %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("crash error must be permanent")
+	}
+	if st := c.Stats(); st.Crashed != 1 || st.Ops != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestChaosMatchFilter(t *testing.T) {
+	c := NewChaos(ChaosOptions{
+		Seed:              1,
+		TransientReadProb: 1.0,
+		Match:             func(op, name string) bool { return name == "target" },
+	})
+	inj := c.Injector()
+	if err := inj("read", "other"); err != nil {
+		t.Fatalf("non-matching op failed: %v", err)
+	}
+	if err := inj("read", "target"); err == nil {
+		t.Fatal("matching op did not fail at p=1")
+	}
+	if st := c.Stats(); st.Ops != 1 {
+		t.Fatalf("non-matching ops counted: %+v", st)
+	}
+}

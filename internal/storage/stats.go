@@ -10,9 +10,10 @@ import (
 // stats accumulates per-class counters with atomic updates so concurrent
 // engine workers can share one Device.
 type stats struct {
-	bytes [numClasses]atomic.Int64
-	ops   [numClasses]atomic.Int64
-	nanos [numClasses]atomic.Int64
+	bytes   [numClasses]atomic.Int64
+	ops     [numClasses]atomic.Int64
+	nanos   [numClasses]atomic.Int64
+	retries atomic.Int64
 }
 
 func (s *stats) add(c Class, n int64, d time.Duration) {
@@ -21,11 +22,21 @@ func (s *stats) add(c Class, n int64, d time.Duration) {
 	s.nanos[c].Add(int64(d))
 }
 
+func (s *stats) addRetries(n int64) {
+	if n != 0 {
+		s.retries.Add(n)
+	}
+}
+
 // Snapshot is a point-in-time copy of a device's I/O counters.
 type Snapshot struct {
 	Bytes [4]int64
 	Ops   [4]int64
 	Time  [4]time.Duration
+	// Retries counts read attempts repeated after a transient fault under
+	// the device's RetryPolicy; the corresponding backoff is folded into
+	// the class Time of the retried operations.
+	Retries int64
 }
 
 // TotalBytes returns the total bytes moved across all classes.
@@ -70,6 +81,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		out.Ops[c] = s.Ops[c] - prev.Ops[c]
 		out.Time[c] = s.Time[c] - prev.Time[c]
 	}
+	out.Retries = s.Retries - prev.Retries
 	return out
 }
 
@@ -81,6 +93,7 @@ func (s Snapshot) Add(other Snapshot) Snapshot {
 		out.Ops[c] = s.Ops[c] + other.Ops[c]
 		out.Time[c] = s.Time[c] + other.Time[c]
 	}
+	out.Retries = s.Retries + other.Retries
 	return out
 }
 
@@ -98,6 +111,9 @@ func (s Snapshot) String() string {
 	}
 	if b.Len() == 0 {
 		return "no I/O"
+	}
+	if s.Retries > 0 {
+		fmt.Fprintf(&b, " retries=%d", s.Retries)
 	}
 	return b.String()
 }

@@ -4,13 +4,16 @@ import "time"
 
 // TraceEvent describes one device operation for observability tooling
 // (internal/iotrace). Offset is -1 for whole-file and modelled operations.
+// Retries is the number of transient-fault retries the operation needed
+// (0 for a clean first attempt); their backoff is included in Cost.
 type TraceEvent struct {
-	Op     string
-	Class  Class
-	Name   string
-	Offset int64
-	Bytes  int64
-	Cost   time.Duration
+	Op      string
+	Class   Class
+	Name    string
+	Offset  int64
+	Bytes   int64
+	Cost    time.Duration
+	Retries int
 }
 
 // SetTracer installs fn to be invoked synchronously for every accounted
@@ -23,11 +26,11 @@ func (d *Device) SetTracer(fn func(TraceEvent)) {
 }
 
 // emit reports an accounted operation to the tracer, if any.
-func (d *Device) emit(op string, c Class, name string, off, n int64, cost time.Duration) {
+func (d *Device) emit(op string, c Class, name string, off, n int64, cost time.Duration, retries int) {
 	d.mu.RLock()
 	fn := d.tracer
 	d.mu.RUnlock()
 	if fn != nil {
-		fn(TraceEvent{Op: op, Class: c, Name: name, Offset: off, Bytes: n, Cost: cost})
+		fn(TraceEvent{Op: op, Class: c, Name: name, Offset: off, Bytes: n, Cost: cost, Retries: retries})
 	}
 }
