@@ -13,11 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"github.com/graphsd/graphsd/internal/algorithms"
@@ -40,6 +43,8 @@ func main() {
 		err = cmdPreprocess(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "verify":
@@ -68,6 +73,7 @@ func usage() {
 subcommands:
   preprocess  partition a graph into an on-disk layout
   run         execute an algorithm over a preprocessed layout
+  serve       run the resident job server with an HTTP API
   compare     run one algorithm under every system and print a comparison
   verify      check an out-of-core run against the in-memory BSP oracle
   stats       describe a preprocessed layout
@@ -277,10 +283,15 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("unknown -force-model %q", *force)
 	}
 
+	// Ctrl-C cancels the engine cleanly between sub-blocks, so the
+	// deferred trace-file flush above still runs and the trace is whole.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	var res *core.Result
 	switch l.Meta.System {
 	case "graphsd":
-		res, err = core.Run(l, prog, opts)
+		res, err = core.RunContext(ctx, l, prog, opts)
 	case "husgraph":
 		res, err = baseline.RunHUSGraph(l, prog, baseline.Options{MaxIterations: *iters})
 	case "lumos":

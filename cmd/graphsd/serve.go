@@ -1,0 +1,106 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/server"
+)
+
+// graphFlags collects repeatable -graph name=dir flags.
+type graphFlags []server.GraphConfig
+
+func (g *graphFlags) String() string {
+	parts := make([]string, len(*g))
+	for i, gc := range *g {
+		parts[i] = gc.Name + "=" + gc.Dir
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *graphFlags) Set(v string) error {
+	name, dir, ok := strings.Cut(v, "=")
+	if !ok || name == "" || dir == "" {
+		return fmt.Errorf("want name=layoutdir, got %q", v)
+	}
+	*g = append(*g, server.GraphConfig{Name: name, Dir: dir})
+	return nil
+}
+
+// cmdServe boots the resident job server and blocks until SIGINT/SIGTERM,
+// then shuts down gracefully: stop accepting connections, cancel running
+// jobs (the engine stops at the next sub-block), and drain within 5s.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:8090", "address to listen on (host:port, port 0 picks a free port)")
+	var graphs graphFlags
+	fs.Var(&graphs, "graph", "graph to serve as name=layoutdir (repeatable)")
+	workers := fs.Int("workers", 2, "jobs executed concurrently")
+	queue := fs.Int("queue", 16, "admission queue depth")
+	memBudget := fs.Int64("mem-budget", 0, "admission memory budget in bytes (0: unlimited)")
+	cache := fs.Int64("cache", 0, "shared sub-block cache bytes per graph (0: half the edge data)")
+	profile := fs.String("profile", "scaled-hdd", "disk model: hdd, scaled-hdd, ssd, pmem")
+	retries := fs.Int("retries", 0, "retry transient read faults up to N times per graph device")
+	fs.Parse(args)
+	if len(graphs) == 0 {
+		return fmt.Errorf("serve: at least one -graph name=layoutdir is required")
+	}
+	prof, err := profileByName(*profile)
+	if err != nil {
+		return err
+	}
+	for i := range graphs {
+		graphs[i].Profile = prof
+		graphs[i].CacheBytes = *cache
+		graphs[i].Retries = *retries
+	}
+
+	s, err := server.New(server.Config{
+		Graphs:     graphs,
+		Workers:    *workers,
+		QueueDepth: *queue,
+		MemBudget:  *memBudget,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	// The e2e harness parses this line to find the bound port.
+	fmt.Printf("graphsd: serving on %s (graphs: %s)\n", ln.Addr(), graphs.String())
+
+	httpSrv := &http.Server{Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+	fmt.Println("graphsd: signal received, shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "graphsd: http shutdown: %v\n", err)
+	}
+	if err := s.Close(shCtx); err != nil {
+		return fmt.Errorf("serve: draining jobs: %w", err)
+	}
+	fmt.Println("graphsd: shutdown complete")
+	return nil
+}

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeEndToEnd is the serving smoke test: boot the real `graphsd
+// serve` binary, submit two concurrent jobs over HTTP, read their results,
+// scrape /metrics, then SIGTERM and require a clean exit within 5 seconds.
+func TestServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	layoutDir := filepath.Join(dir, "layout")
+	run(t, graphgenBin, "-kind", "rmat", "-scale", "10", "-edgefactor", "8", "-o", graphPath)
+	run(t, graphsdBin, "preprocess", "-graph", graphPath, "-layout", layoutDir, "-p", "4")
+
+	cmd := exec.Command(graphsdBin, "serve",
+		"-listen", "127.0.0.1:0",
+		"-graph", "rmat10="+layoutDir,
+		"-workers", "2", "-queue", "8", "-retries", "3")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Reap the process on any exit path so a failed test doesn't leak it.
+	procDone := make(chan error, 1)
+	var outBuf bytes.Buffer
+	var outMu sync.Mutex
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-procDone
+	})
+
+	// First line announces the bound address; keep draining after it so
+	// the child never blocks on a full pipe.
+	addrCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		var pending []byte
+		announced := false
+		for {
+			n, err := stdout.Read(buf)
+			if n > 0 {
+				outMu.Lock()
+				outBuf.Write(buf[:n])
+				outMu.Unlock()
+				if !announced {
+					pending = append(pending, buf[:n]...)
+					if m := regexp.MustCompile(`serving on ([^ ]+)`).FindSubmatch(pending); m != nil {
+						addrCh <- string(m[1])
+						announced = true
+					}
+				}
+			}
+			if err != nil {
+				if !announced {
+					close(addrCh)
+				}
+				procDone <- cmd.Wait()
+				return
+			}
+		}
+	}()
+
+	var base string
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			outMu.Lock()
+			out := outBuf.String()
+			outMu.Unlock()
+			t.Fatalf("server exited before announcing address:\n%s", out)
+		}
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never announced its address")
+	}
+
+	// Liveness.
+	if resp, err := http.Get(base + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Two concurrent jobs.
+	submit := func(alg string, source uint32) string {
+		body := fmt.Sprintf(`{"graph":"rmat10","algorithm":%q,"source":%d}`, alg, source)
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("submit %s: HTTP %d: %s", alg, resp.StatusCode, b)
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		json.NewDecoder(resp.Body).Decode(&st)
+		if st.ID == "" {
+			t.Fatalf("submit %s: empty job id", alg)
+		}
+		return st.ID
+	}
+	ids := []string{submit("pr", 0), submit("bfs", 1)}
+
+	for _, id := range ids {
+		deadline := time.Now().Add(60 * time.Second)
+		for {
+			resp, err := http.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st struct {
+				State string `json:"state"`
+				Error string `json:"error"`
+			}
+			json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if st.State == "done" {
+				break
+			}
+			if st.State == "failed" || st.State == "cancelled" {
+				t.Fatalf("job %s ended %s: %s", id, st.State, st.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", id, st.State)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		resp, err := http.Get(base + "/v1/jobs/" + id + "/result?top=3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Value is a RawMessage: bfs renders unreachable distances as
+		// the JSON string "Infinity", not a number.
+		var res struct {
+			Top []struct {
+				Vertex uint32          `json:"vertex"`
+				Value  json.RawMessage `json:"value"`
+			} `json:"top"`
+		}
+		json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || len(res.Top) != 3 {
+			t.Fatalf("result %s: HTTP %d, %d rows", id, resp.StatusCode, len(res.Top))
+		}
+	}
+
+	// Scrape /metrics and check the aggregated counter families are there.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	metricsBody := string(mb)
+	for _, want := range []string{
+		`graphsd_jobs_total{state="done"} 2`,
+		`graphsd_device_read_bytes_total{graph="rmat10"}`,
+		`graphsd_device_retries_total{graph="rmat10"}`,
+		`graphsd_shared_cache_hits_total{graph="rmat10"}`,
+		`graphsd_pipeline_fallbacks_total{graph="rmat10"}`,
+		"graphsd_uptime_seconds",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Graceful shutdown: SIGTERM, clean exit within 5s.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-procDone:
+		outMu.Lock()
+		out := outBuf.String()
+		outMu.Unlock()
+		if err != nil {
+			t.Fatalf("server exited with error: %v\n%s", err, out)
+		}
+		if !strings.Contains(out, "shutdown complete") {
+			t.Fatalf("no clean shutdown message:\n%s", out)
+		}
+		procDone <- nil // let the cleanup's receive proceed
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit within 5s of SIGTERM")
+	}
+}

@@ -31,6 +31,19 @@ type Stats struct {
 	BytesSaved int64
 }
 
+// Add returns the field-wise sum of s and o — used to aggregate per-job
+// buffer stats across runs for the server's /metrics endpoint.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Hits:       s.Hits + o.Hits,
+		Misses:     s.Misses + o.Misses,
+		Insertions: s.Insertions + o.Insertions,
+		Evictions:  s.Evictions + o.Evictions,
+		Rejections: s.Rejections + o.Rejections,
+		BytesSaved: s.BytesSaved + o.BytesSaved,
+	}
+}
+
 // Policy selects the eviction discipline.
 type Policy int
 
@@ -51,8 +64,15 @@ type entry struct {
 	seq      int64 // insertion order, for FIFO
 }
 
-// Buffer is a bounded priority cache of decoded sub-blocks. It is not safe
-// for concurrent use; the FCIU driver accesses it from one goroutine.
+// Buffer is a bounded priority cache of decoded sub-blocks.
+//
+// Concurrency contract: Buffer is single-writer, zero-reader — it must only
+// be accessed from one goroutine at a time, with no concurrent readers. In
+// the engine that goroutine is the FCIU pass driver; the I/O pipeline's
+// fetch workers never touch the buffer (residency is snapshotted before a
+// pass starts, see core.newFCIUPass). Code that needs a cache shared across
+// goroutines — such as the job server deduplicating sub-block loads between
+// concurrent engines — must use the mutex-guarded Shared type instead.
 type Buffer struct {
 	capacity int64
 	used     int64

@@ -1,0 +1,213 @@
+package buffer
+
+import (
+	"sync"
+
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+// SharedStats counts the outcomes of a Shared cache. All counters are
+// monotonic, so deltas between snapshots attribute activity to a window.
+type SharedStats struct {
+	// Hits served a resident sub-block with zero device I/O; BytesSaved is
+	// the on-disk volume those hits avoided re-reading.
+	Hits       int64
+	BytesSaved int64
+	// Misses triggered a device load (the single flight for the key).
+	Misses int64
+	// DedupWaits counts callers that found a load for their key already in
+	// flight and waited for it instead of issuing a duplicate device read.
+	DedupWaits int64
+	// Insertions/Evictions/Rejections mirror the Buffer counters: blocks
+	// cached after a load, blocks dropped to make room (least recently used
+	// first), and loaded blocks too large to cache.
+	Insertions int64
+	Evictions  int64
+	Rejections int64
+}
+
+// Sub returns the counter-wise delta s − prev.
+func (s SharedStats) Sub(prev SharedStats) SharedStats {
+	return SharedStats{
+		Hits:       s.Hits - prev.Hits,
+		BytesSaved: s.BytesSaved - prev.BytesSaved,
+		Misses:     s.Misses - prev.Misses,
+		DedupWaits: s.DedupWaits - prev.DedupWaits,
+		Insertions: s.Insertions - prev.Insertions,
+		Evictions:  s.Evictions - prev.Evictions,
+		Rejections: s.Rejections - prev.Rejections,
+	}
+}
+
+// Add returns the counter-wise sum of s and o.
+func (s SharedStats) Add(o SharedStats) SharedStats {
+	return SharedStats{
+		Hits:       s.Hits + o.Hits,
+		BytesSaved: s.BytesSaved + o.BytesSaved,
+		Misses:     s.Misses + o.Misses,
+		DedupWaits: s.DedupWaits + o.DedupWaits,
+		Insertions: s.Insertions + o.Insertions,
+		Evictions:  s.Evictions + o.Evictions,
+		Rejections: s.Rejections + o.Rejections,
+	}
+}
+
+// flight is one in-progress load that late arrivals for the same key wait
+// on instead of duplicating the device read.
+type flight struct {
+	done  chan struct{}
+	edges []graph.Edge
+	err   error
+}
+
+// sharedEntry is one resident sub-block of a Shared cache.
+type sharedEntry struct {
+	edges []graph.Edge
+	size  int64
+	touch int64 // last-access clock tick, for LRU eviction
+}
+
+// Shared is the concurrency-safe read cache the job server places in front
+// of a layout: concurrent engines on the same graph route their full
+// sub-block loads through GetOrLoad, so a block is read from the device at
+// most once per residency no matter how many jobs want it. It differs from
+// Buffer on purpose:
+//
+//   - it is mutex-guarded and safe for any number of goroutines;
+//   - loads are single-flight per key: the first caller performs the device
+//     read, every concurrent caller for the same key waits for that one
+//     result instead of issuing its own;
+//   - eviction is least-recently-used by bytes, not active-edge priority —
+//     a cross-job cache has no single frontier to rank blocks by.
+//
+// Cached edge slices are shared between jobs and with the in-flight loader;
+// callers must treat them as immutable (the engine only ever reads decoded
+// edges, so this holds today by construction).
+type Shared struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	clock    int64
+	entries  map[Key]*sharedEntry
+	inflight map[Key]*flight
+	stats    SharedStats
+}
+
+// NewShared returns a shared cache holding at most capacity bytes of
+// decoded sub-block payload. A zero or negative capacity caches nothing but
+// still deduplicates concurrent loads of the same key.
+func NewShared(capacity int64) *Shared {
+	return &Shared{
+		capacity: capacity,
+		entries:  make(map[Key]*sharedEntry),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// Capacity returns the configured byte capacity.
+func (s *Shared) Capacity() int64 { return s.capacity }
+
+// Used returns the bytes currently cached.
+func (s *Shared) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Len returns the number of resident sub-blocks.
+func (s *Shared) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of the outcome counters.
+func (s *Shared) Stats() SharedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// GetOrLoad returns the edges for k, loading them through load on a miss.
+// load must return the decoded edges and their cacheable size in bytes (the
+// on-disk size, matching what a hit saves the device). hit reports whether
+// the call was served without invoking load in this goroutine — from
+// residency or by waiting on another caller's in-flight load.
+//
+// A failed load is not cached and wakes all waiters with the same error, so
+// transient device faults stay retriable: the next GetOrLoad for the key
+// starts a fresh flight.
+func (s *Shared) GetOrLoad(k Key, load func() ([]graph.Edge, int64, error)) (edges []graph.Edge, hit bool, err error) {
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.clock++
+		e.touch = s.clock
+		s.stats.Hits++
+		s.stats.BytesSaved += e.size
+		s.mu.Unlock()
+		return e.edges, true, nil
+	}
+	if f, ok := s.inflight[k]; ok {
+		s.stats.DedupWaits++
+		s.mu.Unlock()
+		<-f.done
+		return f.edges, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[k] = f
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	var size int64
+	f.edges, size, f.err = load()
+
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if f.err == nil {
+		s.insert(k, f.edges, size)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.edges, false, f.err
+}
+
+// Peek returns the cached edges for k without touching any counter or the
+// LRU clock.
+func (s *Shared) Peek(k Key) ([]graph.Edge, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	if !ok {
+		return nil, false
+	}
+	return e.edges, true
+}
+
+// insert caches edges under k, evicting least-recently-used residents until
+// it fits. Callers hold s.mu.
+func (s *Shared) insert(k Key, edges []graph.Edge, size int64) {
+	if size > s.capacity || size < 0 {
+		s.stats.Rejections++
+		return
+	}
+	for s.used+size > s.capacity {
+		var victim Key
+		var oldest *sharedEntry
+		for kk, e := range s.entries {
+			if oldest == nil || e.touch < oldest.touch {
+				oldest, victim = e, kk
+			}
+		}
+		if oldest == nil {
+			s.stats.Rejections++
+			return
+		}
+		s.used -= oldest.size
+		delete(s.entries, victim)
+		s.stats.Evictions++
+	}
+	s.clock++
+	s.entries[k] = &sharedEntry{edges: edges, size: size, touch: s.clock}
+	s.used += size
+	s.stats.Insertions++
+}

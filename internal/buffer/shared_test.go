@@ -1,0 +1,199 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+func mkEdges(i, j, n int) []graph.Edge {
+	edges := make([]graph.Edge, n)
+	for k := range edges {
+		edges[k] = graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(j + k)}
+	}
+	return edges
+}
+
+func TestSharedHitMiss(t *testing.T) {
+	s := NewShared(1 << 20)
+	loads := 0
+	load := func() ([]graph.Edge, int64, error) {
+		loads++
+		return mkEdges(1, 2, 3), 100, nil
+	}
+	edges, hit, err := s.GetOrLoad(Key{1, 2}, load)
+	if err != nil || hit || len(edges) != 3 {
+		t.Fatalf("first GetOrLoad: edges=%d hit=%t err=%v", len(edges), hit, err)
+	}
+	edges, hit, err = s.GetOrLoad(Key{1, 2}, load)
+	if err != nil || !hit || len(edges) != 3 {
+		t.Fatalf("second GetOrLoad: edges=%d hit=%t err=%v", len(edges), hit, err)
+	}
+	if loads != 1 {
+		t.Fatalf("load called %d times, want 1", loads)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.BytesSaved != 100 || st.Insertions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSharedLRUEviction(t *testing.T) {
+	s := NewShared(250)
+	put := func(k Key) {
+		s.GetOrLoad(k, func() ([]graph.Edge, int64, error) { return mkEdges(k.I, k.J, 1), 100, nil })
+	}
+	put(Key{0, 0})
+	put(Key{1, 0})
+	// Touch (0,0) so (1,0) is the LRU victim.
+	put(Key{0, 0})
+	put(Key{2, 0})
+	if !s.has(Key{0, 0}) || s.has(Key{1, 0}) || !s.has(Key{2, 0}) {
+		t.Fatalf("LRU eviction picked the wrong victim: %+v", s.Stats())
+	}
+	if st := s.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// A block larger than capacity is served but never cached.
+	_, _, err := s.GetOrLoad(Key{9, 9}, func() ([]graph.Edge, int64, error) { return mkEdges(9, 9, 1), 1000, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.has(Key{9, 9}) {
+		t.Fatal("oversized block was cached")
+	}
+	if st := s.Stats(); st.Rejections != 1 {
+		t.Fatalf("rejections = %d, want 1", st.Rejections)
+	}
+}
+
+func (s *Shared) has(k Key) bool {
+	_, ok := s.Peek(k)
+	return ok
+}
+
+func TestSharedFailedLoadNotCachedAndRetriable(t *testing.T) {
+	s := NewShared(1 << 20)
+	boom := errors.New("boom")
+	_, _, err := s.GetOrLoad(Key{1, 1}, func() ([]graph.Edge, int64, error) { return nil, 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	edges, _, err := s.GetOrLoad(Key{1, 1}, func() ([]graph.Edge, int64, error) { return mkEdges(1, 1, 2), 10, nil })
+	if err != nil || len(edges) != 2 {
+		t.Fatalf("retry after failed load: edges=%d err=%v", len(edges), err)
+	}
+}
+
+// TestSharedSingleFlight: concurrent callers for one key perform exactly one
+// load between them.
+func TestSharedSingleFlight(t *testing.T) {
+	s := NewShared(1 << 20)
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate
+			edges, _, err := s.GetOrLoad(Key{3, 4}, func() ([]graph.Edge, int64, error) {
+				loads.Add(1)
+				return mkEdges(3, 4, 5), 50, nil
+			})
+			if err != nil || len(edges) != 5 {
+				t.Errorf("GetOrLoad: edges=%d err=%v", len(edges), err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("load ran %d times, want 1 (single-flight)", n)
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits+st.DedupWaits != callers-1 {
+		t.Fatalf("stats after single-flight fan-in: %+v", st)
+	}
+}
+
+// TestSharedStress hammers one small cache from many goroutines over an
+// overlapping key set — run under -race this is the goroutine-safety proof
+// for the server's shared cache.
+func TestSharedStress(t *testing.T) {
+	s := NewShared(2000) // holds ~half the key set: hits and eviction churn
+	const (
+		workers = 8
+		keys    = 16
+		rounds  = 500
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := Key{I: (w + r) % keys, J: r % 4}
+				edges, _, err := s.GetOrLoad(k, func() ([]graph.Edge, int64, error) {
+					return mkEdges(k.I, k.J, k.I+1), int64(50 + k.I), nil
+				})
+				if err != nil {
+					t.Errorf("GetOrLoad(%v): %v", k, err)
+					return
+				}
+				if len(edges) != k.I+1 || int(edges[0].Src) != k.I {
+					t.Errorf("GetOrLoad(%v) returned wrong edges (%d)", k, len(edges))
+					return
+				}
+				if r%7 == 0 {
+					s.Peek(k)
+					s.Used()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("stress produced no cache activity: %+v", st)
+	}
+	if s.Used() > 2000 {
+		t.Fatalf("used %d exceeds capacity", s.Used())
+	}
+	t.Logf("stress: %+v", st)
+}
+
+func TestSharedZeroCapacityStillDedups(t *testing.T) {
+	s := NewShared(0)
+	var loads atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := s.GetOrLoad(Key{1, 1}, func() ([]graph.Edge, int64, error) {
+				loads.Add(1)
+				return mkEdges(1, 1, 1), 10, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Fatalf("zero-capacity cache holds %d entries", s.Len())
+	}
+	// Sequential calls each load (nothing resident), but any concurrent
+	// overlap deduplicates; either way at most 8 loads and at least 1.
+	if n := loads.Load(); n < 1 || n > 8 {
+		t.Fatalf("loads = %d", n)
+	}
+	_ = fmt.Sprint(s.Stats())
+}

@@ -1,0 +1,147 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/buffer"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+)
+
+// TestRunContextCancelled: a pre-cancelled context stops the run before any
+// iteration with a clean context.Canceled.
+func TestRunContextCancelled(t *testing.T) {
+	g, err := gen.RMAT(9, 8, gen.Graph500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := buildLayout(t, g, 4)
+	prog, _ := algorithms.ByName("pr", 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := core.RunContext(ctx, l, prog, core.Options{DefaultBuffer: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run returned a result")
+	}
+}
+
+// TestRunContextCancelMidRun: cancelling from an iteration callback stops
+// the run at the next sub-block boundary, quickly, with no hang.
+func TestRunContextCancelMidRun(t *testing.T) {
+	g, err := gen.RMAT(10, 8, gen.Graph500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := buildLayout(t, g, 4)
+	prog, _ := algorithms.ByName("pr", 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := core.Options{
+		DefaultBuffer: true,
+		OnIteration: func(st core.IterStat) {
+			if st.Index >= 1 {
+				cancel()
+			}
+		},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := core.RunContext(ctx, l, prog, opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+}
+
+// TestRunContextDeadline: a context deadline surfaces as DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	g, err := gen.RMAT(9, 8, gen.Graph500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := buildLayout(t, g, 4)
+	prog, _ := algorithms.ByName("pr", 0)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err = core.RunContext(ctx, l, prog, core.Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSharedBlocksBitIdentical: a run with the cross-job shared cache wired
+// in produces outputs bit-identical to a plain run, and a second warm run
+// hits the cache for every full-block load it performs.
+func TestSharedBlocksBitIdentical(t *testing.T) {
+	g, err := gen.RMAT(10, 8, gen.Graph500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := buildLayout(t, g, 4)
+	for _, alg := range []string{"pr", "bfs", "cc"} {
+		t.Run(alg, func(t *testing.T) {
+			prog, _ := algorithms.ByName(alg, 1)
+			base, err := core.Run(l, prog, core.Options{DefaultBuffer: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			shared := buffer.NewShared(l.Meta.EdgeBytesTotal() * 2)
+			opts := core.Options{DefaultBuffer: true, SharedBlocks: shared}
+
+			prog, _ = algorithms.ByName(alg, 1)
+			cold, err := core.Run(l, prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitIdentical(t, alg+" cold", cold.Outputs, base.Outputs)
+			if cold.SharedMisses == 0 {
+				t.Fatal("cold run recorded no shared-cache misses")
+			}
+
+			prog, _ = algorithms.ByName(alg, 1)
+			warm, err := core.Run(l, prog, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitIdentical(t, alg+" warm", warm.Outputs, base.Outputs)
+			if warm.SharedHits == 0 {
+				t.Fatal("warm run recorded no shared-cache hits")
+			}
+			// The acceptance bar: the warm job loads strictly fewer blocks
+			// from the device than the cold one.
+			if warm.SharedMisses >= cold.SharedMisses+cold.SharedHits {
+				t.Fatalf("warm run loaded %d blocks from device, cold run %d — cache saved nothing",
+					warm.SharedMisses, cold.SharedMisses)
+			}
+			if warm.IO.ReadBytes() >= cold.IO.ReadBytes() {
+				t.Fatalf("warm read bytes %d >= cold %d", warm.IO.ReadBytes(), cold.IO.ReadBytes())
+			}
+		})
+	}
+}
+
+func bitIdentical(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d outputs, want %d", name, len(got), len(want))
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("%s: vertex %d = %v, want bit-identical %v", name, v, got[v], want[v])
+		}
+	}
+}

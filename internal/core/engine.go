@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/graphsd/graphsd/internal/bitset"
@@ -30,6 +32,14 @@ type Engine struct {
 	opts   Options
 	sched  *iosched.Scheduler
 	buf    *buffer.Buffer
+
+	// ctx cancels the run between sub-blocks; never nil once run starts.
+	ctx context.Context
+
+	// sharedHits/sharedMisses count this run's full-block loads served by /
+	// missed in the cross-job shared cache (Options.SharedBlocks). Atomic:
+	// pipeline fetch workers load concurrently.
+	sharedHits, sharedMisses atomic.Int64
 
 	n, p    int
 	degrees []uint32
@@ -150,20 +160,45 @@ func NewEngine(layout *partition.Layout, prog Program, opts Options) (*Engine, e
 }
 
 // Run executes the program to convergence or the iteration bound and
-// returns the result. The device's stats are reset at the start so the
-// result's IO snapshot covers exactly this run.
+// returns the result. The result's IO snapshot is computed as a delta over
+// the device counters, so it covers exactly this run without resetting the
+// device — layouts (and their stats) can be shared between runs.
 func Run(layout *partition.Layout, prog Program, opts Options) (*Result, error) {
+	return RunContext(context.Background(), layout, prog, opts)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled or times out,
+// the engine stops at the next sub-block boundary and returns ctx's error
+// (errors.Is(err, context.Canceled) / context.DeadlineExceeded), leaving no
+// goroutines behind. This is how the job server aborts running jobs.
+func RunContext(ctx context.Context, layout *partition.Layout, prog Program, opts Options) (*Result, error) {
 	e, err := NewEngine(layout, prog, opts)
 	if err != nil {
 		return nil, err
 	}
+	e.ctx = ctx
 	return e.run()
+}
+
+// checkCtx reports the run's cancellation state; called between sub-blocks
+// and at iteration boundaries so a cancelled run stops promptly without
+// tearing down mid-scatter.
+func (e *Engine) checkCtx() error {
+	select {
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 func (e *Engine) run() (*Result, error) {
 	start := time.Now()
+	if e.ctx == nil {
+		e.ctx = context.Background()
+	}
 	dev := e.layout.Dev
-	dev.ResetStats()
+	ioBase := dev.Stats()
 	decodeStart := e.layout.DecodeTime()
 
 	var err error
@@ -210,6 +245,9 @@ func (e *Engine) run() (*Result, error) {
 
 	var iterStats []IterStat
 	for iter < maxIter {
+		if err := e.checkCtx(); err != nil {
+			return nil, err
+		}
 		if !secondaryPending && e.active.Empty() && e.touchedNext.Empty() {
 			break
 		}
@@ -309,7 +347,9 @@ func (e *Engine) run() (*Result, error) {
 		DecodeTime:        e.layout.DecodeTime() - decodeStart,
 		Codec:             e.layout.Meta.BlockCodec().String(),
 		CompressRatio:     compressRatio(&e.layout.Meta),
-		IO:                dev.Stats(),
+		IO:                dev.Stats().Sub(ioBase),
+		SharedHits:        e.sharedHits.Load(),
+		SharedMisses:      e.sharedMisses.Load(),
 		Decisions:         append([]iosched.Decision(nil), e.sched.History()...),
 		SchedulerOverhead: e.sched.TotalOverhead(),
 		Buffer:            e.buf.Stats(),
@@ -589,8 +629,13 @@ func activeEdgeEstimate(edges []graph.Edge, active *bitset.ActiveSet) int64 {
 
 // fetchSubBlock loads and decodes one sub-block for the I/O pipeline. It
 // runs on pipeline worker goroutines: the raw read buffer is pooled, the
-// decoded slice freshly allocated because consumers may retain it.
+// decoded slice freshly allocated because consumers may retain it. With a
+// shared cache configured the load routes through it, so concurrent jobs'
+// pipelines deduplicate device reads of the same block.
 func (e *Engine) fetchSubBlock(r pipeline.Request) ([]graph.Edge, error) {
+	if e.opts.SharedBlocks != nil {
+		return e.loadBlock(r.I, r.J)
+	}
 	bufp, _ := e.ioBufs.Get().(*[]byte)
 	if bufp == nil {
 		bufp = new([]byte)
@@ -599,6 +644,36 @@ func (e *Engine) fetchSubBlock(r pipeline.Request) ([]graph.Edge, error) {
 	*bufp = buf
 	e.ioBufs.Put(bufp)
 	return edges, err
+}
+
+// loadBlock loads the full decoded sub-block (i, j), consulting the
+// cross-job shared cache first when one is configured. Safe on pipeline
+// worker goroutines. The returned slice may be shared with other jobs and
+// must not be mutated (the engine only reads edges).
+func (e *Engine) loadBlock(i, j int) ([]graph.Edge, error) {
+	sc := e.opts.SharedBlocks
+	if sc == nil {
+		return e.layout.LoadSubBlock(i, j)
+	}
+	edges, hit, err := sc.GetOrLoad(buffer.Key{I: i, J: j}, func() ([]graph.Edge, int64, error) {
+		bufp, _ := e.ioBufs.Get().(*[]byte)
+		if bufp == nil {
+			bufp = new([]byte)
+		}
+		edges, buf, err := e.layout.LoadSubBlockInto(i, j, nil, *bufp)
+		*bufp = buf
+		e.ioBufs.Put(bufp)
+		return edges, e.layout.Meta.SubBlockBytes(i, j), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		e.sharedHits.Add(1)
+	} else {
+		e.sharedMisses.Add(1)
+	}
+	return edges, nil
 }
 
 // newBlockPrefetcher starts an I/O pipeline over reqs, or returns nil when

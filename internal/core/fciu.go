@@ -124,7 +124,7 @@ func (e *Engine) nextFCIUBlock(p *fciuPass, i, j int) ([]graph.Edge, error) {
 		if edges, ok, err := p.take(i, j); ok {
 			return edges, err
 		}
-		return e.layout.LoadSubBlock(i, j)
+		return e.loadBlock(i, j)
 	}
 	k := buffer.Key{I: i, J: j}
 	if edges, ok := e.buf.Get(k); ok {
@@ -137,7 +137,7 @@ func (e *Engine) nextFCIUBlock(p *fciuPass, i, j int) ([]graph.Edge, error) {
 	if !ok {
 		// Expected resident at pass start but evicted since (or pipelining
 		// is off): fall back to a synchronous load.
-		if edges, err = e.layout.LoadSubBlock(i, j); err != nil {
+		if edges, err = e.loadBlock(i, j); err != nil {
 			return nil, err
 		}
 	}
@@ -172,6 +172,9 @@ func (e *Engine) runFCIUFirst() error {
 		lo, hi := e.layout.Meta.Interval(j)
 		var diag []graph.Edge
 		for i := 0; i < e.p; i++ {
+			if err := e.checkCtx(); err != nil {
+				return err
+			}
 			if i < j && e.opts.StreamChunkBytes > 0 {
 				// Upper-triangle cells need no retention: stream them,
 				// applying both the current-iteration update and the
@@ -240,6 +243,9 @@ func (e *Engine) runFCIUSecond() error {
 	for j := 0; j < e.p; j++ {
 		lo, hi := e.layout.Meta.Interval(j)
 		for i := j + 1; i < e.p; i++ {
+			if err := e.checkCtx(); err != nil {
+				return err
+			}
 			edges, err := e.nextFCIUBlock(pass, i, j)
 			if err != nil {
 				return err
@@ -266,6 +272,9 @@ func (e *Engine) runFullSingle() error {
 	for j := 0; j < e.p; j++ {
 		lo, hi := e.layout.Meta.Interval(j)
 		for i := 0; i < e.p; i++ {
+			if err := e.checkCtx(); err != nil {
+				return err
+			}
 			if e.opts.StreamChunkBytes > 0 {
 				err := e.layout.StreamSubBlock(i, j, e.opts.StreamChunkBytes, func(edges []graph.Edge) error {
 					e.scatter(edges, e.valPrev, e.active, e.acc, e.touched, lo, hi)
@@ -281,7 +290,7 @@ func (e *Engine) runFullSingle() error {
 				return err
 			}
 			if !ok {
-				if edges, err = e.layout.LoadSubBlock(i, j); err != nil {
+				if edges, err = e.loadBlock(i, j); err != nil {
 					return err
 				}
 			}

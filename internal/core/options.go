@@ -71,8 +71,17 @@ type Options struct {
 	// the pipeline forever.
 	PrefetchBytes int64
 	// OnIteration, when non-nil, is invoked after every logical iteration
-	// with that iteration's statistics — progress reporting for long runs.
+	// with that iteration's statistics — progress reporting for long runs
+	// and for the job server's status endpoint. It runs on the engine
+	// goroutine; keep it cheap.
 	OnIteration func(IterStat)
+	// SharedBlocks, when non-nil, routes full sub-block loads (pipelined
+	// and synchronous) through a concurrency-safe cache shared with other
+	// engines on the same layout, deduplicating device reads between
+	// concurrent jobs (single-flight per grid key). Selective SCIU reads
+	// and streamed chunks bypass it. The per-run priority buffer
+	// (BufferBytes) still operates in front of it.
+	SharedBlocks *buffer.Shared
 	// Checkpoint configures crash-safe iteration checkpointing and resume.
 	Checkpoint CheckpointOptions
 }
@@ -146,10 +155,22 @@ type Result struct {
 
 	// WallTime is host wall-clock for the whole run; ComputeTime is the
 	// wall-clock spent in scatter/apply (the "vertex updating" share of
-	// Figure 6); IO is the simulated device traffic and time.
+	// Figure 6); IO is the simulated device traffic and time, measured as a
+	// delta over the device counters. When other runs share the device
+	// concurrently (the job server), their interleaved traffic is included
+	// in the delta — per-graph totals from Device.Stats are the exact
+	// figures in that setting.
 	WallTime    time.Duration
 	ComputeTime time.Duration
 	IO          storage.Snapshot
+
+	// SharedHits/SharedMisses count this run's full sub-block loads served
+	// from / missed in the cross-job shared cache (Options.SharedBlocks);
+	// both zero when no shared cache is configured. A hit costs the device
+	// nothing, which is why a warm job reads strictly fewer blocks than a
+	// cold one.
+	SharedHits   int64
+	SharedMisses int64
 
 	// Codec is the layout's sub-block payload encoding ("raw" or "delta").
 	// CompressRatio is decoded/on-disk edge payload bytes (1.0 for raw);

@@ -144,6 +144,9 @@ func (e *Engine) runSCIU() error {
 	degraded := false
 	fallbacks := 0
 	for _, req := range reqs {
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		var blk sciuBlock
 		var err error
 		if pf != nil && !degraded {

@@ -1,0 +1,481 @@
+// Package jobs is the job scheduler behind `graphsd serve`: a bounded
+// worker pool with admission control in front of the engine. Requests are
+// admitted against two budgets — queue depth and an aggregate memory
+// estimate across queued and running jobs — then executed by a fixed number
+// of workers, each job carrying a context so cancellation (client request,
+// per-job timeout, server shutdown) stops the engine between sub-blocks.
+//
+// The scheduler is deliberately engine-agnostic: it runs any Runner, so its
+// lifecycle, admission, and shutdown logic is testable without layouts.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/core"
+)
+
+// State is a job's lifecycle state. Transitions are strictly
+// Queued → Running → one of (Done, Failed, Cancelled), except that a queued
+// job may go directly to Cancelled.
+type State int
+
+const (
+	Queued State = iota
+	Running
+	Done
+	Failed
+	Cancelled
+)
+
+// String returns the lowercase state name used in the API and metrics.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Final reports whether s is a terminal state.
+func (s State) Final() bool { return s == Done || s == Failed || s == Cancelled }
+
+// States lists every lifecycle state, for metrics enumeration.
+var States = []State{Queued, Running, Done, Failed, Cancelled}
+
+// Request describes one job submission.
+type Request struct {
+	// Graph names a graph registered with the server.
+	Graph string `json:"graph"`
+	// Algorithm is an algorithms.ByName name (pr, bfs, cc, sssp, ...).
+	Algorithm string `json:"algorithm"`
+	// Source is the source vertex for traversal algorithms.
+	Source uint32 `json:"source,omitempty"`
+	// MaxIterations overrides the algorithm's iteration bound when positive.
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// TimeoutMS cancels the job this many milliseconds after it starts
+	// running. Zero means no timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Runner executes one admitted job. onIter is invoked after each engine
+// iteration for progress reporting; implementations must pass it through to
+// core.Options.OnIteration (or call it themselves).
+type Runner func(ctx context.Context, req Request, onIter func(core.IterStat)) (*core.Result, error)
+
+// Config sizes a Scheduler.
+type Config struct {
+	// Workers is the number of jobs executed concurrently. Minimum 1.
+	Workers int
+	// QueueDepth bounds the jobs admitted but not yet running. Minimum 1.
+	QueueDepth int
+	// MemBudget, when positive, bounds the summed memory estimates of
+	// queued and running jobs; submissions beyond it are rejected with
+	// ErrMemBudget.
+	MemBudget int64
+	// EstimateBytes predicts a job's peak engine memory, consulted at
+	// admission when MemBudget is set. Nil estimates zero.
+	EstimateBytes func(Request) int64
+	// Run executes one job. Required.
+	Run Runner
+}
+
+// Admission errors. The server maps both to HTTP 429.
+var (
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrMemBudget = errors.New("jobs: memory budget exhausted")
+	ErrClosed    = errors.New("jobs: scheduler shut down")
+)
+
+// ErrNotFound reports an unknown job ID.
+var ErrNotFound = errors.New("jobs: no such job")
+
+// Job is one submitted request and its lifecycle. All fields are guarded by
+// mu; read them through Status.
+type Job struct {
+	id  string
+	req Request
+
+	mu         sync.Mutex
+	state      State
+	err        error
+	res        *core.Result
+	iterations int
+	activeVert int
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	estBytes   int64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// ID returns the job's deterministic identifier.
+func (j *Job) ID() string { return j.id }
+
+// Request returns the submission that created the job.
+func (j *Job) Request() Request { return j.req }
+
+// Status is a point-in-time JSON-ready view of a job.
+type Status struct {
+	ID        string  `json:"id"`
+	Graph     string  `json:"graph"`
+	Algorithm string  `json:"algorithm"`
+	State     string  `json:"state"`
+	Error     string  `json:"error,omitempty"`
+	// Iterations completed so far (live while running) and the active
+	// vertex count entering the most recent iteration.
+	Iterations int `json:"iterations"`
+	ActiveVert int `json:"active_vertices,omitempty"`
+	// Converged is meaningful once State is "done".
+	Converged bool `json:"converged,omitempty"`
+	// EstBytes is the admission-time memory estimate.
+	EstBytes  int64  `json:"est_bytes,omitempty"`
+	Submitted string `json:"submitted"`
+	Started   string `json:"started,omitempty"`
+	Finished  string `json:"finished,omitempty"`
+	// WaitMS/RunMS are queue latency and execution wall time.
+	WaitMS int64 `json:"wait_ms"`
+	RunMS  int64 `json:"run_ms,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:         j.id,
+		Graph:      j.req.Graph,
+		Algorithm:  j.req.Algorithm,
+		State:      j.state.String(),
+		Iterations: j.iterations,
+		ActiveVert: j.activeVert,
+		EstBytes:   j.estBytes,
+		Submitted:  j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.res != nil {
+		st.Converged = j.res.Converged
+		st.Iterations = j.res.Iterations
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+		st.WaitMS = j.started.Sub(j.submitted).Milliseconds()
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunMS = end.Sub(j.started).Milliseconds()
+	} else {
+		st.WaitMS = time.Since(j.submitted).Milliseconds()
+		if !j.finished.IsZero() { // cancelled while queued
+			st.WaitMS = j.finished.Sub(j.submitted).Milliseconds()
+			st.RunMS = 0
+		}
+	}
+	return st
+}
+
+// Result returns the completed run's result, or nil while the job is not
+// Done.
+func (j *Job) Result() *core.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Done {
+		return nil
+	}
+	return j.res
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err returns the job's terminal error, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Scheduler is the bounded worker pool. Create with New, submit with
+// Submit, stop with Close.
+type Scheduler struct {
+	cfg   Config
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for listing
+	seq      int64
+	memUsed  int64
+	closed   bool
+	finished map[State]int64 // terminal-state counts, monotonic
+
+	wg sync.WaitGroup
+}
+
+// New starts a scheduler with cfg.Workers workers.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	if cfg.Run == nil {
+		panic("jobs: Config.Run is required")
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		finished: make(map[State]int64),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit admits req, returning the queued job or an admission error
+// (ErrQueueFull, ErrMemBudget, ErrClosed). Job IDs are deterministic in the
+// submission sequence: j<seq>-<fnv32a of graph|algorithm|params>, so equal
+// request streams produce equal IDs across server runs.
+func (s *Scheduler) Submit(req Request) (*Job, error) {
+	est := int64(0)
+	if s.cfg.EstimateBytes != nil {
+		est = s.cfg.EstimateBytes(req)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.cfg.MemBudget > 0 && s.memUsed+est > s.cfg.MemBudget {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d bytes reserved, job needs %d, budget %d",
+			ErrMemBudget, s.memUsed, est, s.cfg.MemBudget)
+	}
+	s.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id:        jobID(s.seq, req),
+		req:       req,
+		state:     Queued,
+		submitted: time.Now(),
+		estBytes:  est,
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("%w: depth %d", ErrQueueFull, cap(s.queue))
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.memUsed += est
+	s.mu.Unlock()
+	return j, nil
+}
+
+// jobID derives the deterministic job identifier.
+func jobID(seq int64, req Request) string {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s|%s|%d|%d", req.Graph, req.Algorithm, req.Source, req.MaxIterations)
+	return fmt.Sprintf("j%05d-%08x", seq, h.Sum32())
+}
+
+// Get returns the job with the given ID.
+func (s *Scheduler) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation of the job: a queued job is marked cancelled
+// and skipped by the workers; a running job's context aborts the engine at
+// the next sub-block boundary. Cancelling a finished job is a no-op.
+func (s *Scheduler) Cancel(id string) error {
+	j, ok := s.Get(id)
+	if !ok {
+		return ErrNotFound
+	}
+	j.mu.Lock()
+	if j.state == Queued {
+		j.state = Cancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		j.mu.Unlock()
+		j.cancel()
+		s.release(j, Cancelled)
+		return nil
+	}
+	j.mu.Unlock()
+	j.cancel() // running: engine observes ctx; finished: no-op
+	return nil
+}
+
+// Counts returns the number of jobs currently in each state.
+func (s *Scheduler) Counts() map[State]int64 {
+	out := make(map[State]int64, len(States))
+	for _, j := range s.Jobs() {
+		out[j.State()]++
+	}
+	return out
+}
+
+// QueueDepth returns (queued jobs, capacity).
+func (s *Scheduler) QueueDepth() (int, int) { return len(s.queue), cap(s.queue) }
+
+// MemReserved returns the summed memory estimates of queued and running
+// jobs, and the configured budget (0 = unlimited).
+func (s *Scheduler) MemReserved() (used, budget int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memUsed, s.cfg.MemBudget
+}
+
+// release returns a finished job's memory reservation and tallies its
+// terminal state. Idempotence is guaranteed by callers: it runs exactly
+// once per job, at the single Queued→Cancelled or Running→terminal edge.
+func (s *Scheduler) release(j *Job, final State) {
+	s.mu.Lock()
+	s.memUsed -= j.estBytes
+	s.finished[final]++
+	s.mu.Unlock()
+}
+
+// FinishedCounts returns the monotonic terminal-state totals (done, failed,
+// cancelled) since the scheduler started — counter semantics for /metrics.
+func (s *Scheduler) FinishedCounts() map[State]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[State]int64, len(s.finished))
+	for k, v := range s.finished {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Scheduler) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != Queued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	ctx := j.ctx
+	var cancelTimeout context.CancelFunc
+	if j.req.TimeoutMS > 0 {
+		ctx, cancelTimeout = context.WithTimeout(ctx, time.Duration(j.req.TimeoutMS)*time.Millisecond)
+	}
+	res, err := s.cfg.Run(ctx, j.req, func(st core.IterStat) {
+		j.mu.Lock()
+		j.iterations = st.Index + 1
+		j.activeVert = st.Active
+		j.mu.Unlock()
+	})
+	if cancelTimeout != nil {
+		cancelTimeout()
+	}
+	j.cancel() // release the job context either way
+
+	final := Done
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		final = Cancelled
+	default:
+		final = Failed
+	}
+	j.mu.Lock()
+	j.state = final
+	j.err = err
+	j.res = res
+	j.finished = time.Now()
+	j.mu.Unlock()
+	s.release(j, final)
+}
+
+// Close stops admission, cancels every non-terminal job, and waits for the
+// workers to drain — a cancelled engine stops at the next sub-block, so
+// shutdown is prompt. It returns ctx.Err() if the workers outlive ctx.
+func (s *Scheduler) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	close(s.queue)
+	s.mu.Unlock()
+
+	for _, j := range jobs {
+		if !j.State().Final() {
+			s.Cancel(j.ID())
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/gen"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/jobs"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// submitAndWait submits directly to the scheduler and blocks until the job
+// reaches a terminal state, returning it.
+func submitAndWait(t *testing.T, s *Server, req jobs.Request) *jobs.Job {
+	t.Helper()
+	j, err := s.Scheduler().Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for !j.State().Final() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", j.ID(), j.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return j
+}
+
+// TestConcurrentJobsBitIdentical is the PR's acceptance test: N
+// simultaneous PageRank and BFS jobs over one layout, with 5% transient
+// chaos faults on block reads and retries enabled, each producing outputs
+// bit-identical to a plain sequential core.Run on the same layout. Run
+// under -race in CI, it also proves the shared cache and two-phase scatter
+// race-free under real concurrency.
+func TestConcurrentJobsBitIdentical(t *testing.T) {
+	g, err := gen.RMAT(11, 8, gen.Graph500, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	bdev, err := storage.OpenDevice(dir, storage.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := partition.Build(bdev, g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential reference runs, one per request shape, on the pristine
+	// build device (no chaos, no sharing).
+	want := map[string][]float64{}
+	reqs := []jobs.Request{
+		{Graph: "g", Algorithm: "pr"},
+		{Graph: "g", Algorithm: "bfs", Source: 1},
+		{Graph: "g", Algorithm: "cc"},
+	}
+	for _, r := range reqs {
+		prog, err := algorithms.ByName(r.Algorithm, graph.VertexID(r.Source))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(layout, prog, core.Options{DefaultBuffer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[r.Algorithm] = res.Outputs
+	}
+
+	s, err := New(Config{
+		Graphs:  []GraphConfig{{Name: "g", Dir: dir, Profile: storage.HDD, Retries: 8}},
+		Workers: 4, QueueDepth: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+
+	// 5% transient faults on every block read; the device retry policy
+	// (Retries: 8) recovers them, so jobs still finish — with the
+	// retries visible in the device counters.
+	_, dev, _ := s.Graph("g")
+	chaos := storage.NewChaos(storage.ChaosOptions{
+		Seed:              99,
+		TransientReadProb: 0.05,
+		Match: func(op, name string) bool {
+			return (op == "read" || op == "readat") && len(name) > 7 && name[:7] == "blocks/"
+		},
+	})
+	dev.SetFaultInjector(chaos.Injector())
+
+	// Launch 3 shapes × 3 copies = 9 simultaneous jobs.
+	const copies = 3
+	type launched struct {
+		req jobs.Request
+		job *jobs.Job
+	}
+	var all []launched
+	for c := 0; c < copies; c++ {
+		for _, r := range reqs {
+			j, err := s.Scheduler().Submit(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, launched{req: r, job: j})
+		}
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for _, l := range all {
+		for !l.job.State().Final() {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %s", l.job.ID(), l.job.State())
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if st := l.job.State(); st != jobs.Done {
+			t.Fatalf("job %s (%s) ended %s: %v", l.job.ID(), l.req.Algorithm, st, l.job.Err())
+		}
+		res := l.job.Result()
+		ref := want[l.req.Algorithm]
+		if len(res.Outputs) != len(ref) {
+			t.Fatalf("%s: %d outputs, want %d", l.req.Algorithm, len(res.Outputs), len(ref))
+		}
+		for v := range ref {
+			if res.Outputs[v] != ref[v] {
+				t.Fatalf("%s under concurrency+chaos: vertex %d = %v, want bit-identical %v",
+					l.req.Algorithm, v, res.Outputs[v], ref[v])
+			}
+		}
+	}
+	if chaos.Stats().Transient == 0 {
+		t.Fatal("chaos injected no faults — test proved nothing")
+	}
+	if dev.Stats().Retries == 0 {
+		t.Fatal("no retries recorded despite injected transient faults")
+	}
+}
+
+// TestWarmJobLoadsFewerBlocks is the shared-cache acceptance bar: with two
+// jobs run back-to-back on one graph, the second job's device read delta is
+// strictly smaller than the first's, and the cache records hits for it.
+func TestWarmJobLoadsFewerBlocks(t *testing.T) {
+	g, err := gen.RMAT(10, 8, gen.Graph500, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	bdev, err := storage.OpenDevice(dir, storage.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partition.Build(bdev, g, 4); err != nil {
+		t.Fatal(err)
+	}
+	// The cache must hold the whole grid: at half the edge data (the
+	// default) a sequential scan over the cells LRU-thrashes to zero hits.
+	s, err := New(Config{
+		Graphs:  []GraphConfig{{Name: "g", Dir: dir, Profile: storage.HDD, CacheBytes: 1 << 30}},
+		Workers: 1, QueueDepth: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+
+	req := jobs.Request{Graph: "g", Algorithm: "pr"}
+	cold := submitAndWait(t, s, req)
+	warm := submitAndWait(t, s, req)
+	for name, j := range map[string]*jobs.Job{"cold": cold, "warm": warm} {
+		if j.State() != jobs.Done {
+			t.Fatalf("%s job ended %s: %v", name, j.State(), j.Err())
+		}
+	}
+	cr, wr := cold.Result(), warm.Result()
+	if cr.SharedMisses == 0 {
+		t.Fatal("cold job recorded no shared-cache misses")
+	}
+	if wr.SharedHits == 0 {
+		t.Fatal("warm job recorded no shared-cache hits")
+	}
+	coldLoads := cr.SharedMisses
+	warmLoads := wr.SharedMisses
+	if warmLoads >= coldLoads {
+		t.Fatalf("warm job loaded %d sub-blocks from device, cold job %d — cache saved nothing",
+			warmLoads, coldLoads)
+	}
+	if wr.IO.ReadBytes() >= cr.IO.ReadBytes() {
+		t.Fatalf("warm read %d bytes >= cold %d", wr.IO.ReadBytes(), cr.IO.ReadBytes())
+	}
+	shared, _, _ := s.Graph("g")
+	st := shared.Stats()
+	if st.Hits == 0 || st.BytesSaved == 0 {
+		t.Fatalf("shared cache counters empty: %+v", st)
+	}
+	t.Logf("cold loads=%d warm loads=%d (hits=%d, %s saved)",
+		coldLoads, warmLoads, wr.SharedHits, fmt.Sprint(st.BytesSaved))
+}

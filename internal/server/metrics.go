@@ -1,0 +1,157 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/buffer"
+	"github.com/graphsd/graphsd/internal/jobs"
+	"github.com/graphsd/graphsd/internal/metrics"
+	"github.com/graphsd/graphsd/internal/pipeline"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// handleMetrics renders the Prometheus text exposition: scheduler counters
+// and gauges, then per-graph device traffic (including retry counters),
+// shared-cache effectiveness, and the pipeline/buffer aggregates folded in
+// from completed jobs.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := metrics.NewProm(w)
+
+	p.Header("graphsd_uptime_seconds", "gauge", "Seconds since the server started.")
+	p.Val("graphsd_uptime_seconds", time.Since(s.start).Seconds())
+
+	p.Header("graphsd_jobs_total", "counter", "Jobs finished, by terminal state.")
+	finished := s.sched.FinishedCounts()
+	for _, st := range []jobs.State{jobs.Done, jobs.Failed, jobs.Cancelled} {
+		p.Int("graphsd_jobs_total", finished[st], metrics.L("state", st.String()))
+	}
+
+	p.Header("graphsd_jobs_current", "gauge", "Jobs currently queued or running.")
+	counts := s.sched.Counts()
+	for _, st := range []jobs.State{jobs.Queued, jobs.Running} {
+		p.Int("graphsd_jobs_current", counts[st], metrics.L("state", st.String()))
+	}
+
+	qLen, qCap := s.sched.QueueDepth()
+	p.Header("graphsd_queue_depth", "gauge", "Jobs admitted but not yet running.")
+	p.Int("graphsd_queue_depth", int64(qLen))
+	p.Header("graphsd_queue_capacity", "gauge", "Admission queue capacity.")
+	p.Int("graphsd_queue_capacity", int64(qCap))
+
+	memUsed, memBudget := s.sched.MemReserved()
+	p.Header("graphsd_mem_reserved_bytes", "gauge", "Summed memory estimates of queued and running jobs.")
+	p.Int("graphsd_mem_reserved_bytes", memUsed)
+	p.Header("graphsd_mem_budget_bytes", "gauge", "Admission memory budget (0 = unlimited).")
+	p.Int("graphsd_mem_budget_bytes", memBudget)
+
+	// Per-graph device traffic. These are whole-device counters — exact
+	// even while concurrent jobs share the device.
+	p.Header("graphsd_device_read_bytes_total", "counter", "Bytes read from the graph's device.")
+	for _, name := range s.names {
+		p.Int("graphsd_device_read_bytes_total", s.graphs[name].dev.Stats().ReadBytes(), metrics.L("graph", name))
+	}
+	p.Header("graphsd_device_write_bytes_total", "counter", "Bytes written to the graph's device.")
+	for _, name := range s.names {
+		p.Int("graphsd_device_write_bytes_total", s.graphs[name].dev.Stats().WriteBytes(), metrics.L("graph", name))
+	}
+	p.Header("graphsd_device_ops_total", "counter", "Device operations, by access class.")
+	classes := []struct {
+		c     storage.Class
+		label string
+	}{
+		{storage.SeqRead, "seq_read"},
+		{storage.RandRead, "rand_read"},
+		{storage.SeqWrite, "seq_write"},
+		{storage.RandWrite, "rand_write"},
+	}
+	for _, name := range s.names {
+		st := s.graphs[name].dev.Stats()
+		for _, cl := range classes {
+			p.Int("graphsd_device_ops_total", st.Ops[cl.c], metrics.L("graph", name), metrics.L("class", cl.label))
+		}
+	}
+	p.Header("graphsd_device_retries_total", "counter", "Read attempts repeated after transient faults.")
+	for _, name := range s.names {
+		p.Int("graphsd_device_retries_total", s.graphs[name].dev.Stats().Retries, metrics.L("graph", name))
+	}
+	p.Header("graphsd_device_busy_seconds_total", "counter", "Simulated device time consumed.")
+	for _, name := range s.names {
+		p.Val("graphsd_device_busy_seconds_total", s.graphs[name].dev.Stats().TotalTime().Seconds(), metrics.L("graph", name))
+	}
+
+	// Shared sub-block cache, per graph.
+	p.Header("graphsd_shared_cache_hits_total", "counter", "Sub-block loads served from the cross-job shared cache (incl. single-flight dedup waits).")
+	for _, name := range s.names {
+		p.Int("graphsd_shared_cache_hits_total", s.graphs[name].shared.Stats().Hits, metrics.L("graph", name))
+	}
+	p.Header("graphsd_shared_cache_misses_total", "counter", "Sub-block loads that went to the device.")
+	for _, name := range s.names {
+		p.Int("graphsd_shared_cache_misses_total", s.graphs[name].shared.Stats().Misses, metrics.L("graph", name))
+	}
+	p.Header("graphsd_shared_cache_bytes_saved_total", "counter", "Device bytes avoided by shared-cache hits.")
+	for _, name := range s.names {
+		p.Int("graphsd_shared_cache_bytes_saved_total", s.graphs[name].shared.Stats().BytesSaved, metrics.L("graph", name))
+	}
+	p.Header("graphsd_shared_cache_evictions_total", "counter", "Shared-cache LRU evictions.")
+	for _, name := range s.names {
+		p.Int("graphsd_shared_cache_evictions_total", s.graphs[name].shared.Stats().Evictions, metrics.L("graph", name))
+	}
+	p.Header("graphsd_shared_cache_used_bytes", "gauge", "Decoded bytes resident in the shared cache.")
+	for _, name := range s.names {
+		p.Int("graphsd_shared_cache_used_bytes", s.graphs[name].shared.Used(), metrics.L("graph", name))
+	}
+	p.Header("graphsd_shared_cache_capacity_bytes", "gauge", "Shared cache capacity.")
+	for _, name := range s.names {
+		p.Int("graphsd_shared_cache_capacity_bytes", s.graphs[name].shared.Capacity(), metrics.L("graph", name))
+	}
+
+	// Aggregates folded from completed jobs: I/O pipeline (including the
+	// synchronous-fallback counter) and per-run priority buffer.
+	type agg struct {
+		name string
+		runs int64
+		pipe pipeline.Stats
+		buf  buffer.Stats
+	}
+	aggs := make([]agg, 0, len(s.names))
+	for _, name := range s.names {
+		g := s.graphs[name]
+		g.mu.Lock()
+		aggs = append(aggs, agg{name: name, runs: g.jobsRun, pipe: g.pipeline, buf: g.buffer})
+		g.mu.Unlock()
+	}
+	p.Header("graphsd_jobs_completed_runs_total", "counter", "Completed runs folded into the per-graph aggregates.")
+	for _, a := range aggs {
+		p.Int("graphsd_jobs_completed_runs_total", a.runs, metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_pipeline_blocks_total", "counter", "Sub-blocks delivered by the I/O pipeline.")
+	for _, a := range aggs {
+		p.Int("graphsd_pipeline_blocks_total", int64(a.pipe.Blocks), metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_pipeline_fallbacks_total", "counter", "Sub-blocks loaded synchronously after a pipeline degrade on a transient fault.")
+	for _, a := range aggs {
+		p.Int("graphsd_pipeline_fallbacks_total", int64(a.pipe.Fallbacks), metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_pipeline_stall_seconds_total", "counter", "Compute time spent waiting on prefetches.")
+	for _, a := range aggs {
+		p.Val("graphsd_pipeline_stall_seconds_total", a.pipe.Stall.Seconds(), metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_pipeline_overlap_seconds_total", "counter", "I/O time overlapped with compute.")
+	for _, a := range aggs {
+		p.Val("graphsd_pipeline_overlap_seconds_total", a.pipe.Overlap.Seconds(), metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_buffer_hits_total", "counter", "Per-run priority-buffer hits, summed over completed jobs.")
+	for _, a := range aggs {
+		p.Int("graphsd_buffer_hits_total", a.buf.Hits, metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_buffer_bytes_saved_total", "counter", "Device bytes avoided by per-run buffer hits, summed over completed jobs.")
+	for _, a := range aggs {
+		p.Int("graphsd_buffer_bytes_saved_total", a.buf.BytesSaved, metrics.L("graph", a.name))
+	}
+	if err := p.Err(); err != nil {
+		// The client went away mid-scrape; nothing recoverable.
+		return
+	}
+}

@@ -1,0 +1,431 @@
+// Package server implements `graphsd serve`: a resident job server that
+// keeps preprocessed layouts open across requests and exposes an HTTP API
+// for submitting algorithm runs. Jobs on the same graph share one
+// concurrency-safe sub-block cache (buffer.Shared), so a warm job loads
+// strictly fewer sub-blocks from the device than a cold one, and one
+// storage.Device per graph, so /metrics reports exact per-graph traffic.
+//
+// API (JSON unless noted):
+//
+//	POST   /v1/jobs              submit {graph, algorithm, source?, max_iterations?, timeout_ms?} → 202 status
+//	GET    /v1/jobs              list job statuses in submission order
+//	GET    /v1/jobs/{id}         one job's status
+//	GET    /v1/jobs/{id}/result  top-k (?top=N) or full (?full=1) vertex values; 409 until done
+//	POST   /v1/jobs/{id}/cancel  request cancellation (also DELETE /v1/jobs/{id})
+//	GET    /healthz              liveness
+//	GET    /metrics              Prometheus text exposition
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/buffer"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/jobs"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/pipeline"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// GraphConfig registers one preprocessed layout with the server.
+type GraphConfig struct {
+	// Name is the identifier clients use in job requests.
+	Name string
+	// Dir is the layout directory (output of `graphsd preprocess`).
+	Dir string
+	// Profile is the simulated disk model for the graph's device.
+	Profile storage.Profile
+	// CacheBytes sizes the graph's shared sub-block cache. Zero selects
+	// half the decoded edge data, mirroring an engine's default buffer.
+	CacheBytes int64
+	// Retries, when positive, retries transient read faults on the
+	// graph's device under exponential backoff.
+	Retries int
+}
+
+// Config sizes the server.
+type Config struct {
+	// Graphs are the layouts served. At least one is required.
+	Graphs []GraphConfig
+	// Workers, QueueDepth, and MemBudget configure the job scheduler; see
+	// jobs.Config. Workers and QueueDepth default to 2 and 16.
+	Workers    int
+	QueueDepth int
+	MemBudget  int64
+}
+
+// graphEntry is one registered graph: its device, layout, shared cache, and
+// the per-graph aggregates folded in as jobs on it complete.
+type graphEntry struct {
+	name   string
+	dev    *storage.Device
+	layout *partition.Layout
+	shared *buffer.Shared
+
+	mu       sync.Mutex
+	jobsRun  int64 // completed (Done) jobs folded into the aggregates
+	buffer   buffer.Stats
+	pipeline pipeline.Stats
+}
+
+// fold accumulates a completed run's per-job stats into the graph's
+// aggregates for /metrics.
+func (g *graphEntry) fold(res *core.Result) {
+	g.mu.Lock()
+	g.jobsRun++
+	g.buffer = g.buffer.Add(res.Buffer)
+	g.pipeline = g.pipeline.Add(res.Pipeline)
+	g.mu.Unlock()
+}
+
+// Server is the resident job server. Create with New, serve its Handler,
+// and stop with Close.
+type Server struct {
+	graphs map[string]*graphEntry
+	names  []string // sorted, for deterministic /metrics output
+	sched  *jobs.Scheduler
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// New opens every configured graph and starts the job scheduler.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Graphs) == 0 {
+		return nil, errors.New("server: no graphs configured")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 16
+	}
+	s := &Server{
+		graphs: make(map[string]*graphEntry, len(cfg.Graphs)),
+		start:  time.Now(),
+	}
+	for _, gc := range cfg.Graphs {
+		if gc.Name == "" {
+			return nil, errors.New("server: graph with empty name")
+		}
+		if _, dup := s.graphs[gc.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate graph name %q", gc.Name)
+		}
+		dev, err := storage.OpenDevice(gc.Dir, gc.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("server: graph %q: %w", gc.Name, err)
+		}
+		l, err := partition.Load(dev)
+		if err != nil {
+			return nil, fmt.Errorf("server: graph %q: %w", gc.Name, err)
+		}
+		if l.Meta.System != "graphsd" {
+			return nil, fmt.Errorf("server: graph %q: layout system %q not servable (need graphsd)", gc.Name, l.Meta.System)
+		}
+		if gc.Retries > 0 {
+			pol := storage.DefaultRetryPolicy
+			pol.MaxRetries = gc.Retries
+			dev.SetRetryPolicy(pol)
+		}
+		cache := gc.CacheBytes
+		if cache <= 0 {
+			cache = l.Meta.EdgeBytesTotal() / 2
+		}
+		s.graphs[gc.Name] = &graphEntry{
+			name:   gc.Name,
+			dev:    dev,
+			layout: l,
+			shared: buffer.NewShared(cache),
+		}
+		s.names = append(s.names, gc.Name)
+	}
+	sort.Strings(s.names)
+	s.sched = jobs.New(jobs.Config{
+		Workers:       cfg.Workers,
+		QueueDepth:    cfg.QueueDepth,
+		MemBudget:     cfg.MemBudget,
+		EstimateBytes: s.estimateBytes,
+		Run:           s.runJob,
+	})
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Scheduler exposes the job scheduler, for tests and the CLI.
+func (s *Server) Scheduler() *jobs.Scheduler { return s.sched }
+
+// Graph returns a registered graph's shared cache and device, for tests.
+func (s *Server) Graph(name string) (*buffer.Shared, *storage.Device, bool) {
+	g, ok := s.graphs[name]
+	if !ok {
+		return nil, nil, false
+	}
+	return g.shared, g.dev, true
+}
+
+// Close stops the scheduler, cancelling running jobs and waiting for the
+// workers to drain within ctx's deadline.
+func (s *Server) Close(ctx context.Context) error { return s.sched.Close(ctx) }
+
+// runJob is the jobs.Runner: it binds an admitted request to the engine
+// with the graph's shared cache wired in.
+func (s *Server) runJob(ctx context.Context, req jobs.Request, onIter func(core.IterStat)) (*core.Result, error) {
+	g, ok := s.graphs[req.Graph]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown graph %q", req.Graph)
+	}
+	prog, err := algorithms.ByName(req.Algorithm, graph.VertexID(req.Source))
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunContext(ctx, g.layout, prog, core.Options{
+		MaxIterations: req.MaxIterations,
+		DefaultBuffer: true,
+		SharedBlocks:  g.shared,
+		OnIteration:   onIter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.fold(res)
+	return res, nil
+}
+
+// estimateBytes predicts a job's peak engine memory for admission control:
+// the BSP vertex arrays (two float64 values, two accumulators, two
+// bitsets), the default secondary buffer (1/4 of edge data), and the
+// default prefetch window.
+func (s *Server) estimateBytes(req jobs.Request) int64 {
+	g, ok := s.graphs[req.Graph]
+	if !ok {
+		return 0
+	}
+	n := int64(g.layout.Meta.NumVertices)
+	const perVertex = 4*8 + 2 // valPrev/valCur/acc/accNext + 2 bitsets
+	return n*perVertex + g.layout.Meta.EdgeBytesTotal()/4 + 16<<20
+}
+
+// validate rejects a request the scheduler would accept but the runner
+// would fail, so clients get a 400 instead of a failed job.
+func (s *Server) validate(req jobs.Request) error {
+	if req.Graph == "" || req.Algorithm == "" {
+		return errors.New("graph and algorithm are required")
+	}
+	g, ok := s.graphs[req.Graph]
+	if !ok {
+		return fmt.Errorf("unknown graph %q (have %v)", req.Graph, s.names)
+	}
+	if _, err := algorithms.ByName(req.Algorithm, graph.VertexID(req.Source)); err != nil {
+		return err
+	}
+	if int(req.Source) >= g.layout.Meta.NumVertices {
+		return fmt.Errorf("source %d out of range (graph has %d vertices)", req.Source, g.layout.Meta.NumVertices)
+	}
+	if req.MaxIterations < 0 || req.TimeoutMS < 0 {
+		return errors.New("max_iterations and timeout_ms must be non-negative")
+	}
+	return nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobs.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if err := s.validate(req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.sched.Submit(req)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/v1/jobs/"+j.ID())
+		writeJSON(w, http.StatusAccepted, j.Status())
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrMemBudget):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	all := s.sched.Jobs()
+	out := make([]jobs.Status, 0, len(all))
+	for _, j := range all {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.sched.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if err := s.sched.Cancel(j.ID()); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// jsonFloat encodes like float64 but renders the non-finite values a
+// traversal run produces (unreachable vertices are +Inf) as JSON strings,
+// which encoding/json otherwise rejects outright.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"Infinity"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Infinity"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// vertexValue is one row of a result payload.
+type vertexValue struct {
+	Vertex uint32    `json:"vertex"`
+	Value  jsonFloat `json:"value"`
+}
+
+// resultPayload is the /result response body.
+type resultPayload struct {
+	jobs.Status
+	// Top holds the top-k vertices by descending value (?top=N, default
+	// 10). Full holds every vertex value in ID order (?full=1).
+	Top  []vertexValue `json:"top,omitempty"`
+	Full []jsonFloat   `json:"full,omitempty"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	res := j.Result()
+	if res == nil {
+		st := j.Status()
+		if st.State == "failed" || st.State == "cancelled" {
+			writeJSON(w, http.StatusConflict, st)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	out := resultPayload{Status: j.Status()}
+	if r.URL.Query().Get("full") == "1" {
+		out.Full = make([]jsonFloat, len(res.Outputs))
+		for i, v := range res.Outputs {
+			out.Full[i] = jsonFloat(v)
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	top := 10
+	if t := r.URL.Query().Get("top"); t != "" {
+		n, err := strconv.Atoi(t)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad top=%q", t)
+			return
+		}
+		top = n
+	}
+	out.Top = topK(res.Outputs, top)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// topK returns the k largest values with their vertex IDs, descending;
+// ties break toward the lower vertex ID so output is deterministic.
+func topK(vals []float64, k int) []vertexValue {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	idx := make([]uint32, len(vals))
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := vals[idx[a]], vals[idx[b]]
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b]
+	})
+	out := make([]vertexValue, k)
+	for i := 0; i < k; i++ {
+		out[i] = vertexValue{Vertex: idx[i], Value: jsonFloat(vals[idx[i]])}
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"graphs":   s.names,
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+	})
+}
