@@ -243,12 +243,13 @@ func cmdRun(args []string) error {
 		dev.SetRetryPolicy(pol)
 	}
 
+	var rec *iotrace.Recorder
 	if *tracePath != "" {
 		tf, err := os.Create(*tracePath)
 		if err != nil {
 			return fmt.Errorf("creating trace file: %w", err)
 		}
-		rec := iotrace.NewRecorder(tf)
+		rec = iotrace.NewRecorder(tf)
 		rec.Attach(dev)
 		defer func() {
 			dev.SetTracer(nil)
@@ -324,12 +325,36 @@ func cmdRun(args []string) error {
 		fmt.Printf("fault recovery: %d retried reads, %d pipeline fallbacks to synchronous loads\n",
 			res.IO.Retries, res.Pipeline.Fallbacks)
 	}
-	if *trace {
-		tr := metrics.NewTable("per-iteration trace", "iter", "path", "active", "bytes", "io time", "compute", "decode", "stall", "overlap")
+	if acc := res.SchedAccuracy; acc.Observed > 0 {
+		fmt.Printf("scheduler accuracy: %d observed iterations, mispredict mean %.1f%% last %.1f%%, corrections full=%.2f on-demand=%.2f\n",
+			acc.Observed, 100*acc.MeanMispredict, 100*acc.LastMispredict, acc.CorrFull, acc.CorrOnDemand)
+	}
+	if rec != nil {
+		// Fold the calibration loop's per-iteration accuracy into the trace
+		// as synthetic "sched" events, so one file carries both the device
+		// operations and the predictions made against them.
 		for _, st := range res.IterStats {
+			if st.Predicted > 0 {
+				model := "full"
+				if st.Path == "sciu" {
+					model = "on-demand"
+				}
+				rec.RecordSched(st.Index, model, st.Predicted, st.IOTime, st.Mispredict)
+			}
+		}
+	}
+	if *trace {
+		tr := metrics.NewTable("per-iteration trace", "iter", "path", "active", "bytes", "io time", "compute", "decode", "stall", "overlap", "predicted", "mispredict")
+		for _, st := range res.IterStats {
+			pred, mis := "-", "-"
+			if st.Predicted > 0 {
+				pred = metrics.Dur(st.Predicted)
+				mis = fmt.Sprintf("%.1f%%", 100*st.Mispredict)
+			}
 			tr.AddRow(fmt.Sprint(st.Index), st.Path, fmt.Sprint(st.Active),
 				storage.FormatBytes(st.IO.TotalBytes()), metrics.Dur(st.IOTime), metrics.Dur(st.ComputeTime),
-				metrics.DurZ(st.DecodeTime), metrics.DurZ(st.Pipeline.Stall), metrics.DurZ(st.Pipeline.Overlap))
+				metrics.DurZ(st.DecodeTime), metrics.DurZ(st.Pipeline.Stall), metrics.DurZ(st.Pipeline.Overlap),
+				pred, mis)
 		}
 		if err := tr.Render(os.Stdout); err != nil {
 			return err

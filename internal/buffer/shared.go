@@ -9,14 +9,17 @@ import (
 // SharedStats counts the outcomes of a Shared cache. All counters are
 // monotonic, so deltas between snapshots attribute activity to a window.
 type SharedStats struct {
-	// Hits served a resident sub-block with zero device I/O; BytesSaved is
-	// the on-disk volume those hits avoided re-reading.
+	// Hits served a sub-block with zero device I/O in the calling
+	// goroutine — from residency or by a successful dedup wait; BytesSaved
+	// is the on-disk volume those hits avoided re-reading.
 	Hits       int64
 	BytesSaved int64
 	// Misses triggered a device load (the single flight for the key).
 	Misses int64
 	// DedupWaits counts callers that found a load for their key already in
 	// flight and waited for it instead of issuing a duplicate device read.
+	// A wait whose flight succeeded also counts as a Hit; a wait whose
+	// flight failed counts as neither hit nor miss.
 	DedupWaits int64
 	// Insertions/Evictions/Rejections mirror the Buffer counters: blocks
 	// cached after a load, blocks dropped to make room (least recently used
@@ -53,10 +56,12 @@ func (s SharedStats) Add(o SharedStats) SharedStats {
 }
 
 // flight is one in-progress load that late arrivals for the same key wait
-// on instead of duplicating the device read.
+// on instead of duplicating the device read. size is the loaded on-disk
+// size, set before done closes so waiters can account the read they saved.
 type flight struct {
 	done  chan struct{}
 	edges []graph.Edge
+	size  int64
 	err   error
 }
 
@@ -95,8 +100,13 @@ type Shared struct {
 
 // NewShared returns a shared cache holding at most capacity bytes of
 // decoded sub-block payload. A zero or negative capacity caches nothing but
-// still deduplicates concurrent loads of the same key.
+// still deduplicates concurrent loads of the same key. Negative capacities
+// are clamped to zero at construction so insert's reject/evict arithmetic
+// sees one consistent "cache nothing" regime.
 func NewShared(capacity int64) *Shared {
+	if capacity < 0 {
+		capacity = 0
+	}
 	return &Shared{
 		capacity: capacity,
 		entries:  make(map[Key]*sharedEntry),
@@ -131,12 +141,15 @@ func (s *Shared) Stats() SharedStats {
 // GetOrLoad returns the edges for k, loading them through load on a miss.
 // load must return the decoded edges and their cacheable size in bytes (the
 // on-disk size, matching what a hit saves the device). hit reports whether
-// the call was served without invoking load in this goroutine — from
-// residency or by waiting on another caller's in-flight load.
+// the call was actually served without invoking load in this goroutine —
+// from residency, or by waiting on another caller's in-flight load that
+// succeeded. Successful waits count as Hits/BytesSaved: they saved a device
+// read just like a resident hit.
 //
-// A failed load is not cached and wakes all waiters with the same error, so
-// transient device faults stay retriable: the next GetOrLoad for the key
-// starts a fresh flight.
+// A failed load is not cached and wakes all waiters with the same error;
+// those waiters report hit=false (nothing was served, and hit-derived
+// metrics must not count them). Transient device faults stay retriable: the
+// next GetOrLoad for the key starts a fresh flight.
 func (s *Shared) GetOrLoad(k Key, load func() ([]graph.Edge, int64, error)) (edges []graph.Edge, hit bool, err error) {
 	s.mu.Lock()
 	if e, ok := s.entries[k]; ok {
@@ -151,20 +164,30 @@ func (s *Shared) GetOrLoad(k Key, load func() ([]graph.Edge, int64, error)) (edg
 		s.stats.DedupWaits++
 		s.mu.Unlock()
 		<-f.done
-		return f.edges, true, f.err
+		if f.err != nil {
+			// The flight this caller piggybacked on failed: nothing was
+			// served, so this is not a hit and must not inflate the
+			// hit-derived metrics. The error stays retriable — the next
+			// GetOrLoad starts a fresh flight.
+			return nil, false, f.err
+		}
+		s.mu.Lock()
+		s.stats.Hits++
+		s.stats.BytesSaved += f.size
+		s.mu.Unlock()
+		return f.edges, true, nil
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[k] = f
 	s.stats.Misses++
 	s.mu.Unlock()
 
-	var size int64
-	f.edges, size, f.err = load()
+	f.edges, f.size, f.err = load()
 
 	s.mu.Lock()
 	delete(s.inflight, k)
 	if f.err == nil {
-		s.insert(k, f.edges, size)
+		s.insert(k, f.edges, f.size)
 	}
 	s.mu.Unlock()
 	close(f.done)

@@ -169,6 +169,121 @@ func TestSharedStress(t *testing.T) {
 	t.Logf("stress: %+v", st)
 }
 
+// TestSharedFailedFlightWaitersNotHits pins the dedup-wait accounting: a
+// waiter whose in-flight load fails got nothing, so it must report hit=false
+// and must not count toward Hits or BytesSaved — SharedHits-derived metrics
+// would otherwise report device reads saved by loads that never happened.
+func TestSharedFailedFlightWaitersNotHits(t *testing.T) {
+	s := NewShared(1 << 20)
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	loaderDone := make(chan struct{})
+	go func() {
+		defer close(loaderDone)
+		_, hit, err := s.GetOrLoad(Key{5, 5}, func() ([]graph.Edge, int64, error) {
+			close(started)
+			<-release
+			return nil, 0, boom
+		})
+		if hit || !errors.Is(err, boom) {
+			t.Errorf("loader: hit=%t err=%v", hit, err)
+		}
+	}()
+	<-started
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	for c := 0; c < waiters; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			edges, hit, err := s.GetOrLoad(Key{5, 5}, func() ([]graph.Edge, int64, error) {
+				t.Error("waiter ran its own load while a flight was pending")
+				return nil, 0, nil
+			})
+			if hit {
+				t.Error("waiter on a failed flight reported hit=true")
+			}
+			if edges != nil || !errors.Is(err, boom) {
+				t.Errorf("waiter: edges=%v err=%v", edges, err)
+			}
+		}()
+	}
+	// Wait until all waiters are parked on the flight before failing it.
+	for {
+		if st := s.Stats(); st.DedupWaits == waiters {
+			break
+		}
+	}
+	close(release)
+	<-loaderDone
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Hits != 0 || st.BytesSaved != 0 {
+		t.Fatalf("failed flight inflated hit metrics: %+v", st)
+	}
+	if st.Misses != 1 || st.DedupWaits != waiters {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Contrast: waiters on a SUCCESSFUL flight are hits and save bytes.
+	started2 := make(chan struct{})
+	release2 := make(chan struct{})
+	go func() {
+		s.GetOrLoad(Key{6, 6}, func() ([]graph.Edge, int64, error) {
+			close(started2)
+			<-release2
+			return mkEdges(6, 6, 2), 77, nil
+		})
+	}()
+	<-started2
+	waited := make(chan struct{})
+	go func() {
+		defer close(waited)
+		edges, hit, err := s.GetOrLoad(Key{6, 6}, func() ([]graph.Edge, int64, error) {
+			return nil, 0, errors.New("should not run")
+		})
+		if !hit || err != nil || len(edges) != 2 {
+			t.Errorf("successful-flight waiter: edges=%d hit=%t err=%v", len(edges), hit, err)
+		}
+	}()
+	for {
+		if st := s.Stats(); st.DedupWaits == waiters+1 {
+			break
+		}
+	}
+	close(release2)
+	<-waited
+	st = s.Stats()
+	if st.Hits != 1 || st.BytesSaved != 77 {
+		t.Fatalf("successful dedup wait not counted as hit: %+v", st)
+	}
+}
+
+// TestSharedNegativeCapacityClamped: a negative capacity behaves exactly
+// like zero — nothing cached, inserts rejected cleanly, no eviction-loop
+// arithmetic on a negative budget.
+func TestSharedNegativeCapacityClamped(t *testing.T) {
+	s := NewShared(-1)
+	if s.Capacity() != 0 {
+		t.Fatalf("Capacity() = %d, want 0", s.Capacity())
+	}
+	edges, hit, err := s.GetOrLoad(Key{1, 1}, func() ([]graph.Edge, int64, error) {
+		return mkEdges(1, 1, 3), 30, nil
+	})
+	if err != nil || hit || len(edges) != 3 {
+		t.Fatalf("GetOrLoad on clamped cache: edges=%d hit=%t err=%v", len(edges), hit, err)
+	}
+	if s.Len() != 0 || s.Used() != 0 {
+		t.Fatalf("clamped cache cached an entry: len=%d used=%d", s.Len(), s.Used())
+	}
+	if st := s.Stats(); st.Rejections != 1 || st.Insertions != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
 func TestSharedZeroCapacityStillDedups(t *testing.T) {
 	s := NewShared(0)
 	var loads atomic.Int64

@@ -114,12 +114,14 @@ func NewEngine(layout *partition.Layout, prog Program, opts Options) (*Engine, e
 		return nil, fmt.Errorf("core: program %s needs edge weights but layout is unweighted", prog.Name())
 	}
 	sched, err := iosched.New(iosched.Config{
-		Profile:         layout.Dev.Profile(),
-		NumVertices:     layout.Meta.NumVertices,
-		NumEdges:        layout.Meta.NumEdges,
-		EdgeRecordBytes: layout.Meta.EdgeRecordBytes(),
-		EdgeBytesOnDisk: layout.Meta.EdgeDiskBytesTotal(),
-		P:               layout.Meta.P,
+		Profile:           layout.Dev.Profile(),
+		NumVertices:       layout.Meta.NumVertices,
+		NumEdges:          layout.Meta.NumEdges,
+		EdgeRecordBytes:   layout.Meta.EdgeRecordBytes(),
+		EdgeBytesOnDisk:   layout.Meta.EdgeDiskBytesTotal(),
+		EdgeBytesOnDemand: layout.Meta.SelectiveDiskBytesTotal(),
+		P:                 layout.Meta.P,
+		BlocksPerRow:      layout.Meta.NonEmptyBlocksPerRow(),
 	})
 	if err != nil {
 		return nil, err
@@ -307,6 +309,16 @@ func (e *Engine) run() (*Result, error) {
 			DecodeTime:  e.layout.DecodeTime() - decodeBefore,
 			Pipeline:    e.plStats.Sub(plBefore),
 		}
+		// Feed the measured charge back into the scheduler's calibration
+		// loop. fciu-2 consumes the second half of the previous decision's
+		// pass, so it carries no decision of its own to observe.
+		if path != "fciu-2" && !e.opts.DisableCalibration {
+			executed := iosched.FullIO
+			if path == "sciu" {
+				executed = iosched.OnDemandIO
+			}
+			st.Predicted, st.Mispredict = e.sched.Observe(executed, ioDelta.TotalTime())
+		}
 		iterStats = append(iterStats, st)
 		if e.opts.OnIteration != nil {
 			e.opts.OnIteration(st)
@@ -352,6 +364,7 @@ func (e *Engine) run() (*Result, error) {
 		SharedMisses:      e.sharedMisses.Load(),
 		Decisions:         append([]iosched.Decision(nil), e.sched.History()...),
 		SchedulerOverhead: e.sched.TotalOverhead(),
+		SchedAccuracy:     e.sched.Accuracy(),
 		Buffer:            e.buf.Stats(),
 		Pipeline:          e.plStats,
 		IterStats:         iterStats,

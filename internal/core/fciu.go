@@ -84,22 +84,25 @@ func (e *Engine) newFCIUPass(mode fciuMode) *fciuPass {
 // every later one are reported as not-prefetched, so the caller re-reads
 // them synchronously through the device's retry path. Permanent errors are
 // surfaced as-is.
+//
+// fallbacks is incremented in exactly one place, once per consumed request
+// from the degrading one onward — no matter whether the degradation struck
+// the first request of the pass or a later one — so it equals the number of
+// synchronous fallback loads the caller performs for prefetched cells.
 func (p *fciuPass) take(i, j int) (edges []graph.Edge, ok bool, err error) {
 	if p.pf == nil || p.next >= len(p.reqs) || p.reqs[p.next].I != i || p.reqs[p.next].J != j {
 		return nil, false, nil
 	}
 	p.next++
-	if p.degraded {
-		p.fallbacks++
-		return nil, false, nil
-	}
-	_, edges, err = p.pf.Next()
-	if err != nil && storage.IsTransient(err) {
+	if !p.degraded {
+		_, edges, err = p.pf.Next()
+		if err == nil || !storage.IsTransient(err) {
+			return edges, true, err
+		}
 		p.degraded = true
-		p.fallbacks++
-		return nil, false, nil
 	}
-	return edges, true, err
+	p.fallbacks++
+	return nil, false, nil
 }
 
 // finish shuts the pass's pipeline down (cancelling any in-flight fetches)

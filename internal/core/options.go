@@ -75,6 +75,13 @@ type Options struct {
 	// and for the job server's status endpoint. It runs on the engine
 	// goroutine; keep it cheap.
 	OnIteration func(IterStat)
+	// DisableCalibration turns off the scheduler's prediction-vs-actual
+	// feedback loop: no per-iteration Observe, no EWMA correction of the
+	// cost estimates, no hysteresis. The zero value calibrates — the raw
+	// formulas are systematically biased on real frontiers (non-uniform
+	// per-edge disk bytes, partial block coverage) and the corrections are
+	// what keeps the adaptive engine on the Figure 10 lower envelope.
+	DisableCalibration bool
 	// SharedBlocks, when non-nil, routes full sub-block loads (pipelined
 	// and synchronous) through a concurrency-safe cache shared with other
 	// engines on the same layout, deduplicating device reads between
@@ -182,9 +189,14 @@ type Result struct {
 	DecodeTime    time.Duration
 
 	// Decisions is the per-iteration scheduler trace (Figure 10) and
-	// SchedulerOverhead its cumulative cost (Figure 11).
+	// SchedulerOverhead its cumulative cost (Figure 11). SchedAccuracy
+	// summarises the calibration loop's prediction quality: observed
+	// iterations, mean/max/last misprediction ratio and the final EWMA
+	// correction factors (all zero-observation defaults when
+	// Options.DisableCalibration is set).
 	Decisions         []iosched.Decision
 	SchedulerOverhead time.Duration
+	SchedAccuracy     iosched.Accuracy
 
 	// Buffer reports the secondary sub-block buffer outcomes (Figure 12).
 	Buffer buffer.Stats
@@ -227,6 +239,13 @@ type IterStat struct {
 	// Pipeline is the iteration's share of the I/O–compute pipeline
 	// activity (stall and overlap wall-clock, blocks prefetched).
 	Pipeline pipeline.Stats
+	// Predicted is the scheduler's corrected cost estimate for the executed
+	// model and Mispredict the relative error against IOTime. Both stay zero
+	// for unobserved iterations (fciu-2, which executes the second half of
+	// the previous decision's pass, and all iterations when
+	// Options.DisableCalibration is set).
+	Predicted  time.Duration
+	Mispredict float64
 }
 
 // Time returns the iteration's total execution time under the simulated

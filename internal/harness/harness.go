@@ -299,6 +299,7 @@ func Experiments() []Experiment {
 		{"fig8", "Figure 8: preprocessing time comparison", runFig8},
 		{"fig9", "Figure 9: effect of the update strategies (GraphSD vs b1 vs b2)", runFig9},
 		{"fig10", "Figure 10: state-aware I/O scheduling, per-iteration (CC on UKUnion)", runFig10},
+		{"fig10-sched", "Figure 10 companion: scheduler prediction accuracy and adaptive I/O envelope", runSchedAccuracy},
 		{"fig11", "Figure 11: scheduling overhead vs reduced I/O time", runFig11},
 		{"fig12", "Figure 12: effect of the buffering scheme (UKUnion)", runFig12},
 		{"ext-storage", "Extension: device-class sensitivity (HDD/SSD/PMem, per the paper's future work)", runExtStorage},

@@ -1,0 +1,185 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/iosched"
+	"github.com/graphsd/graphsd/internal/metrics"
+)
+
+// Tolerances for the scheduler-accuracy experiment. These are the PR's
+// acceptance criteria, enforced here so the harness test (and the CI smoke
+// job) fail when the calibrated scheduler regresses.
+const (
+	// schedEnvelopeTol bounds the adaptive run's total simulated I/O
+	// relative to the better of the two forced models.
+	schedEnvelopeTol = 1.10
+	// schedMispredictTol bounds the per-iteration misprediction ratio
+	// once calibration has warmed up.
+	schedMispredictTol = 0.05
+	// schedWarmup is the number of observed iterations the EWMA gets to
+	// converge before mispredictions count against the tolerance. With
+	// alpha=0.5 four observations shrink the initial model error 16x.
+	schedWarmup = 4
+)
+
+// schedIterSample is one observed iteration in the SCHED_OUT artifact.
+type schedIterSample struct {
+	Index      int     `json:"index"`
+	Path       string  `json:"path"`
+	PredNs     int64   `json:"pred_ns"`
+	ActualNs   int64   `json:"actual_ns"`
+	Mispredict float64 `json:"mispredict"`
+	Checked    bool    `json:"checked"`
+}
+
+// schedArtifact is the JSON written to $SCHED_OUT for the CI trend line.
+type schedArtifact struct {
+	Dataset       string            `json:"dataset"`
+	AdaptiveIONs  int64             `json:"adaptive_io_ns"`
+	FullIONs      int64             `json:"full_io_ns"`
+	OnDemandIONs  int64             `json:"on_demand_io_ns"`
+	Envelope      float64           `json:"envelope_ratio"`
+	EnvelopeTol   float64           `json:"envelope_tol"`
+	MispredictTol float64           `json:"mispredict_tol"`
+	Warmup        int               `json:"warmup_iterations"`
+	Accuracy      iosched.Accuracy  `json:"accuracy"`
+	Iterations    []schedIterSample `json:"iterations"`
+}
+
+// runSchedAccuracy is the Figure-10 companion study for the self-calibrating
+// scheduler. Two checks, both hard-enforced:
+//
+//  1. Envelope — the adaptive scheduler's total simulated I/O on CC must
+//     track min(always-full, always-on-demand) within schedEnvelopeTol.
+//  2. Accuracy — on a long fixed-frontier PR run the per-iteration
+//     misprediction ratio |predicted−actual|/actual must drop below
+//     schedMispredictTol once the EWMA correction has seen schedWarmup
+//     observations. The final iteration is excluded: a trailing
+//     full-single pass starts from a different buffer state than the
+//     steady fciu cadence the correction factor was trained on.
+//
+// Everything is measured in simulated device time, so the assertions are
+// deterministic across hosts.
+func runSchedAccuracy(cfg *Config, w io.Writer) error {
+	ds, err := cfg.dataset("ukunion-sim")
+	if err != nil {
+		return err
+	}
+	e, err := newEnv(cfg, ds)
+	if err != nil {
+		return err
+	}
+
+	// Envelope: CC flips models as the frontier decays, so the adaptive
+	// run only stays near the lower envelope if its decisions are right.
+	cc := PaperAlgorithms()[2]
+	adaptive, err := e.run("graphsd", cc)
+	if err != nil {
+		return err
+	}
+	full, err := e.run("graphsd-b3", cc)
+	if err != nil {
+		return err
+	}
+	ondemand, err := e.run("graphsd-b4", cc)
+	if err != nil {
+		return err
+	}
+	minIO := full.IOTime()
+	if ondemand.IOTime() < minIO {
+		minIO = ondemand.IOTime()
+	}
+	envelope := 1.0
+	if minIO > 0 {
+		envelope = float64(adaptive.IOTime()) / float64(minIO)
+	}
+
+	// Accuracy: PR keeps every vertex active, so after the first pass the
+	// per-iteration I/O is steady and the EWMA correction must converge
+	// onto it. 12 iterations leave several post-warmup samples to check.
+	pr := Algorithm{"PR-12", false, func(graph.VertexID) core.Program {
+		return &algorithms.PageRank{Iterations: 12}
+	}}
+	prRes, err := e.run("graphsd", pr)
+	if err != nil {
+		return err
+	}
+
+	t := metrics.NewTable("Scheduler accuracy — PR(12) on "+ds.Name,
+		"iteration", "path", "predicted", "actual I/O", "mispredict", "checked")
+	last := len(prRes.IterStats) - 1
+	var samples []schedIterSample
+	observed := 0
+	worst, worstIter := 0.0, -1
+	for _, st := range prRes.IterStats {
+		if st.Predicted <= 0 {
+			continue // fciu-2 executes the previous decision; never observed
+		}
+		observed++
+		checked := observed > schedWarmup && st.Index != last
+		if checked && st.Mispredict > worst {
+			worst, worstIter = st.Mispredict, st.Index
+		}
+		mark := "—"
+		if checked {
+			mark = "yes"
+		}
+		t.AddRow(fmt.Sprint(st.Index), st.Path, metrics.Dur(st.Predicted),
+			metrics.Dur(st.IOTime), fmt.Sprintf("%.1f%%", 100*st.Mispredict), mark)
+		samples = append(samples, schedIterSample{
+			Index: st.Index, Path: st.Path,
+			PredNs: int64(st.Predicted), ActualNs: int64(st.IOTime),
+			Mispredict: st.Mispredict, Checked: checked,
+		})
+	}
+	acc := prRes.SchedAccuracy
+	t.AddNote("CC totals — adaptive %v, full-only %v, on-demand-only %v: envelope %.2fx (tolerance %.2fx)",
+		metrics.Dur(adaptive.IOTime()), metrics.Dur(full.IOTime()), metrics.Dur(ondemand.IOTime()),
+		envelope, schedEnvelopeTol)
+	t.AddNote("post-warmup worst mispredict %.1f%% (tolerance %.1f%%); corrections full=%.2f on-demand=%.2f",
+		100*worst, 100*schedMispredictTol, acc.CorrFull, acc.CorrOnDemand)
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	if out := os.Getenv("SCHED_OUT"); out != "" {
+		art := schedArtifact{
+			Dataset:      ds.Name,
+			AdaptiveIONs: int64(adaptive.IOTime()),
+			FullIONs:     int64(full.IOTime()),
+			OnDemandIONs: int64(ondemand.IOTime()),
+			Envelope:     envelope, EnvelopeTol: schedEnvelopeTol,
+			MispredictTol: schedMispredictTol, Warmup: schedWarmup,
+			Accuracy: acc, Iterations: samples,
+		}
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("harness: writing SCHED_OUT: %w", err)
+		}
+		fmt.Fprintf(w, "wrote scheduler-accuracy artifact to %s\n", out)
+	}
+
+	if envelope > schedEnvelopeTol {
+		return fmt.Errorf("harness: adaptive I/O %v is %.2fx min(full %v, on-demand %v), tolerance %.2fx",
+			adaptive.IOTime(), envelope, full.IOTime(), ondemand.IOTime(), schedEnvelopeTol)
+	}
+	if observed <= schedWarmup {
+		return fmt.Errorf("harness: only %d observed iterations, need > %d for a post-warmup check",
+			observed, schedWarmup)
+	}
+	if worst > schedMispredictTol {
+		return fmt.Errorf("harness: iteration %d mispredicted by %.1f%% after calibration warmup, tolerance %.1f%%",
+			worstIter, 100*worst, 100*schedMispredictTol)
+	}
+	return nil
+}

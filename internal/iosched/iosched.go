@@ -10,16 +10,31 @@
 //	C_r = S_ran/B_rr + S_seq/B_sr + 2|V|·N/B_sr + |V|·N/B_sw
 //
 // with the S_seq/S_ran split computed in one O(|A|) pass over the active
-// set and the degree table: a maximal run of consecutively-numbered active
-// vertices is one seek followed by a sequential stream; the first portion
-// of each run is charged as random (the seek), the rest as sequential.
+// set and the degree table. A maximal run of consecutively-numbered
+// edge-bearing active vertices is split at interval boundaries (each
+// interval's sub-blocks are separate files with their own readers) into
+// portions; each portion costs one positioning seek per sub-block its reads
+// touch — at most the number of non-empty sub-blocks in the interval's grid
+// row, and never more seeks than the portion issues reads. The first read
+// after each seek travels at the random-class rate, the rest stream
+// sequentially. Gaps consisting only of zero-degree vertices occupy no bytes
+// on disk, so the runs on either side remain one sequential stream and are
+// not split.
+//
 // Because the device model in internal/storage charges by the very same
-// profile, predictions and actual charges agree by construction, which is
-// what lets the adaptive engine track the lower envelope in Figure 10.
+// profile, predictions and actual charges agree by construction whenever the
+// layout's per-edge on-disk bytes are uniform and every edge-bearing vertex
+// stores edges in every non-empty sub-block of its row (the property test
+// exercises exactly this family against the real device). Real frontiers
+// deviate from those conditions, so the Scheduler also carries a calibration
+// loop: Observe feeds back each iteration's measured device charge, an EWMA
+// per-model correction factor rescales subsequent estimates, and a small
+// hysteresis band keeps corrected near-ties from flapping the model choice.
 package iosched
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/graphsd/graphsd/internal/bitset"
@@ -49,6 +64,17 @@ func (m Model) String() string {
 	}
 }
 
+// Calibration constants: the EWMA weight of the newest actual/predicted
+// ratio, the clamp keeping a wild outlier from poisoning the factor, and
+// the hysteresis band a corrected challenger must beat the incumbent model
+// by before the choice may flip.
+const (
+	calibrationAlpha = 0.5
+	correctionMin    = 0.1
+	correctionMax    = 10.0
+	hysteresisBand   = 0.05
+)
+
 // Decision records one iteration's scheduling outcome, including everything
 // needed for the Figure 10 (per-iteration model trace) and Figure 11
 // (scheduling overhead) experiments.
@@ -60,9 +86,24 @@ type Decision struct {
 	SeqBytes int64
 	RanBytes int64
 	Seeks    int64
-	// CostFull and CostOnDemand are the predicted iteration I/O costs.
+	// CostFull and CostOnDemand are the raw (uncorrected) predicted
+	// iteration I/O costs from the paper's formulas.
 	CostFull     time.Duration
 	CostOnDemand time.Duration
+	// CorrFull and CorrOnDemand are the EWMA correction factors in effect
+	// when the models were compared (1.0 until calibration has observed an
+	// iteration of the respective model).
+	CorrFull     float64
+	CorrOnDemand float64
+	// Predicted is the corrected cost of the executed model. Decide fills it
+	// for the chosen model; Observe overwrites it when a forced run executed
+	// the other one.
+	Predicted time.Duration
+	// Actual is the measured device charge delta of the iteration and
+	// Mispredict the relative error |Predicted−Actual|/Actual; both are
+	// zero until Observe reports the iteration back.
+	Actual     time.Duration
+	Mispredict float64
 	// Overhead is the wall-clock compute time spent making this decision.
 	Overhead time.Duration
 }
@@ -80,9 +121,19 @@ type Config struct {
 	// is what both cost formulas must charge — the device moves compressed
 	// bytes. Zero falls back to the uncompressed total.
 	EdgeBytesOnDisk int64
+	// EdgeBytesOnDemand is the total on-disk bytes selective (per-vertex)
+	// reads move for the whole edge set. Under the delta codec this excludes
+	// each block's edge-count header, which only full-block streams read.
+	// Zero falls back to EdgeBytesOnDisk.
+	EdgeBytesOnDemand int64
 	// P is the number of vertex intervals; an active run touches up to P
-	// sub-blocks, each requiring its own positioning seek.
+	// sub-blocks per interval row, each requiring its own positioning seek.
 	P int
+	// BlocksPerRow, when non-nil, holds the number of non-empty sub-blocks
+	// in each source interval's grid row (length P). A portion confined to
+	// interval i seeks at most BlocksPerRow[i] times — empty sub-blocks are
+	// never opened. Nil assumes fully-populated rows (P blocks each).
+	BlocksPerRow []int
 }
 
 // edgeBytesOnDisk resolves the EdgeBytesOnDisk fallback.
@@ -101,6 +152,37 @@ func (c Config) diskBytesPerEdge() float64 {
 	return float64(c.edgeBytesOnDisk()) / float64(c.NumEdges)
 }
 
+// onDemandBytesPerEdge returns the average bytes one edge costs a selective
+// read.
+func (c Config) onDemandBytesPerEdge() float64 {
+	if c.NumEdges == 0 {
+		return float64(c.EdgeRecordBytes)
+	}
+	if c.EdgeBytesOnDemand > 0 {
+		return float64(c.EdgeBytesOnDemand) / float64(c.NumEdges)
+	}
+	return c.diskBytesPerEdge()
+}
+
+// intervalLen returns the vertex count per interval (the layout's ceil
+// division).
+func (c Config) intervalLen() int {
+	per := (c.NumVertices + c.P - 1) / c.P
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// blocksInRow returns the number of non-empty sub-blocks in interval i's
+// grid row.
+func (c Config) blocksInRow(i int) int {
+	if c.BlocksPerRow == nil {
+		return c.P
+	}
+	return c.BlocksPerRow[i]
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if err := c.Profile.Validate(); err != nil {
@@ -115,15 +197,36 @@ func (c Config) Validate() error {
 	if c.P <= 0 {
 		return fmt.Errorf("iosched: non-positive interval count %d", c.P)
 	}
+	if c.BlocksPerRow != nil {
+		if len(c.BlocksPerRow) != c.P {
+			return fmt.Errorf("iosched: blocks-per-row length %d != P %d", len(c.BlocksPerRow), c.P)
+		}
+		for i, b := range c.BlocksPerRow {
+			if b < 0 || b > c.P {
+				return fmt.Errorf("iosched: row %d has %d non-empty blocks, want 0..%d", i, b, c.P)
+			}
+		}
+	}
 	return nil
 }
 
 // Scheduler selects the I/O access model each iteration and keeps the
-// decision history. Not safe for concurrent use; the engine consults it
-// once per iteration from the driver goroutine.
+// decision history plus the calibration state fed by Observe. Not safe for
+// concurrent use; the engine consults it once per iteration from the driver
+// goroutine.
 type Scheduler struct {
 	cfg     Config
 	history []Decision
+
+	// factor holds the per-model EWMA correction (actual/raw cost), indexed
+	// by Model. 1.0 until the model has been observed.
+	factor [2]float64
+	// observed counts Observe calls per model; mispredict* aggregate the
+	// relative errors for the Accuracy summary.
+	observed       [2]int
+	mispredictSum  float64
+	mispredictMax  float64
+	mispredictLast float64
 }
 
 // New returns a Scheduler for the given configuration.
@@ -131,7 +234,10 @@ func New(cfg Config) (*Scheduler, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Scheduler{cfg: cfg}, nil
+	s := &Scheduler{cfg: cfg}
+	s.factor[FullIO] = 1
+	s.factor[OnDemandIO] = 1
+	return s, nil
 }
 
 // CostFull returns C_s, the constant full-model cost per iteration. The
@@ -145,46 +251,72 @@ func (s *Scheduler) CostFull() time.Duration {
 	return p.SeqCost(storage.SeqRead, vBytes+eBytes) + p.SeqCost(storage.SeqWrite, vBytes)
 }
 
-// EstimateOnDemand computes the S_seq/S_ran split and C_r for the given
-// active set in one pass over the active vertices and the degree table.
-// Bytes are estimated at the layout's average on-disk bytes per edge, so a
-// compressed layout's selective reads are costed at what the device will
-// actually move.
+// EstimateOnDemand computes the S_seq/S_ran split and the seek count for
+// the given active set in one pass over the active vertices and the degree
+// table. Bytes are estimated at the layout's average selective-read bytes
+// per edge, so a compressed layout's on-demand reads are costed at what the
+// device will actually move.
+//
+// A maximal run of edge-bearing active vertices (gaps of zero-degree
+// vertices occupy no bytes and do not break a run) is split at interval
+// boundaries into portions. Each portion seeks once per sub-block of its
+// interval's grid row that its reads touch — capped at the row's non-empty
+// block count and at the portion's edge count — and its first edge-bearing
+// vertex's bytes are charged at the post-seek random rate.
 func (s *Scheduler) EstimateOnDemand(active *bitset.ActiveSet, degrees []uint32) (seqBytes, ranBytes, seeks int64) {
-	rec := s.cfg.diskBytesPerEdge()
-	firstRec := int64(rec)
-	if firstRec < 1 {
-		firstRec = 1
-	}
-	prev := -2
-	var runBytes int64
-	flushRun := func() {
-		if runBytes == 0 {
+	rec := s.cfg.onDemandBytesPerEdge()
+	per := s.cfg.intervalLen()
+	prev := -2 // last active vertex seen; -2 so vertex 0 never chains
+	curIv := -1
+	var portionEdges int64 // active edges accumulated in the current portion
+	var firstDeg int64     // out-degree of the portion's first edge-bearing vertex
+	flush := func() {
+		if portionEdges == 0 {
+			firstDeg = 0
 			return
 		}
-		// A run costs one seek per sub-block it spans. The first read after
-		// each seek travels at post-seek (random-class) rate; model the
-		// whole run as sequential payload with P positioning seeks, charging
-		// the first record of the run as random.
-		seeks += int64(s.cfg.P)
-		first := firstRec
-		if first > runBytes {
-			first = runBytes
+		blocks := int64(s.cfg.blocksInRow(curIv))
+		if blocks > portionEdges {
+			blocks = portionEdges
+		}
+		seeks += blocks
+		total := int64(math.Round(float64(portionEdges) * rec))
+		first := int64(math.Round(float64(firstDeg) * rec))
+		if first > total {
+			first = total
 		}
 		ranBytes += first
-		seqBytes += runBytes - first
-		runBytes = 0
+		seqBytes += total - first
+		portionEdges, firstDeg = 0, 0
 	}
 	active.ForEach(func(v int) bool {
-		if v != prev+1 {
-			flushRun()
+		iv := v / per
+		if iv != curIv || (v != prev+1 && gapHasEdges(degrees, prev+1, v)) {
+			flush()
 		}
-		runBytes += int64(float64(degrees[v]) * rec)
+		curIv = iv
+		d := int64(degrees[v])
+		if firstDeg == 0 {
+			firstDeg = d
+		}
+		portionEdges += d
 		prev = v
 		return true
 	})
-	flushRun()
+	flush()
 	return seqBytes, ranBytes, seeks
+}
+
+// gapHasEdges reports whether any vertex in [lo, hi) has edges. A gap of
+// zero-degree vertices occupies no bytes on disk (their index runs are
+// empty), so the reads on either side of it remain one sequential stream.
+func gapHasEdges(degrees []uint32, lo, hi int) bool {
+	for v := lo; v < hi; v++ {
+		if degrees[v] > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // CostOnDemand returns C_r for a precomputed split.
@@ -199,9 +331,20 @@ func (s *Scheduler) CostOnDemand(seqBytes, ranBytes, seeks int64) time.Duration 
 	return c
 }
 
+// scaleCost applies a correction factor to a raw cost estimate.
+func scaleCost(c time.Duration, factor float64) time.Duration {
+	return time.Duration(float64(c) * factor)
+}
+
 // Decide runs the benefit evaluation for one iteration and records and
 // returns the decision. degrees must hold the global out-degree of every
 // vertex.
+//
+// The models are compared by their corrected costs (raw formula × the
+// model's EWMA correction). Exact ties go to on-demand. Once calibration
+// has at least one observation, a decision that would flip the model of the
+// previous iteration must beat the incumbent by the hysteresis band —
+// correction nudges on a near-tie cannot make the choice oscillate.
 func (s *Scheduler) Decide(iteration int, active *bitset.ActiveSet, degrees []uint32) Decision {
 	start := time.Now()
 	seqB, ranB, seeks := s.EstimateOnDemand(active, degrees)
@@ -213,15 +356,102 @@ func (s *Scheduler) Decide(iteration int, active *bitset.ActiveSet, degrees []ui
 		Seeks:        seeks,
 		CostFull:     s.CostFull(),
 		CostOnDemand: s.CostOnDemand(seqB, ranB, seeks),
+		CorrFull:     s.factor[FullIO],
+		CorrOnDemand: s.factor[OnDemandIO],
 	}
-	if d.CostOnDemand <= d.CostFull {
+	cf := scaleCost(d.CostFull, d.CorrFull)
+	cr := scaleCost(d.CostOnDemand, d.CorrOnDemand)
+	if cr <= cf {
 		d.Model = OnDemandIO
 	} else {
 		d.Model = FullIO
 	}
+	if s.observed[FullIO]+s.observed[OnDemandIO] > 0 && len(s.history) > 0 {
+		prev := s.history[len(s.history)-1].Model
+		if d.Model != prev {
+			challenger, incumbent := cr, cf
+			if d.Model == FullIO {
+				challenger, incumbent = cf, cr
+			}
+			if float64(challenger) > (1-hysteresisBand)*float64(incumbent) {
+				d.Model = prev
+			}
+		}
+	}
+	if d.Model == OnDemandIO {
+		d.Predicted = cr
+	} else {
+		d.Predicted = cf
+	}
 	d.Overhead = time.Since(start)
 	s.history = append(s.history, d)
 	return d
+}
+
+// Observe feeds the measured device charge delta of the iteration whose
+// decision was recorded last back into the scheduler. executed names the
+// model that actually ran (a forced run may differ from the decision). It
+// annotates the decision with the corrected prediction, the actual charge
+// and the relative misprediction, then folds actual/raw into the executed
+// model's EWMA correction factor. Returns the prediction and misprediction
+// it recorded.
+func (s *Scheduler) Observe(executed Model, actual time.Duration) (predicted time.Duration, mispredict float64) {
+	if len(s.history) == 0 {
+		return 0, 0
+	}
+	d := &s.history[len(s.history)-1]
+	raw, corr := d.CostFull, d.CorrFull
+	if executed == OnDemandIO {
+		raw, corr = d.CostOnDemand, d.CorrOnDemand
+	}
+	predicted = scaleCost(raw, corr)
+	if actual > 0 {
+		mispredict = math.Abs(float64(predicted-actual)) / float64(actual)
+	}
+	d.Predicted = predicted
+	d.Actual = actual
+	d.Mispredict = mispredict
+	s.observed[executed]++
+	s.mispredictSum += mispredict
+	if mispredict > s.mispredictMax {
+		s.mispredictMax = mispredict
+	}
+	s.mispredictLast = mispredict
+	if raw > 0 && actual > 0 {
+		ratio := float64(actual) / float64(raw)
+		f := (1-calibrationAlpha)*s.factor[executed] + calibrationAlpha*ratio
+		s.factor[executed] = math.Min(math.Max(f, correctionMin), correctionMax)
+	}
+	return predicted, mispredict
+}
+
+// Accuracy summarises the calibration loop's prediction quality.
+type Accuracy struct {
+	// Observed counts iterations fed back through Observe.
+	Observed int
+	// MeanMispredict/MaxMispredict/LastMispredict aggregate the relative
+	// errors |predicted−actual|/actual of the observed iterations.
+	MeanMispredict float64
+	MaxMispredict  float64
+	LastMispredict float64
+	// CorrFull and CorrOnDemand are the current EWMA correction factors.
+	CorrFull     float64
+	CorrOnDemand float64
+}
+
+// Accuracy returns the current calibration summary.
+func (s *Scheduler) Accuracy() Accuracy {
+	a := Accuracy{
+		Observed:       s.observed[FullIO] + s.observed[OnDemandIO],
+		MaxMispredict:  s.mispredictMax,
+		LastMispredict: s.mispredictLast,
+		CorrFull:       s.factor[FullIO],
+		CorrOnDemand:   s.factor[OnDemandIO],
+	}
+	if a.Observed > 0 {
+		a.MeanMispredict = s.mispredictSum / float64(a.Observed)
+	}
+	return a
 }
 
 // History returns the recorded decisions in iteration order.
@@ -237,5 +467,11 @@ func (s *Scheduler) TotalOverhead() time.Duration {
 	return t
 }
 
-// Reset clears the decision history.
-func (s *Scheduler) Reset() { s.history = s.history[:0] }
+// Reset clears the decision history and the calibration state.
+func (s *Scheduler) Reset() {
+	s.history = s.history[:0]
+	s.factor[FullIO] = 1
+	s.factor[OnDemandIO] = 1
+	s.observed = [2]int{}
+	s.mispredictSum, s.mispredictMax, s.mispredictLast = 0, 0, 0
+}

@@ -83,12 +83,16 @@ func TestEstimateSplitContiguousRun(t *testing.T) {
 	if seqB+ranB != totalWant {
 		t.Fatalf("split %d+%d != %d", seqB, ranB, totalWant)
 	}
-	// One run -> P seeks; only the first record is random.
-	if seeks != 4 {
-		t.Fatalf("seeks = %d, want 4", seeks)
+	// n=100, P=4 -> interval length 25: the run [20,30) crosses the
+	// boundary at 25 and splits into two portions. Each portion's reads
+	// touch at most P=4 sub-blocks of its row (and have plenty of edges),
+	// so 4 seeks per portion; each portion's first vertex (degree 5) is
+	// charged as random.
+	if seeks != 8 {
+		t.Fatalf("seeks = %d, want 8", seeks)
 	}
-	if ranB != graph.EdgeBytes {
-		t.Fatalf("ranBytes = %d, want one record", ranB)
+	if ranB != 2*5*graph.EdgeBytes {
+		t.Fatalf("ranBytes = %d, want first vertex of each portion", ranB)
 	}
 }
 
@@ -101,14 +105,19 @@ func TestEstimateSplitScatteredVertices(t *testing.T) {
 	}
 	deg := uniformDegrees(1000, 3)
 	seqB, ranB, seeks := s.EstimateOnDemand(active, deg)
-	if seeks != 10*4 {
-		t.Fatalf("seeks = %d, want 40", seeks)
+	// Every vertex has degree 3, so the gaps between the isolated actives
+	// carry on-disk edges and each active is its own portion. A degree-3
+	// vertex occupies at most 3 sub-blocks of its row, so the per-portion
+	// seek charge is capped at its edge count, not P.
+	if seeks != 10*3 {
+		t.Fatalf("seeks = %d, want 30", seeks)
 	}
-	// Each isolated vertex: first record random, remaining 2 sequential.
-	if ranB != 10*graph.EdgeBytes {
+	// Each portion is a single vertex, so its whole payload is the "first
+	// record" — all random, nothing sequential.
+	if ranB != 10*3*graph.EdgeBytes {
 		t.Fatalf("ranB = %d", ranB)
 	}
-	if seqB != 10*2*graph.EdgeBytes {
+	if seqB != 0 {
 		t.Fatalf("seqB = %d", seqB)
 	}
 }
@@ -213,7 +222,10 @@ func TestModelString(t *testing.T) {
 }
 
 // Property: the S_seq/S_ran split always conserves total active bytes, and
-// seeks is P times the number of runs.
+// seeks is bounded by the reference portion scan — at least one seek per
+// edge-bearing portion, at most P per portion, and never more than the
+// total active edge count (the per-portion charge is capped by the
+// portion's edges).
 func TestPropertySplitConservation(t *testing.T) {
 	s, _ := New(testConfig(512, 5120))
 	f := func(raw []uint16, degSeed []uint8) bool {
@@ -229,22 +241,38 @@ func TestPropertySplitConservation(t *testing.T) {
 			}
 		}
 		seqB, ranB, seeks := s.EstimateOnDemand(active, deg)
-		var want int64
-		runs := int64(0)
+		// Reference scan: portions split at interval boundaries and at gaps
+		// containing on-disk edges; zero-degree-only gaps merge.
+		per := s.cfg.intervalLen()
+		var want, activeEdges, portions int64
 		prev := -2
+		curIv, curEdges := -1, int64(0)
+		endPortion := func() {
+			if curEdges > 0 {
+				portions++
+			}
+			curEdges = 0
+		}
 		active.ForEach(func(v int) bool {
 			want += int64(deg[v]) * graph.EdgeBytes
-			if v != prev+1 {
-				runs++
+			activeEdges += int64(deg[v])
+			iv := v / per
+			if iv != curIv || (v != prev+1 && gapHasEdges(deg, prev+1, v)) {
+				endPortion()
 			}
+			curIv = iv
+			curEdges += int64(deg[v])
 			prev = v
 			return true
 		})
-		// Runs made purely of zero-degree vertices contribute no seeks.
+		endPortion()
 		if seqB+ranB != want {
 			return false
 		}
-		return seeks <= runs*4 && seeks >= 0 && seeks%4 == 0
+		if seeks < portions || seeks > portions*4 {
+			return false
+		}
+		return seeks <= activeEdges
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -322,5 +350,229 @@ func TestEdgeBytesOnDiskLowersCosts(t *testing.T) {
 	seqB, ranB, _ := small.EstimateOnDemand(active, deg)
 	if seqB+ranB >= seqA+ranA {
 		t.Fatalf("compressed on-demand bytes %d not below raw %d", seqB+ranB, seqA+ranA)
+	}
+}
+
+func TestDecideTieBreaksToOnDemand(t *testing.T) {
+	// An empty graph makes both raw costs exactly zero — the one place an
+	// exact tie is constructible without floating-point luck. The <= in
+	// Decide must resolve it to on-demand.
+	s, err := New(testConfig(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Decide(0, bitset.NewActiveSet(0), nil)
+	if d.CostFull != d.CostOnDemand {
+		t.Fatalf("costs not tied: Cs=%v Cr=%v", d.CostFull, d.CostOnDemand)
+	}
+	if d.Model != OnDemandIO {
+		t.Fatalf("exact tie chose %v, want on-demand", d.Model)
+	}
+}
+
+func TestEstimateAdversarialFrontiers(t *testing.T) {
+	const n = 512 // P=4 -> interval length 128
+
+	t.Run("empty", func(t *testing.T) {
+		s, _ := New(testConfig(n, int64(2*n)))
+		seqB, ranB, seeks := s.EstimateOnDemand(bitset.NewActiveSet(n), uniformDegrees(n, 2))
+		if seqB != 0 || ranB != 0 || seeks != 0 {
+			t.Fatalf("empty frontier charged: seq=%d ran=%d seeks=%d", seqB, ranB, seeks)
+		}
+	})
+
+	t.Run("all-active", func(t *testing.T) {
+		s, _ := New(testConfig(n, int64(2*n)))
+		active := bitset.NewActiveSet(n)
+		active.ActivateAll()
+		seqB, ranB, seeks := s.EstimateOnDemand(active, uniformDegrees(n, 2))
+		// One portion per interval, each with 256 edges >> P blocks: 4 rows
+		// of 4 seeks. First vertex of each portion random, rest sequential.
+		if seeks != 16 {
+			t.Fatalf("seeks = %d, want 16", seeks)
+		}
+		if ranB != 4*2*graph.EdgeBytes {
+			t.Fatalf("ranB = %d, want 64", ranB)
+		}
+		if seqB+ranB != int64(n*2*graph.EdgeBytes) {
+			t.Fatalf("total %d != %d", seqB+ranB, n*2*graph.EdgeBytes)
+		}
+	})
+
+	t.Run("alternating", func(t *testing.T) {
+		s, _ := New(testConfig(n, int64(2*n)))
+		active := bitset.NewActiveSet(n)
+		for v := 0; v < n; v += 2 {
+			active.Activate(v)
+		}
+		seqB, ranB, seeks := s.EstimateOnDemand(active, uniformDegrees(n, 2))
+		// Every skipped vertex has edges, so all 256 actives are their own
+		// portion; each portion's seek charge is capped at its 2 edges, and
+		// its whole payload is random.
+		if seeks != 256*2 {
+			t.Fatalf("seeks = %d, want 512", seeks)
+		}
+		if ranB != 256*2*graph.EdgeBytes || seqB != 0 {
+			t.Fatalf("split seq=%d ran=%d, want 0/%d", seqB, ranB, 256*2*graph.EdgeBytes)
+		}
+	})
+
+	t.Run("run-spanning-all-rows-with-sparse-grid", func(t *testing.T) {
+		cfg := testConfig(n, int64(2*n))
+		cfg.BlocksPerRow = []int{4, 3, 2, 1}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		active := bitset.NewActiveSet(n)
+		active.ActivateAll()
+		_, _, seeks := s.EstimateOnDemand(active, uniformDegrees(n, 2))
+		// The run splits into one portion per interval, and each portion
+		// only seeks for its row's non-empty sub-blocks: 4+3+2+1.
+		if seeks != 10 {
+			t.Fatalf("seeks = %d, want 10", seeks)
+		}
+	})
+
+	t.Run("zero-degree-gap-merges", func(t *testing.T) {
+		s, _ := New(testConfig(100, 10))
+		active := bitset.NewActiveSet(100)
+		active.Activate(0)
+		active.Activate(10)
+		deg := make([]uint32, 100)
+		deg[0], deg[10] = 5, 5
+		seqB, ranB, seeks := s.EstimateOnDemand(active, deg)
+		// The gap 1..9 holds only zero-degree vertices — no bytes on disk —
+		// so both actives form one sequential portion: 4 seeks, first
+		// vertex random, second sequential.
+		if seeks != 4 {
+			t.Fatalf("seeks = %d, want 4", seeks)
+		}
+		if ranB != 5*graph.EdgeBytes || seqB != 5*graph.EdgeBytes {
+			t.Fatalf("split seq=%d ran=%d, want 40/40", seqB, ranB)
+		}
+	})
+}
+
+func TestObserveCalibratesEWMA(t *testing.T) {
+	s, _ := New(testConfig(1_000_000, 16_000_000))
+	active := bitset.NewActiveSet(1_000_000)
+	active.Activate(123)
+	deg := uniformDegrees(1_000_000, 16)
+	d := s.Decide(0, active, deg)
+	if d.Model != OnDemandIO {
+		t.Fatalf("setup: expected on-demand, got %v", d.Model)
+	}
+	if d.CorrFull != 1 || d.CorrOnDemand != 1 {
+		t.Fatalf("uncalibrated factors not 1: %+v", d)
+	}
+
+	// The device charged exactly twice the raw prediction.
+	actual := 2 * d.CostOnDemand
+	pred, mis := s.Observe(OnDemandIO, actual)
+	if pred != d.CostOnDemand {
+		t.Fatalf("predicted = %v, want raw %v (factor was 1)", pred, d.CostOnDemand)
+	}
+	if mis < 0.499 || mis > 0.501 {
+		t.Fatalf("mispredict = %v, want 0.5", mis)
+	}
+	// EWMA with alpha=0.5: factor = 0.5*1 + 0.5*2 = 1.5.
+	if got := s.factor[OnDemandIO]; got < 1.499 || got > 1.501 {
+		t.Fatalf("factor = %v, want 1.5", got)
+	}
+	if s.factor[FullIO] != 1 {
+		t.Fatal("full-model factor moved without an observation")
+	}
+
+	// The annotated decision carries the feedback.
+	h := s.History()
+	if h[0].Actual != actual || h[0].Mispredict != mis || h[0].Predicted != pred {
+		t.Fatalf("history not annotated: %+v", h[0])
+	}
+
+	// The next decision uses — and reports — the corrected factor.
+	d2 := s.Decide(1, active, deg)
+	if d2.CorrOnDemand != s.factor[OnDemandIO] {
+		t.Fatalf("decision factor %v != scheduler factor %v", d2.CorrOnDemand, s.factor[OnDemandIO])
+	}
+
+	a := s.Accuracy()
+	if a.Observed != 1 || a.MeanMispredict != mis || a.MaxMispredict != mis || a.LastMispredict != mis {
+		t.Fatalf("accuracy summary wrong: %+v", a)
+	}
+	if a.CorrOnDemand != s.factor[OnDemandIO] || a.CorrFull != 1 {
+		t.Fatalf("accuracy factors wrong: %+v", a)
+	}
+
+	// A wild outlier is clamped, not adopted.
+	s.Observe(OnDemandIO, 1000*d2.CostOnDemand)
+	if got := s.factor[OnDemandIO]; got != correctionMax {
+		t.Fatalf("factor = %v, want clamped to %v", got, correctionMax)
+	}
+
+	s.Reset()
+	if len(s.History()) != 0 {
+		t.Fatal("Reset kept history")
+	}
+	if a := s.Accuracy(); a.Observed != 0 || a.CorrOnDemand != 1 || a.MaxMispredict != 0 {
+		t.Fatalf("Reset kept calibration state: %+v", a)
+	}
+}
+
+func TestObserveWithoutDecisionIsNoop(t *testing.T) {
+	s, _ := New(testConfig(100, 1000))
+	pred, mis := s.Observe(FullIO, time.Second)
+	if pred != 0 || mis != 0 {
+		t.Fatalf("Observe on empty history returned %v/%v", pred, mis)
+	}
+	if s.Accuracy().Observed != 0 {
+		t.Fatal("Observe on empty history counted an observation")
+	}
+}
+
+func TestHysteresisSuppressesNearTieFlips(t *testing.T) {
+	// Frontier where raw on-demand wins comfortably.
+	s, _ := New(testConfig(1_000_000, 16_000_000))
+	active := bitset.NewActiveSet(1_000_000)
+	active.Activate(123)
+	deg := uniformDegrees(1_000_000, 16)
+	d1 := s.Decide(0, active, deg)
+	if d1.Model != OnDemandIO {
+		t.Fatalf("setup: expected on-demand, got %v", d1.Model)
+	}
+
+	// Simulate calibration having pushed the on-demand correction to where
+	// the corrected on-demand cost sits 2% ABOVE full — inside the 5%
+	// hysteresis band. The incumbent (on-demand) must survive the near-tie.
+	cf := float64(d1.CostFull)
+	crRaw := float64(d1.CostOnDemand)
+	s.observed[OnDemandIO] = 1
+	s.factor[OnDemandIO] = 1.02 * cf / crRaw
+	d2 := s.Decide(1, active, deg)
+	if d2.Model != OnDemandIO {
+		t.Fatalf("near-tie flipped the model to %v", d2.Model)
+	}
+
+	// Push the correction far past the band: the flip is genuine and must
+	// go through.
+	s.factor[OnDemandIO] = 3 * cf / crRaw
+	d3 := s.Decide(2, active, deg)
+	if d3.Model != FullIO {
+		t.Fatalf("decisive challenger suppressed: got %v", d3.Model)
+	}
+
+	// And once Full is the incumbent, a marginal on-demand advantage is
+	// also suppressed: corrected Cr at 97% of Cf stays Full.
+	s.factor[OnDemandIO] = 0.97 * cf / crRaw
+	d4 := s.Decide(3, active, deg)
+	if d4.Model != FullIO {
+		t.Fatalf("marginal challenger flipped the model to %v", d4.Model)
+	}
+
+	// A decisive on-demand advantage flips back.
+	s.factor[OnDemandIO] = 0.5 * cf / crRaw
+	d5 := s.Decide(4, active, deg)
+	if d5.Model != OnDemandIO {
+		t.Fatalf("decisive flip back suppressed: got %v", d5.Model)
 	}
 }

@@ -18,7 +18,10 @@ import (
 	"github.com/graphsd/graphsd/internal/storage"
 )
 
-// Event is the JSONL schema of one traced operation.
+// Event is the JSONL schema of one traced operation. Device operations fill
+// the Op/Class/Name/Offset/Bytes/SimNs fields; synthetic scheduler events
+// (Op == "sched", appended via RecordSched) instead describe one iteration's
+// cost-model outcome and leave the device fields zero.
 type Event struct {
 	Seq    int64  `json:"seq"`
 	Op     string `json:"op"`
@@ -30,6 +33,14 @@ type Event struct {
 	// Retries counts the transient-fault retries the operation needed
 	// before succeeding (omitted when zero — the healthy-device case).
 	Retries int `json:"retries,omitempty"`
+	// Scheduler-event fields: the iteration index, the executed I/O model,
+	// the corrected predicted cost in simulated nanoseconds (the event's
+	// SimNs carries the actual charge), and the relative misprediction
+	// |predicted−actual|/actual.
+	Iter       int     `json:"iter,omitempty"`
+	Model      string  `json:"model,omitempty"`
+	PredNs     int64   `json:"pred_ns,omitempty"`
+	Mispredict float64 `json:"mispredict,omitempty"`
 }
 
 // Recorder serializes device trace events to an io.Writer as JSON lines.
@@ -67,6 +78,37 @@ func (r *Recorder) record(ev storage.TraceEvent) {
 		Bytes:   ev.Bytes,
 		SimNs:   int64(ev.Cost),
 		Retries: ev.Retries,
+	})
+	if err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.Write(append(line, '\n')); err != nil {
+		r.err = err
+	}
+}
+
+// RecordSched appends one synthetic scheduler event to the trace: iteration
+// iter executed model with the given corrected prediction, actual device
+// charge and relative misprediction. Engines emit these after each observed
+// iteration so a single trace file carries both the raw device operations
+// and the calibration loop's accuracy against them.
+func (r *Recorder) RecordSched(iter int, model string, predicted, actual time.Duration, mispredict float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	r.seq++
+	line, err := json.Marshal(Event{
+		Seq:        r.seq,
+		Op:         "sched",
+		Class:      "sched",
+		SimNs:      int64(actual),
+		Iter:       iter,
+		Model:      model,
+		PredNs:     int64(predicted),
+		Mispredict: mispredict,
 	})
 	if err != nil {
 		r.err = err
@@ -115,6 +157,13 @@ type Summary struct {
 	// RetriedOps counts operations that needed at least one.
 	Retries    int64
 	RetriedOps int64
+	// SchedObserved counts scheduler accuracy events ("sched" lines);
+	// SchedMeanMispredict / SchedMaxMispredict aggregate their relative
+	// prediction errors. Scheduler events carry no device traffic and are
+	// excluded from the byte/time totals above.
+	SchedObserved       int64
+	SchedMeanMispredict float64
+	SchedMaxMispredict  float64
 	// TopFiles lists the busiest files by bytes, descending.
 	TopFiles []FileSummary
 }
@@ -146,6 +195,14 @@ func Analyze(r io.Reader, topN int) (*Summary, error) {
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
 			return nil, fmt.Errorf("iotrace: line %d: %w", lineNo, err)
 		}
+		if ev.Op == "sched" {
+			s.SchedObserved++
+			s.SchedMeanMispredict += ev.Mispredict // sum; divided below
+			if ev.Mispredict > s.SchedMaxMispredict {
+				s.SchedMaxMispredict = ev.Mispredict
+			}
+			continue
+		}
 		s.Events++
 		s.TotalBytes += ev.Bytes
 		s.SimTime += time.Duration(ev.SimNs)
@@ -172,6 +229,9 @@ func Analyze(r io.Reader, topN int) (*Summary, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("iotrace: scanning trace: %w", err)
+	}
+	if s.SchedObserved > 0 {
+		s.SchedMeanMispredict /= float64(s.SchedObserved)
 	}
 	for _, f := range perFile {
 		s.TopFiles = append(s.TopFiles, *f)
@@ -209,6 +269,12 @@ func (s *Summary) Render(w io.Writer) error {
 	}
 	if s.Retries > 0 {
 		if _, err := fmt.Fprintf(w, "retries: %d across %d ops\n", s.Retries, s.RetriedOps); err != nil {
+			return err
+		}
+	}
+	if s.SchedObserved > 0 {
+		if _, err := fmt.Fprintf(w, "scheduler: %d observed iterations, mispredict mean %.1f%% max %.1f%%\n",
+			s.SchedObserved, 100*s.SchedMeanMispredict, 100*s.SchedMaxMispredict); err != nil {
 			return err
 		}
 	}

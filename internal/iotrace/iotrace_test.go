@@ -54,6 +54,51 @@ func TestRecorderCapturesDeviceOps(t *testing.T) {
 	}
 }
 
+// TestSchedEventsSeparateFromDeviceTotals: scheduler accuracy events ride in
+// the same trace but never pollute the device byte/time totals.
+func TestSchedEventsSeparateFromDeviceTotals(t *testing.T) {
+	dev, err := storage.OpenDevice(t.TempDir(), storage.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.Attach(dev)
+	if err := dev.WriteFile("a.bin", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	rec.RecordSched(0, "on-demand", 1000, 1100, 0.1)
+	rec.RecordSched(1, "full", 2000, 2600, 0.3)
+	dev.SetTracer(nil)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sum, err := Analyze(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != 1 || sum.TotalBytes != 100 {
+		t.Fatalf("sched events leaked into device totals: %+v", sum)
+	}
+	if sum.SchedObserved != 2 {
+		t.Fatalf("SchedObserved = %d, want 2", sum.SchedObserved)
+	}
+	if sum.SchedMeanMispredict < 0.199 || sum.SchedMeanMispredict > 0.201 {
+		t.Fatalf("mean mispredict = %v, want 0.2", sum.SchedMeanMispredict)
+	}
+	if sum.SchedMaxMispredict != 0.3 {
+		t.Fatalf("max mispredict = %v, want 0.3", sum.SchedMaxMispredict)
+	}
+	var render bytes.Buffer
+	if err := sum.Render(&render); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(render.String(), "scheduler: 2 observed") {
+		t.Fatalf("render output: %s", render.String())
+	}
+}
+
 func TestAnalyzeRejectsGarbage(t *testing.T) {
 	if _, err := Analyze(strings.NewReader("not json\n"), 5); err == nil {
 		t.Fatal("garbage trace accepted")

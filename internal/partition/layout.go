@@ -180,6 +180,53 @@ func (m *Manifest) SubBlockDiskBytes(i, j int) int64 {
 	return m.BlockBytes[i][j]
 }
 
+// NonEmptyBlocksPerRow returns, for each source interval, how many of its
+// grid row's sub-blocks hold at least one edge — the per-row seek cap of the
+// on-demand cost model (iosched.Config.BlocksPerRow): selective reads never
+// open an empty sub-block.
+func (m *Manifest) NonEmptyBlocksPerRow() []int {
+	rows := make([]int, m.P)
+	for i, row := range m.EdgeCounts {
+		for _, n := range row {
+			if n > 0 {
+				rows[i]++
+			}
+		}
+	}
+	return rows
+}
+
+// SelectiveDiskBytesTotal returns the on-disk bytes that per-vertex
+// selective reads would move for the whole edge set. Under the delta codec
+// this is the recorded block sizes minus each block's edge-count header:
+// ReadVertexEdges seeks to byte-indexed run offsets and never reads the
+// header, which only full-block streams pay for. Raw blocks have no header.
+func (m *Manifest) SelectiveDiskBytesTotal() int64 {
+	if m.BlockBytes == nil || m.BlockCodec() != graph.CodecDelta {
+		return m.EdgeDiskBytesTotal()
+	}
+	var total int64
+	for i, row := range m.BlockBytes {
+		for j, b := range row {
+			if b == 0 {
+				continue
+			}
+			total += b - int64(uvarintLen(uint64(m.EdgeCounts[i][j])))
+		}
+	}
+	return total
+}
+
+// uvarintLen returns the encoded size of x as a binary uvarint.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
 // castagnoli is the CRC32C polynomial table behind every payload checksum
 // in the layout; hardware-accelerated on amd64/arm64 via hash/crc32.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)

@@ -110,17 +110,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Aggregates folded from completed jobs: I/O pipeline (including the
 	// synchronous-fallback counter) and per-run priority buffer.
 	type agg struct {
-		name string
-		runs int64
-		pipe pipeline.Stats
-		buf  buffer.Stats
+		name          string
+		runs          int64
+		pipe          pipeline.Stats
+		buf           buffer.Stats
+		schedObserved int64
+		schedMean     float64
+		schedMax      float64
+		corrFull      float64
+		corrOnDemand  float64
 	}
 	aggs := make([]agg, 0, len(s.names))
 	for _, name := range s.names {
 		g := s.graphs[name]
 		g.mu.Lock()
-		aggs = append(aggs, agg{name: name, runs: g.jobsRun, pipe: g.pipeline, buf: g.buffer})
+		a := agg{name: name, runs: g.jobsRun, pipe: g.pipeline, buf: g.buffer,
+			schedObserved: g.schedObserved, schedMax: g.schedMaxMispred,
+			corrFull: g.schedCorrFull, corrOnDemand: g.schedCorrOnDemand}
+		if g.schedObserved > 0 {
+			a.schedMean = g.schedMispredict / float64(g.schedObserved)
+		}
 		g.mu.Unlock()
+		aggs = append(aggs, a)
 	}
 	p.Header("graphsd_jobs_completed_runs_total", "counter", "Completed runs folded into the per-graph aggregates.")
 	for _, a := range aggs {
@@ -149,6 +160,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Header("graphsd_buffer_bytes_saved_total", "counter", "Device bytes avoided by per-run buffer hits, summed over completed jobs.")
 	for _, a := range aggs {
 		p.Int("graphsd_buffer_bytes_saved_total", a.buf.BytesSaved, metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_sched_observed_iterations_total", "counter", "Iterations fed back through the scheduler's calibration loop, summed over completed jobs.")
+	for _, a := range aggs {
+		p.Int("graphsd_sched_observed_iterations_total", a.schedObserved, metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_sched_mispredict_mean_ratio", "gauge", "Observation-weighted mean |predicted-actual|/actual of the scheduler's iteration cost predictions.")
+	for _, a := range aggs {
+		p.Val("graphsd_sched_mispredict_mean_ratio", a.schedMean, metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_sched_mispredict_max_ratio", "gauge", "Worst per-iteration misprediction ratio seen across completed jobs.")
+	for _, a := range aggs {
+		p.Val("graphsd_sched_mispredict_max_ratio", a.schedMax, metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_sched_correction_factor", "gauge", "Final EWMA cost-correction factors of the most recent completed job, by I/O model.")
+	for _, a := range aggs {
+		p.Val("graphsd_sched_correction_factor", a.corrFull, metrics.L("graph", a.name), metrics.L("model", "full"))
+		p.Val("graphsd_sched_correction_factor", a.corrOnDemand, metrics.L("graph", a.name), metrics.L("model", "on-demand"))
 	}
 	if err := p.Err(); err != nil {
 		// The client went away mid-scrape; nothing recoverable.

@@ -77,6 +77,15 @@ type graphEntry struct {
 	jobsRun  int64 // completed (Done) jobs folded into the aggregates
 	buffer   buffer.Stats
 	pipeline pipeline.Stats
+	// Scheduler calibration accuracy, summed/held across completed runs:
+	// observed iterations, summed mean-mispredict weighted by observations
+	// (for a cross-run mean), the worst ratio seen, and the most recent
+	// run's final correction factors.
+	schedObserved     int64
+	schedMispredict   float64 // Σ run.MeanMispredict · run.Observed
+	schedMaxMispred   float64
+	schedCorrFull     float64
+	schedCorrOnDemand float64
 }
 
 // fold accumulates a completed run's per-job stats into the graph's
@@ -86,6 +95,15 @@ func (g *graphEntry) fold(res *core.Result) {
 	g.jobsRun++
 	g.buffer = g.buffer.Add(res.Buffer)
 	g.pipeline = g.pipeline.Add(res.Pipeline)
+	if acc := res.SchedAccuracy; acc.Observed > 0 {
+		g.schedObserved += int64(acc.Observed)
+		g.schedMispredict += acc.MeanMispredict * float64(acc.Observed)
+		if acc.MaxMispredict > g.schedMaxMispred {
+			g.schedMaxMispred = acc.MaxMispredict
+		}
+		g.schedCorrFull = acc.CorrFull
+		g.schedCorrOnDemand = acc.CorrOnDemand
+	}
 	g.mu.Unlock()
 }
 

@@ -353,6 +353,10 @@ func TestServerHealthzAndMetrics(t *testing.T) {
 		`graphsd_pipeline_fallbacks_total{graph="g"}`,
 		`graphsd_pipeline_blocks_total{graph="g"}`,
 		`graphsd_buffer_hits_total{graph="g"}`,
+		`graphsd_sched_observed_iterations_total{graph="g"}`,
+		`graphsd_sched_mispredict_mean_ratio{graph="g"}`,
+		`graphsd_sched_correction_factor{graph="g",model="full"}`,
+		`graphsd_sched_correction_factor{graph="g",model="on-demand"}`,
 		"graphsd_uptime_seconds",
 		"graphsd_queue_capacity",
 		"graphsd_mem_budget_bytes",
