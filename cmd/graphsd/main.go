@@ -208,6 +208,7 @@ func cmdRun(args []string) error {
 	ckEvery := fs.Int("checkpoint-every", 4, "iterations between checkpoints (with -checkpoint)")
 	resume := fs.Bool("resume", false, "resume from the checkpoint in -checkpoint, if present")
 	retries := fs.Int("retries", 0, "retry transient read faults up to N times with exponential backoff")
+	sem := fs.Bool("sem", false, "semi-external-memory fast path: skip dead sub-blocks, compress the buffer tier")
 	fs.Parse(args)
 	if *layoutDir == "" || *alg == "" {
 		return fmt.Errorf("run: -layout and -algorithm are required")
@@ -269,6 +270,7 @@ func cmdRun(args []string) error {
 		opts.BufferBytes = *bufBytes
 	}
 	opts.DisableCrossIteration = *noCross
+	opts.SEM = *sem
 	opts.PrefetchDepth = *prefetchDepth
 	opts.PrefetchBytes = *prefetchBytes
 	if *ckDir != "" {
@@ -325,6 +327,15 @@ func cmdRun(args []string) error {
 		fmt.Printf("fault recovery: %d retried reads, %d pipeline fallbacks to synchronous loads\n",
 			res.IO.Retries, res.Pipeline.Fallbacks)
 	}
+	if s := res.SEM; s.Enabled {
+		line := fmt.Sprintf("sem: %d dead sub-blocks skipped (%s never read)",
+			s.BlocksSkipped, storage.FormatBytes(s.BytesSkipped))
+		if s.CompressedBytes > 0 {
+			line += fmt.Sprintf(", compressed tier %d hits decode=%v effective-capacity=%.2fx",
+				s.CompressedHits, s.DecodeTime.Round(time.Microsecond), s.EffectiveCapacityRatio())
+		}
+		fmt.Println(line)
+	}
 	if acc := res.SchedAccuracy; acc.Observed > 0 {
 		fmt.Printf("scheduler accuracy: %d observed iterations, mispredict mean %.1f%% last %.1f%%, corrections full=%.2f on-demand=%.2f\n",
 			acc.Observed, 100*acc.MeanMispredict, 100*acc.LastMispredict, acc.CorrFull, acc.CorrOnDemand)
@@ -344,15 +355,19 @@ func cmdRun(args []string) error {
 		}
 	}
 	if *trace {
-		tr := metrics.NewTable("per-iteration trace", "iter", "path", "active", "bytes", "io time", "compute", "decode", "stall", "overlap", "predicted", "mispredict")
+		tr := metrics.NewTable("per-iteration trace", "iter", "path", "active", "bytes", "skipped", "io time", "compute", "decode", "stall", "overlap", "predicted", "mispredict")
 		for _, st := range res.IterStats {
 			pred, mis := "-", "-"
 			if st.Predicted > 0 {
 				pred = metrics.Dur(st.Predicted)
 				mis = fmt.Sprintf("%.1f%%", 100*st.Mispredict)
 			}
+			skipped := "-"
+			if st.Pipeline.Skipped > 0 {
+				skipped = fmt.Sprintf("%d (%s)", st.Pipeline.Skipped, storage.FormatBytes(st.Pipeline.SkippedBytes))
+			}
 			tr.AddRow(fmt.Sprint(st.Index), st.Path, fmt.Sprint(st.Active),
-				storage.FormatBytes(st.IO.TotalBytes()), metrics.Dur(st.IOTime), metrics.Dur(st.ComputeTime),
+				storage.FormatBytes(st.IO.TotalBytes()), skipped, metrics.Dur(st.IOTime), metrics.Dur(st.ComputeTime),
 				metrics.DurZ(st.DecodeTime), metrics.DurZ(st.Pipeline.Stall), metrics.DurZ(st.Pipeline.Overlap),
 				pred, mis)
 		}

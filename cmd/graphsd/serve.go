@@ -49,6 +49,8 @@ func cmdServe(args []string) error {
 	cache := fs.Int64("cache", 0, "shared sub-block cache bytes per graph (0: half the edge data)")
 	profile := fs.String("profile", "scaled-hdd", "disk model: hdd, scaled-hdd, ssd, pmem")
 	retries := fs.Int("retries", 0, "retry transient read faults up to N times per graph device")
+	sem := fs.Bool("sem", false, "run jobs through the semi-external-memory fast path (skip dead sub-blocks)")
+	compressed := fs.Bool("compressed-cache", false, "store the shared sub-block cache delta-coded (decode per hit, ~2x capacity)")
 	fs.Parse(args)
 	if len(graphs) == 0 {
 		return fmt.Errorf("serve: at least one -graph name=layoutdir is required")
@@ -61,6 +63,8 @@ func cmdServe(args []string) error {
 		graphs[i].Profile = prof
 		graphs[i].CacheBytes = *cache
 		graphs[i].Retries = *retries
+		graphs[i].SEM = *sem
+		graphs[i].Compressed = *compressed
 	}
 
 	s, err := server.New(server.Config{

@@ -58,8 +58,16 @@ const (
 )
 
 type entry struct {
-	edges    []graph.Edge
+	// Exactly one of edges/payload is set: decoded entries hold edges,
+	// compressed-tier entries hold the delta-coded payload instead.
+	edges   []graph.Edge
+	payload []byte
+	// size is the capacity charge (decoded bytes for edge entries, encoded
+	// bytes for payload entries); saved is the I/O volume a hit avoids
+	// (always the decoded sub-block size, so BytesSaved is comparable
+	// across tiers).
 	size     int64
+	saved    int64
 	priority int64
 	seq      int64 // insertion order, for FIFO
 }
@@ -107,27 +115,54 @@ func (b *Buffer) Len() int { return len(b.entries) }
 // Stats returns the accumulated outcome counters.
 func (b *Buffer) Stats() Stats { return b.stats }
 
-// Get returns the cached edges for k, if resident. A hit records the
-// avoided I/O volume in the stats.
+// Get returns the cached edges for k, if resident as a decoded entry. A
+// hit records the avoided I/O volume in the stats. Payload entries miss:
+// callers on the decoded path cannot use them (use GetEntry instead).
 func (b *Buffer) Get(k Key) ([]graph.Edge, bool) {
 	e, ok := b.entries[k]
-	if !ok {
+	if !ok || e.payload != nil {
 		b.stats.Misses++
 		return nil, false
 	}
 	b.stats.Hits++
-	b.stats.BytesSaved += e.size
+	b.stats.BytesSaved += e.saved
 	return e.edges, true
+}
+
+// GetEntry returns whichever form sub-block k is resident in — decoded
+// edges or a delta-coded payload (exactly one is non-nil on a hit). Hit and
+// saved-bytes accounting matches Get.
+func (b *Buffer) GetEntry(k Key) (edges []graph.Edge, payload []byte, ok bool) {
+	e, found := b.entries[k]
+	if !found {
+		b.stats.Misses++
+		return nil, nil, false
+	}
+	b.stats.Hits++
+	b.stats.BytesSaved += e.saved
+	return e.edges, e.payload, true
 }
 
 // Peek returns the cached edges for k without touching the hit/miss
 // counters. Used by the engine to recompute priorities after an iteration.
+// Payload entries return (nil, false) like Get; use PeekEntry to see both
+// forms.
 func (b *Buffer) Peek(k Key) ([]graph.Edge, bool) {
 	e, ok := b.entries[k]
-	if !ok {
+	if !ok || e.payload != nil {
 		return nil, false
 	}
 	return e.edges, true
+}
+
+// PeekEntry returns sub-block k in whichever form it is resident, without
+// touching the hit/miss counters.
+func (b *Buffer) PeekEntry(k Key) (edges []graph.Edge, payload []byte, ok bool) {
+	e, found := b.entries[k]
+	if !found {
+		return nil, nil, false
+	}
+	return e.edges, e.payload, true
 }
 
 // Keys returns the keys of all resident sub-blocks in unspecified order.
@@ -151,16 +186,29 @@ func (b *Buffer) Contains(k Key) bool {
 // are evicted lowest-first; if that cannot free enough space the candidate
 // is rejected. Returns whether the sub-block is resident afterwards.
 func (b *Buffer) Put(k Key, edges []graph.Edge, size int64, priority int64) bool {
+	return b.put(k, &entry{edges: edges, size: size, saved: size, priority: priority})
+}
+
+// PutBytes offers sub-block k to the buffer as a delta-coded payload — the
+// semi-external-memory compressed tier. Capacity is charged by the encoded
+// size (len(payload)); saved is the decoded sub-block size a future hit
+// avoids loading, so BytesSaved stays comparable with the decoded tier.
+// Admission and eviction follow Put exactly.
+func (b *Buffer) PutBytes(k Key, payload []byte, saved int64, priority int64) bool {
+	return b.put(k, &entry{payload: payload, size: int64(len(payload)), saved: saved, priority: priority})
+}
+
+func (b *Buffer) put(k Key, cand *entry) bool {
 	if e, ok := b.entries[k]; ok {
-		e.priority = priority
+		e.priority = cand.priority
 		return true
 	}
-	if size > b.capacity || size < 0 {
+	if cand.size > b.capacity || cand.size < 0 {
 		b.stats.Rejections++
 		return false
 	}
-	for b.used+size > b.capacity {
-		victim, ok := b.pickVictim(priority)
+	for b.used+cand.size > b.capacity {
+		victim, ok := b.pickVictim(cand.priority)
 		if !ok {
 			b.stats.Rejections++
 			return false
@@ -168,8 +216,9 @@ func (b *Buffer) Put(k Key, edges []graph.Edge, size int64, priority int64) bool
 		b.evict(victim)
 	}
 	b.seq++
-	b.entries[k] = &entry{edges: edges, size: size, priority: priority, seq: b.seq}
-	b.used += size
+	cand.seq = b.seq
+	b.entries[k] = cand
+	b.used += cand.size
 	b.stats.Insertions++
 	return true
 }

@@ -2,6 +2,7 @@ package buffer
 
 import (
 	"sync"
+	"time"
 
 	"github.com/graphsd/graphsd/internal/graph"
 )
@@ -27,31 +28,42 @@ type SharedStats struct {
 	Insertions int64
 	Evictions  int64
 	Rejections int64
+	// CompressedHits is the subset of Hits served from the compressed tier
+	// (GetOrLoadBytes on a cache built with NewSharedCompressed); each such
+	// hit hands the caller a delta payload it must decode itself.
+	// DecodeTime accumulates the wall time those callers reported spending
+	// on that decode, via NoteDecode.
+	CompressedHits int64
+	DecodeTime     time.Duration
 }
 
 // Sub returns the counter-wise delta s − prev.
 func (s SharedStats) Sub(prev SharedStats) SharedStats {
 	return SharedStats{
-		Hits:       s.Hits - prev.Hits,
-		BytesSaved: s.BytesSaved - prev.BytesSaved,
-		Misses:     s.Misses - prev.Misses,
-		DedupWaits: s.DedupWaits - prev.DedupWaits,
-		Insertions: s.Insertions - prev.Insertions,
-		Evictions:  s.Evictions - prev.Evictions,
-		Rejections: s.Rejections - prev.Rejections,
+		Hits:           s.Hits - prev.Hits,
+		BytesSaved:     s.BytesSaved - prev.BytesSaved,
+		Misses:         s.Misses - prev.Misses,
+		DedupWaits:     s.DedupWaits - prev.DedupWaits,
+		Insertions:     s.Insertions - prev.Insertions,
+		Evictions:      s.Evictions - prev.Evictions,
+		Rejections:     s.Rejections - prev.Rejections,
+		CompressedHits: s.CompressedHits - prev.CompressedHits,
+		DecodeTime:     s.DecodeTime - prev.DecodeTime,
 	}
 }
 
 // Add returns the counter-wise sum of s and o.
 func (s SharedStats) Add(o SharedStats) SharedStats {
 	return SharedStats{
-		Hits:       s.Hits + o.Hits,
-		BytesSaved: s.BytesSaved + o.BytesSaved,
-		Misses:     s.Misses + o.Misses,
-		DedupWaits: s.DedupWaits + o.DedupWaits,
-		Insertions: s.Insertions + o.Insertions,
-		Evictions:  s.Evictions + o.Evictions,
-		Rejections: s.Rejections + o.Rejections,
+		Hits:           s.Hits + o.Hits,
+		BytesSaved:     s.BytesSaved + o.BytesSaved,
+		Misses:         s.Misses + o.Misses,
+		DedupWaits:     s.DedupWaits + o.DedupWaits,
+		Insertions:     s.Insertions + o.Insertions,
+		Evictions:      s.Evictions + o.Evictions,
+		Rejections:     s.Rejections + o.Rejections,
+		CompressedHits: s.CompressedHits + o.CompressedHits,
+		DecodeTime:     s.DecodeTime + o.DecodeTime,
 	}
 }
 
@@ -59,17 +71,24 @@ func (s SharedStats) Add(o SharedStats) SharedStats {
 // on instead of duplicating the device read. size is the loaded on-disk
 // size, set before done closes so waiters can account the read they saved.
 type flight struct {
-	done  chan struct{}
-	edges []graph.Edge
-	size  int64
-	err   error
+	done    chan struct{}
+	edges   []graph.Edge
+	payload []byte // compressed caches carry the delta payload instead
+	size    int64
+	err     error
 }
 
-// sharedEntry is one resident sub-block of a Shared cache.
+// sharedEntry is one resident sub-block of a Shared cache. Decoded caches
+// set edges; compressed caches set payload. size is the capacity charge
+// (decoded bytes, or encoded bytes for payload entries); saved is the
+// device volume a hit avoids (always decoded bytes, so BytesSaved stays
+// comparable across tiers).
 type sharedEntry struct {
-	edges []graph.Edge
-	size  int64
-	touch int64 // last-access clock tick, for LRU eviction
+	edges   []graph.Edge
+	payload []byte
+	size    int64
+	saved   int64
+	touch   int64 // last-access clock tick, for LRU eviction
 }
 
 // Shared is the concurrency-safe read cache the job server places in front
@@ -88,14 +107,21 @@ type sharedEntry struct {
 // Cached edge slices are shared between jobs and with the in-flight loader;
 // callers must treat them as immutable (the engine only ever reads decoded
 // edges, so this holds today by construction).
+//
+// A Shared cache stores one payload representation, fixed at construction:
+// decoded []graph.Edge (NewShared, accessed via GetOrLoad) or delta-coded
+// bytes (NewSharedCompressed, accessed via GetOrLoadBytes). Callers must use
+// the accessor matching the cache's mode; mixing them on one cache is not
+// supported.
 type Shared struct {
-	mu       sync.Mutex
-	capacity int64
-	used     int64
-	clock    int64
-	entries  map[Key]*sharedEntry
-	inflight map[Key]*flight
-	stats    SharedStats
+	mu         sync.Mutex
+	capacity   int64
+	compressed bool
+	used       int64
+	clock      int64
+	entries    map[Key]*sharedEntry
+	inflight   map[Key]*flight
+	stats      SharedStats
 }
 
 // NewShared returns a shared cache holding at most capacity bytes of
@@ -112,6 +138,30 @@ func NewShared(capacity int64) *Shared {
 		entries:  make(map[Key]*sharedEntry),
 		inflight: make(map[Key]*flight),
 	}
+}
+
+// NewSharedCompressed returns a shared cache that stores delta-coded
+// payloads instead of decoded edges — the semi-external-memory compressed
+// tier, holding 2–5× more graph per RAM byte at the price of a decode on
+// every hit (run by the caller, via GetOrLoadBytes). Capacity accounting is
+// byte-exact on the encoded size.
+func NewSharedCompressed(capacity int64) *Shared {
+	s := NewShared(capacity)
+	s.compressed = true
+	return s
+}
+
+// Compressed reports whether this cache stores delta-coded payloads
+// (constructed with NewSharedCompressed) and must be accessed through
+// GetOrLoadBytes.
+func (s *Shared) Compressed() bool { return s.compressed }
+
+// NoteDecode accumulates wall time a caller spent decoding a compressed-tier
+// hit, surfaced as SharedStats.DecodeTime.
+func (s *Shared) NoteDecode(d time.Duration) {
+	s.mu.Lock()
+	s.stats.DecodeTime += d
+	s.mu.Unlock()
 }
 
 // Capacity returns the configured byte capacity.
@@ -187,38 +237,104 @@ func (s *Shared) GetOrLoad(k Key, load func() ([]graph.Edge, int64, error)) (edg
 	s.mu.Lock()
 	delete(s.inflight, k)
 	if f.err == nil {
-		s.insert(k, f.edges, f.size)
+		s.insert(k, &sharedEntry{edges: f.edges, size: f.size, saved: f.size})
 	}
 	s.mu.Unlock()
 	close(f.done)
 	return f.edges, false, f.err
 }
 
+// GetOrLoadBytes is GetOrLoad for compressed caches: it returns the
+// delta-coded payload for k, loading it through load on a miss. load must
+// return the encoded payload and the decoded sub-block size in bytes — the
+// capacity charge is the encoded size (what the payload occupies in RAM),
+// while hits save the decoded size (what a hit avoids materializing from
+// the device). The caller decodes the payload itself, in its own worker,
+// and should report the decode wall time of hits via NoteDecode. Hit,
+// dedup, and failure semantics match GetOrLoad exactly; hits additionally
+// count as CompressedHits.
+func (s *Shared) GetOrLoadBytes(k Key, load func() (payload []byte, decodedSize int64, err error)) (payload []byte, hit bool, err error) {
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
+		s.clock++
+		e.touch = s.clock
+		s.stats.Hits++
+		s.stats.CompressedHits++
+		s.stats.BytesSaved += e.saved
+		s.mu.Unlock()
+		return e.payload, true, nil
+	}
+	if f, ok := s.inflight[k]; ok {
+		s.stats.DedupWaits++
+		s.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		s.mu.Lock()
+		s.stats.Hits++
+		s.stats.CompressedHits++
+		s.stats.BytesSaved += f.size
+		s.mu.Unlock()
+		return f.payload, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[k] = f
+	s.stats.Misses++
+	s.mu.Unlock()
+
+	f.payload, f.size, f.err = load()
+
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if f.err == nil {
+		s.insert(k, &sharedEntry{payload: f.payload, size: int64(len(f.payload)), saved: f.size})
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.payload, false, f.err
+}
+
 // Peek returns the cached edges for k without touching any counter or the
-// LRU clock.
+// LRU clock. On compressed caches every entry is a payload, so Peek always
+// misses there.
+//
+// Aliasing contract: Peek returns the cached slice itself, with no
+// defensive copy — the same slice GetOrLoad handed to every caller of the
+// key. Eviction only removes the cache's reference; a slice a caller
+// retained stays valid (the garbage collector keeps it alive) and is never
+// reused or overwritten by the cache, because entries are immutable from
+// insertion to eviction and a re-load after eviction allocates a fresh
+// slice. Callers must uphold their half: treat the slice as read-only.
 func (s *Shared) Peek(k Key) ([]graph.Edge, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[k]
-	if !ok {
+	if !ok || e.payload != nil {
 		return nil, false
 	}
 	return e.edges, true
 }
 
-// insert caches edges under k, evicting least-recently-used residents until
-// it fits. Callers hold s.mu.
-func (s *Shared) insert(k Key, edges []graph.Edge, size int64) {
-	if size > s.capacity || size < 0 {
+// insert caches e under k, evicting least-recently-used residents until it
+// fits. An existing entry for k (possible only if the cache's two accessors
+// are mixed, which is unsupported but must not corrupt accounting) is
+// replaced. Callers hold s.mu.
+func (s *Shared) insert(k Key, e *sharedEntry) {
+	if old, ok := s.entries[k]; ok {
+		s.used -= old.size
+		delete(s.entries, k)
+	}
+	if e.size > s.capacity || e.size < 0 {
 		s.stats.Rejections++
 		return
 	}
-	for s.used+size > s.capacity {
+	for s.used+e.size > s.capacity {
 		var victim Key
 		var oldest *sharedEntry
-		for kk, e := range s.entries {
-			if oldest == nil || e.touch < oldest.touch {
-				oldest, victim = e, kk
+		for kk, ee := range s.entries {
+			if oldest == nil || ee.touch < oldest.touch {
+				oldest, victim = ee, kk
 			}
 		}
 		if oldest == nil {
@@ -230,7 +346,8 @@ func (s *Shared) insert(k Key, edges []graph.Edge, size int64) {
 		s.stats.Evictions++
 	}
 	s.clock++
-	s.entries[k] = &sharedEntry{edges: edges, size: size, touch: s.clock}
-	s.used += size
+	e.touch = s.clock
+	s.entries[k] = e
+	s.used += e.size
 	s.stats.Insertions++
 }

@@ -78,6 +78,14 @@ type Engine struct {
 	// plStats accumulates I/O-pipeline outcomes across all passes.
 	plStats pipeline.Stats
 
+	// sem is the per-pass block-level activity bitmap (Options.SEM),
+	// rebuilt by semBegin at every pass start; nil when SEM is off.
+	sem *semBitmap
+
+	// Compressed-tier counters (see SEMStats). Atomic: pipeline fetch
+	// workers decode compressed shared-cache hits concurrently.
+	semCompHits, semCompBytes, semDecBytes, semDecodeNanos atomic.Int64
+
 	// valStore, when non-nil, persists the vertex value array on the
 	// device each iteration (Options.PersistValues).
 	valStore *vertexstore.Store
@@ -113,7 +121,7 @@ func NewEngine(layout *partition.Layout, prog Program, opts Options) (*Engine, e
 	if prog.Weighted() && !layout.Meta.Weighted {
 		return nil, fmt.Errorf("core: program %s needs edge weights but layout is unweighted", prog.Name())
 	}
-	sched, err := iosched.New(iosched.Config{
+	schedCfg := iosched.Config{
 		Profile:           layout.Dev.Profile(),
 		NumVertices:       layout.Meta.NumVertices,
 		NumEdges:          layout.Meta.NumEdges,
@@ -122,7 +130,14 @@ func NewEngine(layout *partition.Layout, prog Program, opts Options) (*Engine, e
 		EdgeBytesOnDemand: layout.Meta.SelectiveDiskBytesTotal(),
 		P:                 layout.Meta.P,
 		BlocksPerRow:      layout.Meta.NonEmptyBlocksPerRow(),
-	})
+	}
+	if opts.SEM {
+		// The full model now skips dead rows, so its cost must be priced
+		// per frontier rather than as a constant.
+		schedCfg.SEM = true
+		schedCfg.RowDiskBytes = layout.Meta.RowDiskBytes()
+	}
+	sched, err := iosched.New(schedCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +371,7 @@ func (e *Engine) run() (*Result, error) {
 		Outputs:           outputs,
 		WallTime:          time.Since(start),
 		ComputeTime:       e.computeTime,
-		DecodeTime:        e.layout.DecodeTime() - decodeStart,
+		DecodeTime:        e.layout.DecodeTime() - decodeStart + time.Duration(e.semDecodeNanos.Load()),
 		Codec:             e.layout.Meta.BlockCodec().String(),
 		CompressRatio:     compressRatio(&e.layout.Meta),
 		IO:                dev.Stats().Sub(ioBase),
@@ -371,6 +386,15 @@ func (e *Engine) run() (*Result, error) {
 		Resumed:           resumed,
 		ResumedFrom:       resumedFrom,
 		Checkpoints:       checkpoints,
+		SEM: SEMStats{
+			Enabled:         e.opts.SEM || (e.opts.SharedBlocks != nil && e.opts.SharedBlocks.Compressed()),
+			BlocksSkipped:   int64(e.plStats.Skipped),
+			BytesSkipped:    e.plStats.SkippedBytes,
+			CompressedHits:  e.semCompHits.Load(),
+			DecodeTime:      time.Duration(e.semDecodeNanos.Load()),
+			CompressedBytes: e.semCompBytes.Load(),
+			DecodedBytes:    e.semDecBytes.Load(),
+		},
 	}, nil
 }
 
@@ -640,6 +664,22 @@ func activeEdgeEstimate(edges []graph.Edge, active *bitset.ActiveSet) int64 {
 	return c * int64(len(edges)) / sampled
 }
 
+// clampedActiveEdgeEstimate is activeEdgeEstimate clamped to ≥1 while the
+// block-activity bitmap says source row i is live: stride sampling can miss
+// every active source of a live block and return 0, which would demote a
+// hot block to the bottom of the eviction order even though it still holds
+// active edges.
+func clampedActiveEdgeEstimate(edges []graph.Edge, set *bitset.ActiveSet, meta *partition.Manifest, i int) int64 {
+	est := activeEdgeEstimate(edges, set)
+	if est == 0 && len(edges) > 0 {
+		lo, hi := meta.Interval(i)
+		if set.CountRange(lo, hi) > 0 {
+			est = 1
+		}
+	}
+	return est
+}
+
 // fetchSubBlock loads and decodes one sub-block for the I/O pipeline. It
 // runs on pipeline worker goroutines: the raw read buffer is pooled, the
 // decoded slice freshly allocated because consumers may retain it. With a
@@ -667,6 +707,9 @@ func (e *Engine) loadBlock(i, j int) ([]graph.Edge, error) {
 	sc := e.opts.SharedBlocks
 	if sc == nil {
 		return e.layout.LoadSubBlock(i, j)
+	}
+	if sc.Compressed() {
+		return e.loadBlockCompressed(sc, i, j)
 	}
 	edges, hit, err := sc.GetOrLoad(buffer.Key{I: i, J: j}, func() ([]graph.Edge, int64, error) {
 		bufp, _ := e.ioBufs.Get().(*[]byte)

@@ -42,10 +42,13 @@ type fciuPass struct {
 
 // newFCIUPass snapshots the buffer residency and builds the pass's prefetch
 // sequence: non-empty cells in consumption order, minus cells that will be
-// streamed in chunks and secondary cells expected to hit the buffer.
-// Residency is only sampled here — the pipeline's fetch workers never touch
-// the buffer, so mid-pass evictions cost a synchronous fallback load in the
-// consumer rather than a data race.
+// streamed in chunks, secondary cells expected to hit the buffer, and —
+// under SEM — cells of rows the activity bitmap proves dead, which never
+// enqueue a read at all. (A dead-row upper-triangle cell that the
+// cross-iteration phase turns out to need is loaded synchronously by the
+// consumer.) Residency is only sampled here — the pipeline's fetch workers
+// never touch the buffer, so mid-pass evictions cost a synchronous fallback
+// load in the consumer rather than a data race.
 func (e *Engine) newFCIUPass(mode fciuMode) *fciuPass {
 	resident := make(map[buffer.Key]bool)
 	if mode != fullCells {
@@ -61,6 +64,9 @@ func (e *Engine) newFCIUPass(mode fciuMode) *fciuPass {
 		}
 		for i := iLo; i < e.p; i++ {
 			if e.layout.Meta.SubBlockEdges(i, j) == 0 {
+				continue
+			}
+			if e.sem != nil && !e.sem.rowLive(i) {
 				continue
 			}
 			if e.opts.StreamChunkBytes > 0 && (mode == fullCells || (mode == fciuFirstCells && i < j)) {
@@ -130,7 +136,22 @@ func (e *Engine) nextFCIUBlock(p *fciuPass, i, j int) ([]graph.Edge, error) {
 		return e.loadBlock(i, j)
 	}
 	k := buffer.Key{I: i, J: j}
-	if edges, ok := e.buf.Get(k); ok {
+	if e.opts.SEM {
+		// Compressed buffer tier: residents are delta payloads, decoded on
+		// hit. Decode round-trips the edge order exactly, so the scatter
+		// consumes the same sequence as an uncached load.
+		if edges, payload, ok := e.buf.GetEntry(k); ok {
+			if payload == nil {
+				return edges, nil
+			}
+			decoded, err := e.decodePayload(i, j, payload)
+			if err != nil {
+				return nil, err
+			}
+			e.semCompHits.Add(1)
+			return decoded, nil
+		}
+	} else if edges, ok := e.buf.Get(k); ok {
 		return edges, nil
 	}
 	edges, ok, err := p.take(i, j)
@@ -144,7 +165,16 @@ func (e *Engine) nextFCIUBlock(p *fciuPass, i, j int) ([]graph.Edge, error) {
 			return nil, err
 		}
 	}
-	e.buf.Put(k, edges, e.layout.Meta.SubBlockBytes(i, j), activeEdgeCount(edges, e.active))
+	priority := activeEdgeCount(edges, e.active)
+	if e.opts.SEM {
+		payload := e.encodePayload(i, j, edges)
+		if e.buf.PutBytes(k, payload, e.layout.Meta.SubBlockBytes(i, j), priority) {
+			e.semCompBytes.Add(int64(len(payload)))
+			e.semDecBytes.Add(e.layout.Meta.SubBlockBytes(i, j))
+		}
+	} else {
+		e.buf.Put(k, edges, e.layout.Meta.SubBlockBytes(i, j), priority)
+	}
 	return edges, nil
 }
 
@@ -168,15 +198,41 @@ func (e *Engine) runFCIUFirst() error {
 	if err := e.readValues(); err != nil {
 		return err
 	}
+	e.semBegin()
 	pass := e.newFCIUPass(fciuFirstCells)
 	defer e.finishFCIUPass(pass)
 
 	for j := 0; j < e.p; j++ {
 		lo, hi := e.layout.Meta.Interval(j)
 		var diag []graph.Edge
+		diagDeferred := false
 		for i := 0; i < e.p; i++ {
 			if err := e.checkCtx(); err != nil {
 				return err
+			}
+			if e.sem != nil && !e.sem.rowLive(i) {
+				// The t-scatter of every cell in this row is a guaranteed
+				// no-op: the active filter excludes all of its edges. Only
+				// the cross-iteration scatter can still need the cell.
+				switch {
+				case i > j:
+					// Secondary cells scatter from the active filter only.
+					e.semSkip(i, j)
+					continue
+				case i < j:
+					// Interval i is already applied, so newActive∩interval(i)
+					// is final: skip when it is empty, otherwise fall through
+					// and load for the cross-iteration scatter alone.
+					if riLo, riHi := e.layout.Meta.Interval(i); e.newActive.CountRange(riLo, riHi) == 0 {
+						e.semSkip(i, j)
+						continue
+					}
+				default:
+					// Diagonal: newActive∩interval(j) is final only after
+					// applyInterval(j); defer the load decision until then.
+					diagDeferred = true
+					continue
+				}
 			}
 			if i < j && e.opts.StreamChunkBytes > 0 {
 				// Upper-triangle cells need no retention: stream them,
@@ -216,17 +272,42 @@ func (e *Engine) runFCIUFirst() error {
 			// Diagonal cross-iteration after interval j's own apply
 			// (Alg 3 lines 13–16).
 			e.scatter(diag, e.valCur, e.newActive, e.accNext, e.touchedNext, lo, hi)
+		} else if diagDeferred {
+			// Dead-row diagonal: now that interval j is applied its t+1
+			// activations are final. Load only if there is something to
+			// propagate; this rare load is synchronous (the cell was never
+			// enqueued on the pipeline).
+			if e.newActive.CountRange(lo, hi) > 0 {
+				edges, err := e.loadBlock(j, j)
+				if err != nil {
+					return err
+				}
+				e.scatter(edges, e.valCur, e.newActive, e.accNext, e.touchedNext, lo, hi)
+			} else {
+				e.semSkip(j, j)
+			}
 		}
 	}
 
 	// The paper updates each buffered secondary sub-block's priority after
 	// the first iteration processes it; now that the full activation set
 	// for t+1 is known, refresh every resident's priority. Large residents
-	// are sampled rather than rescanned.
+	// are sampled rather than rescanned; compressed residents are estimated
+	// from their row's active fraction instead of being decoded. Either
+	// estimate is clamped to ≥1 while the block bitmap says the block is
+	// live, so sampling can never demote a hot block to dead.
 	for _, k := range e.buf.Keys() {
-		if edges, ok := e.buf.Peek(k); ok {
-			e.buf.UpdatePriority(k, activeEdgeEstimate(edges, e.newActive))
+		edges, payload, ok := e.buf.PeekEntry(k)
+		if !ok {
+			continue
 		}
+		var est int64
+		if payload != nil {
+			est = e.payloadPriority(k, e.newActive)
+		} else {
+			est = clampedActiveEdgeEstimate(edges, e.newActive, &e.layout.Meta, k.I)
+		}
+		e.buf.UpdatePriority(k, est)
 	}
 	return e.writeValues()
 }
@@ -240,6 +321,7 @@ func (e *Engine) runFCIUSecond() error {
 	if err := e.readValues(); err != nil {
 		return err
 	}
+	e.semBegin()
 	pass := e.newFCIUPass(fciuSecondCells)
 	defer e.finishFCIUPass(pass)
 
@@ -248,6 +330,12 @@ func (e *Engine) runFCIUSecond() error {
 		for i := j + 1; i < e.p; i++ {
 			if err := e.checkCtx(); err != nil {
 				return err
+			}
+			if e.sem != nil && !e.sem.rowLive(i) {
+				// Secondary cells scatter only from the active filter; a
+				// dead row contributes nothing.
+				e.semSkip(i, j)
+				continue
 			}
 			edges, err := e.nextFCIUBlock(pass, i, j)
 			if err != nil {
@@ -269,6 +357,7 @@ func (e *Engine) runFullSingle() error {
 	if err := e.readValues(); err != nil {
 		return err
 	}
+	e.semBegin()
 	pass := e.newFCIUPass(fullCells)
 	defer e.finishFCIUPass(pass)
 
@@ -277,6 +366,12 @@ func (e *Engine) runFullSingle() error {
 		for i := 0; i < e.p; i++ {
 			if err := e.checkCtx(); err != nil {
 				return err
+			}
+			if e.sem != nil && !e.sem.rowLive(i) {
+				// No cross-iteration work in this pass: a dead row's cells
+				// are skipped outright, streamed or not.
+				e.semSkip(i, j)
+				continue
 			}
 			if e.opts.StreamChunkBytes > 0 {
 				err := e.layout.StreamSubBlock(i, j, e.opts.StreamChunkBytes, func(edges []graph.Edge) error {

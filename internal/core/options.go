@@ -82,12 +82,24 @@ type Options struct {
 	// per-edge disk bytes, partial block coverage) and the corrections are
 	// what keeps the adaptive engine on the Figure 10 lower envelope.
 	DisableCalibration bool
+	// SEM enables the semi-external-memory fast path. Block-level active
+	// bitmaps let every full-model pass (and its prefetch pipeline) skip
+	// non-empty sub-blocks whose source interval holds no active vertex —
+	// no bytes, no seeks — and the cost model prices the full model per
+	// frontier accordingly. The per-run buffer switches to the compressed
+	// tier: residents are delta-coded payloads decoded on hit, so the same
+	// BufferBytes holds 2–5× more graph. Results are bit-identical to a
+	// SEM-off run of the same forced path; under the adaptive scheduler the
+	// cheaper full model may flip some iterations from SCIU to FCIU.
+	SEM bool
 	// SharedBlocks, when non-nil, routes full sub-block loads (pipelined
 	// and synchronous) through a concurrency-safe cache shared with other
 	// engines on the same layout, deduplicating device reads between
 	// concurrent jobs (single-flight per grid key). Selective SCIU reads
 	// and streamed chunks bypass it. The per-run priority buffer
-	// (BufferBytes) still operates in front of it.
+	// (BufferBytes) still operates in front of it. A cache built with
+	// buffer.NewSharedCompressed stores delta payloads; the engine decodes
+	// hits in the loading worker and reports the decode time back.
 	SharedBlocks *buffer.Shared
 	// Checkpoint configures crash-safe iteration checkpointing and resume.
 	Checkpoint CheckpointOptions
@@ -218,6 +230,11 @@ type Result struct {
 	Resumed     bool
 	ResumedFrom int
 	Checkpoints int
+
+	// SEM reports the semi-external-memory outcomes: blocks and bytes the
+	// activity bitmap skipped, and the compressed cache tier's hit/decode
+	// and effective-capacity accounting.
+	SEM SEMStats
 }
 
 // IterStat describes one logical iteration of an engine run.

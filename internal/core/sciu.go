@@ -104,11 +104,19 @@ func (e *Engine) runSCIU() error {
 	}
 
 	// Build the selective-load sequence, preloading every touched vertex
-	// index so the pipeline's fetch workers see a read-only cache.
+	// index so the pipeline's fetch workers see a read-only cache. Under
+	// SEM the dead-row check consults the block-activity bitmap (built once
+	// per pass) instead of recounting the frontier per row; the skip
+	// semantics are identical, so SCIU traffic is unchanged either way.
+	e.semBegin()
 	var reqs []pipeline.Request
 	for i := 0; i < e.p; i++ {
 		lo, hi := e.layout.Meta.Interval(i)
-		if e.active.CountRange(lo, hi) == 0 {
+		if e.sem != nil {
+			if !e.sem.rowLive(i) {
+				continue
+			}
+		} else if e.active.CountRange(lo, hi) == 0 {
 			continue
 		}
 		for j := 0; j < e.p; j++ {

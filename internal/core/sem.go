@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/bitset"
+	"github.com/graphsd/graphsd/internal/buffer"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/partition"
+)
+
+// semBitmap is the semi-external-memory activity summary consulted on every
+// sub-block skip decision: a P-bit "interval has any active vertex" row
+// vector, refined to a P×P "block may carry active edges" test by the
+// layout's per-block non-empty structure (a block in a live row is live only
+// if it holds edges at all). All vertex state is in RAM, so the row vector
+// is derived in O(P · interval/64) bitset popcounts — no per-vertex index
+// walk — and rebuilt at the start of every pass, which is exactly when
+// activity flips: the frontier a pass scatters from is frozen for the whole
+// pass (applyInterval mutates touched/newActive, never active).
+type semBitmap struct {
+	meta *partition.Manifest
+	rows []bool
+}
+
+// newSEMBitmap derives the row-activity vector of set.
+func newSEMBitmap(meta *partition.Manifest, set *bitset.ActiveSet) *semBitmap {
+	rows := make([]bool, meta.P)
+	for i := 0; i < meta.P; i++ {
+		lo, hi := meta.Interval(i)
+		rows[i] = set.CountRange(lo, hi) > 0
+	}
+	return &semBitmap{meta: meta, rows: rows}
+}
+
+// rowLive reports whether source interval i holds any active vertex.
+func (b *semBitmap) rowLive(i int) bool { return b.rows[i] }
+
+// blockLive reports whether sub-block (i, j) may carry active edges: its
+// source interval is live and the block is non-empty. A dead block scatters
+// nothing (the scatter filter excludes every one of its edges), so skipping
+// its read cannot change any result.
+func (b *semBitmap) blockLive(i, j int) bool {
+	return b.rows[i] && b.meta.SubBlockEdges(i, j) > 0
+}
+
+// semBegin rebuilds the block-activity bitmap from the pass's frontier, or
+// clears it when SEM is off. Every pass driver calls this before building
+// its prefetch sequence, so the pipeline and the consumer skip by the same
+// bitmap.
+func (e *Engine) semBegin() {
+	if e.opts.SEM {
+		e.sem = newSEMBitmap(&e.layout.Meta, e.active)
+	} else {
+		e.sem = nil
+	}
+}
+
+// semSkip records that non-empty sub-block (i, j) was proven dead by the
+// bitmap and never read: no bytes, no seek. Empty blocks cost no I/O on any
+// path and are not counted.
+func (e *Engine) semSkip(i, j int) {
+	if e.layout.Meta.SubBlockEdges(i, j) == 0 {
+		return
+	}
+	e.plStats.Skipped++
+	e.plStats.SkippedBytes += e.layout.Meta.SubBlockDiskBytes(i, j)
+}
+
+// decodePayload decodes a delta-coded sub-block payload from either
+// compressed cache tier back into edges. EncodeDeltaBlock/AppendDeltaBlock
+// round-trip any edge order exactly with bit-preserved weights, so the
+// scatter consumes the identical edge sequence the device would have
+// delivered. Safe on pipeline worker goroutines; decode wall time is
+// accumulated atomically.
+func (e *Engine) decodePayload(i, j int, payload []byte) ([]graph.Edge, error) {
+	iLo, _ := e.layout.Meta.Interval(i)
+	jLo, _ := e.layout.Meta.Interval(j)
+	t0 := time.Now()
+	edges, err := graph.AppendDeltaBlock(nil, payload, graph.VertexID(iLo), graph.VertexID(jLo), e.layout.Meta.Weighted)
+	e.semDecodeNanos.Add(time.Since(t0).Nanoseconds())
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding cached sub-block (%d,%d): %w", i, j, err)
+	}
+	return edges, nil
+}
+
+// encodePayload delta-codes a decoded sub-block for the compressed buffer
+// tier.
+func (e *Engine) encodePayload(i, j int, edges []graph.Edge) []byte {
+	iLo, _ := e.layout.Meta.Interval(i)
+	jLo, _ := e.layout.Meta.Interval(j)
+	return graph.EncodeDeltaBlock(nil, edges, graph.VertexID(iLo), graph.VertexID(jLo), e.layout.Meta.Weighted)
+}
+
+// payloadPriority estimates the active-edge count of a compressed-tier
+// resident without decoding it: the block's edge count scaled by its source
+// interval's active fraction, clamped to ≥1 while the bitmap says the block
+// is live so a hot block is never demoted to dead by estimation.
+func (e *Engine) payloadPriority(k buffer.Key, set *bitset.ActiveSet) int64 {
+	lo, hi := e.layout.Meta.Interval(k.I)
+	act := int64(set.CountRange(lo, hi))
+	if act == 0 || hi <= lo {
+		return 0
+	}
+	est := act * e.layout.Meta.SubBlockEdges(k.I, k.J) / int64(hi-lo)
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// loadBlockCompressed is loadBlock through a compressed shared cache: the
+// cache stores verified delta payloads, and every caller — pipeline fetch
+// workers included — decodes its hit in its own goroutine, so decode
+// overlaps compute exactly like the reads themselves.
+func (e *Engine) loadBlockCompressed(sc *buffer.Shared, i, j int) ([]graph.Edge, error) {
+	payload, hit, err := sc.GetOrLoadBytes(buffer.Key{I: i, J: j}, func() ([]byte, int64, error) {
+		p, err := e.layout.LoadSubBlockPayload(i, j)
+		return p, e.layout.Meta.SubBlockBytes(i, j), err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		e.sharedHits.Add(1)
+	} else {
+		e.sharedMisses.Add(1)
+		e.semCompBytes.Add(int64(len(payload)))
+		e.semDecBytes.Add(e.layout.Meta.SubBlockBytes(i, j))
+	}
+	if payload == nil {
+		return nil, nil
+	}
+	t0 := time.Now()
+	edges, err := e.decodePayload(i, j, payload)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		e.semCompHits.Add(1)
+		sc.NoteDecode(time.Since(t0))
+	}
+	return edges, nil
+}
+
+// SEMStats reports a run's semi-external-memory outcomes.
+type SEMStats struct {
+	// Enabled reports that the run used the SEM fast path: Options.SEM
+	// and/or a compressed shared cache.
+	Enabled bool
+	// BlocksSkipped counts non-empty sub-blocks never read because the
+	// block-activity bitmap proved them dead; BytesSkipped is their summed
+	// on-disk size — device traffic the bitmap avoided.
+	BlocksSkipped int64
+	BytesSkipped  int64
+	// CompressedHits counts sub-block loads served from a compressed cache
+	// tier (per-run buffer or shared), each paying a decode instead of a
+	// device read; DecodeTime is the wall clock all compressed-tier encode
+	// round-trips spent decoding (overlapped with compute when the hit
+	// lands on a pipeline worker).
+	CompressedHits int64
+	DecodeTime     time.Duration
+	// CompressedBytes / DecodedBytes sum the encoded and decoded sizes of
+	// every payload the run offered to a compressed tier. Their ratio is
+	// the tier's effective-capacity multiplier: how many bytes of decoded
+	// graph one RAM byte holds.
+	CompressedBytes int64
+	DecodedBytes    int64
+}
+
+// EffectiveCapacityRatio returns DecodedBytes/CompressedBytes — ≥2 means
+// the compressed tier holds at least twice the graph per RAM byte compared
+// to caching decoded edges.
+func (s SEMStats) EffectiveCapacityRatio() float64 {
+	if s.CompressedBytes <= 0 {
+		return 0
+	}
+	return float64(s.DecodedBytes) / float64(s.CompressedBytes)
+}

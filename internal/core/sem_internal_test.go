@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/bitset"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/partition"
+)
+
+// TestClampedActiveEdgeEstimate is the regression test for the sampled
+// priority estimate returning 0 for a live block: with more edges than
+// activeEdgeSampleCap, the deterministic stride can step over every active
+// source, and the unclamped estimate demotes a block the bitmap knows is
+// live to dead priority.
+func TestClampedActiveEdgeEstimate(t *testing.T) {
+	meta := &partition.Manifest{NumVertices: 100, P: 1}
+	n := 2 * activeEdgeSampleCap // stride 2: samples only even indices
+	edges := make([]graph.Edge, n)
+	for k := range edges {
+		if k%2 == 1 {
+			edges[k] = graph.Edge{Src: 1, Dst: 2} // active source, odd slots only
+		} else {
+			edges[k] = graph.Edge{Src: 0, Dst: 2}
+		}
+	}
+	active := bitset.NewActiveSet(100)
+	active.Activate(1)
+
+	// Precondition for the regression: the raw sample really misses every
+	// active edge. If the sampling scheme changes, pick a new layout.
+	if est := activeEdgeEstimate(edges, active); est != 0 {
+		t.Fatalf("sampled estimate %d, want 0 (stride no longer misses the active sources)", est)
+	}
+	if got := clampedActiveEdgeEstimate(edges, active, meta, 0); got != 1 {
+		t.Fatalf("clamped estimate %d, want 1 for a live block", got)
+	}
+
+	// A genuinely dead block (no active vertex in the source interval)
+	// must stay at 0 — the clamp only applies when the bitmap says live.
+	dead := bitset.NewActiveSet(100)
+	if got := clampedActiveEdgeEstimate(edges, dead, meta, 0); got != 0 {
+		t.Fatalf("dead-row estimate %d, want 0", got)
+	}
+
+	// Small blocks keep the exact count: no clamp distortion.
+	small := edges[:10]
+	if got := clampedActiveEdgeEstimate(small, active, meta, 0); got != activeEdgeCount(small, active) {
+		t.Fatalf("small-block estimate %d, want exact %d", got, activeEdgeCount(small, active))
+	}
+}

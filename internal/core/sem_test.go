@@ -1,0 +1,225 @@
+package core_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/buffer"
+	"github.com/graphsd/graphsd/internal/checkpoint"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// Semi-external-memory equivalence suite. The contract: SEM is an I/O
+// optimisation only — with the I/O model pinned, a SEM run must produce
+// outputs bit-identical to a SEM-off run on every path and codec, while
+// demonstrably skipping dead sub-blocks on sparse frontiers.
+
+// semOn returns opts with the SEM fast path enabled.
+func semOn(opts core.Options) core.Options {
+	opts.SEM = true
+	return opts
+}
+
+func TestSEMBitIdenticalAndSkips(t *testing.T) {
+	paths := []struct {
+		name string
+		prog func() core.Program
+		opts core.Options
+		// sparse FCIU-family paths must record skips and read strictly
+		// fewer device bytes; SCIU already skips dead rows without SEM.
+		wantSkips bool
+	}{
+		{"fciu", func() core.Program { return &algorithms.BFS{Source: 0} },
+			core.Options{ForceModel: core.ForceFull, DefaultBuffer: true}, true},
+		{"full-single", func() core.Program { return &algorithms.BFS{Source: 0} },
+			core.Options{ForceModel: core.ForceFull, DisableCrossIteration: true}, true},
+		{"sciu", func() core.Program { return &algorithms.BFS{Source: 0} },
+			core.Options{ForceModel: core.ForceOnDemand}, false},
+		{"fciu-dense", func() core.Program { return &algorithms.PageRank{Iterations: 5} },
+			core.Options{ForceModel: core.ForceFull, DefaultBuffer: true}, false},
+	}
+	for _, codec := range []graph.Codec{graph.CodecRaw, graph.CodecDelta} {
+		for _, p := range paths {
+			t.Run(p.name+"/"+codec.String(), func(t *testing.T) {
+				base, err := core.Run(chaosLayout(t, codec, 11), p.prog(), p.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := core.Run(chaosLayout(t, codec, 11), p.prog(), semOn(p.opts))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Iterations != base.Iterations || res.Converged != base.Converged {
+					t.Fatalf("SEM run: %d iters converged=%t, SEM-off: %d iters converged=%t",
+						res.Iterations, res.Converged, base.Iterations, base.Converged)
+				}
+				requireIdenticalOutputs(t, base.Outputs, res.Outputs)
+				if !res.SEM.Enabled {
+					t.Fatal("SEM run not marked enabled")
+				}
+				if base.SEM.BlocksSkipped != 0 {
+					t.Fatalf("SEM-off run skipped %d blocks", base.SEM.BlocksSkipped)
+				}
+				if p.wantSkips {
+					if res.SEM.BlocksSkipped == 0 {
+						t.Fatal("sparse-frontier SEM run skipped no blocks")
+					}
+					if res.SEM.BytesSkipped <= 0 {
+						t.Fatalf("skipped %d blocks but %d bytes", res.SEM.BlocksSkipped, res.SEM.BytesSkipped)
+					}
+					if res.IO.ReadBytes() >= base.IO.ReadBytes() {
+						t.Fatalf("SEM read %d device bytes, SEM-off %d — skips bought nothing",
+							res.IO.ReadBytes(), base.IO.ReadBytes())
+					}
+				} else if p.name == "fciu-dense" {
+					// Every vertex stays active under PageRank: nothing to skip.
+					if res.SEM.BlocksSkipped != 0 {
+						t.Fatalf("dense run skipped %d blocks", res.SEM.BlocksSkipped)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSEMCheckpointResumeBitIdentical crashes a SEM checkpointed run
+// mid-flight and resumes it under SEM; the result must match an
+// uninterrupted SEM-off run bit for bit.
+func TestSEMCheckpointResumeBitIdentical(t *testing.T) {
+	for _, codec := range []graph.Codec{graph.CodecRaw, graph.CodecDelta} {
+		t.Run(codec.String(), func(t *testing.T) {
+			l := chaosLayout(t, codec, 7)
+			prog := func() core.Program { return &algorithms.PageRank{Iterations: 8} }
+			base, err := core.Run(l, prog(), core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ckDir := t.TempDir()
+			power := errors.New("power loss")
+			_, err = core.Run(l, prog(), semOn(core.Options{
+				Checkpoint: core.CheckpointOptions{Every: 2, Dir: ckDir},
+				OnIteration: func(st core.IterStat) {
+					if st.Index == 3 {
+						l.Dev.SetFaultInjector(func(op, name string) error { return power })
+					}
+				},
+			}))
+			l.Dev.SetFaultInjector(nil)
+			if !errors.Is(err, power) {
+				t.Fatalf("crashed run returned %v, want injected power loss", err)
+			}
+			if !checkpoint.Exists(ckDir) {
+				t.Fatal("no checkpoint survived the crash")
+			}
+
+			res, err := core.Run(l, prog(), semOn(core.Options{
+				Checkpoint: core.CheckpointOptions{Every: 2, Dir: ckDir, Resume: true},
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Resumed || res.ResumedFrom != 4 {
+				t.Fatalf("resumed=%t from %d, want resume from iteration 4", res.Resumed, res.ResumedFrom)
+			}
+			requireIdenticalOutputs(t, base.Outputs, res.Outputs)
+		})
+	}
+}
+
+// TestSEMChaosBitIdentical injects 5% transient read faults into a SEM run;
+// retries recover it and the outputs must match the fault-free SEM-off
+// baseline, with skips still recorded.
+func TestSEMChaosBitIdentical(t *testing.T) {
+	for _, codec := range []graph.Codec{graph.CodecRaw, graph.CodecDelta} {
+		t.Run(codec.String(), func(t *testing.T) {
+			opts := core.Options{ForceModel: core.ForceFull, DefaultBuffer: true}
+			prog := func() core.Program { return &algorithms.BFS{Source: 0} }
+			l := chaosLayout(t, codec, 5)
+			base, err := core.Run(l, prog(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			chaos := storage.NewChaos(storage.ChaosOptions{
+				Seed:              42,
+				TransientReadProb: 0.05,
+				Match: func(op, name string) bool {
+					return op == "read" || op == "readat"
+				},
+			})
+			l.Dev.SetFaultInjector(chaos.Injector())
+			l.Dev.SetRetryPolicy(storage.RetryPolicy{
+				MaxRetries: 5,
+				BaseDelay:  time.Millisecond,
+				MaxDelay:   50 * time.Millisecond,
+				Seed:       1,
+			})
+			res, err := core.Run(l, prog(), semOn(opts))
+			l.Dev.SetFaultInjector(nil)
+			l.Dev.SetRetryPolicy(storage.RetryPolicy{})
+			if err != nil {
+				t.Fatalf("SEM chaos run did not survive: %v", err)
+			}
+			if chaos.Stats().Transient == 0 {
+				t.Fatal("chaos injected no faults — harness not exercised")
+			}
+			if res.IO.Retries == 0 {
+				t.Fatal("faults injected but device recorded no retries")
+			}
+			if res.SEM.BlocksSkipped == 0 {
+				t.Fatal("SEM chaos run skipped no blocks")
+			}
+			requireIdenticalOutputs(t, base.Outputs, res.Outputs)
+		})
+	}
+}
+
+// TestSEMSharedCompressedCache runs the same job twice over a compressed
+// shared cache: the warm run must serve sub-blocks from the compressed tier
+// (decoding per hit), produce bit-identical outputs, and demonstrate the
+// capacity advantage — more decoded graph bytes represented than RAM spent.
+func TestSEMSharedCompressedCache(t *testing.T) {
+	l := chaosLayout(t, graph.CodecRaw, 12)
+	prog := func() core.Program { return &algorithms.PageRank{Iterations: 4} }
+	base, err := core.Run(l, prog(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := buffer.NewSharedCompressed(l.Meta.EdgeBytesTotal())
+	cold, err := core.Run(l, prog(), core.Options{SharedBlocks: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalOutputs(t, base.Outputs, cold.Outputs)
+	if !cold.SEM.Enabled {
+		t.Fatal("compressed-shared run not marked SEM-enabled")
+	}
+	if cold.SEM.CompressedBytes <= 0 || cold.SEM.DecodedBytes <= 0 {
+		t.Fatalf("cold run recorded no compressed-tier volume: %+v", cold.SEM)
+	}
+	if r := cold.SEM.EffectiveCapacityRatio(); r <= 1 {
+		t.Fatalf("effective capacity ratio %.2f, want > 1 (delta tier smaller than decoded)", r)
+	}
+
+	warm, err := core.Run(l, prog(), core.Options{SharedBlocks: shared})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalOutputs(t, base.Outputs, warm.Outputs)
+	if warm.SEM.CompressedHits == 0 {
+		t.Fatal("warm run had no compressed-tier hits")
+	}
+	st := shared.Stats()
+	if st.CompressedHits == 0 || st.Hits < st.CompressedHits {
+		t.Fatalf("shared stats hits=%d compressed=%d", st.Hits, st.CompressedHits)
+	}
+	if st.DecodeTime <= 0 {
+		t.Fatal("compressed hits reported no decode time")
+	}
+}

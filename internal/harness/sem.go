@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/buffer"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/metrics"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// Acceptance thresholds for the semi-external-memory experiment, enforced
+// here so the harness test (and the CI sem job) fail on regression.
+const (
+	// semCapacityRatioMin is the minimum effective-capacity multiplier the
+	// compressed cache tier must deliver on an unweighted run: decoded graph
+	// bytes represented per RAM byte spent.
+	semCapacityRatioMin = 2.0
+)
+
+// semRunRecord is one SEM-on/SEM-off pair in the BENCH_sem.json artifact.
+type semRunRecord struct {
+	Algorithm     string  `json:"algorithm"`
+	Frontier      string  `json:"frontier"` // "sparse" or "dense"
+	BaseReadBytes int64   `json:"base_read_bytes"`
+	SEMReadBytes  int64   `json:"sem_read_bytes"`
+	BlocksSkipped int64   `json:"blocks_skipped"`
+	BytesSkipped  int64   `json:"bytes_skipped"`
+	Iterations    int     `json:"iterations"`
+	Identical     bool    `json:"bit_identical"`
+}
+
+// semArtifact is the JSON written to $SEM_OUT for the CI trend line.
+type semArtifact struct {
+	Dataset          string         `json:"dataset"`
+	CapacityRatioMin float64        `json:"capacity_ratio_min"`
+	CapacityRatio    float64        `json:"capacity_ratio"`
+	CompressedBytes  int64          `json:"compressed_bytes"`
+	DecodedBytes     int64          `json:"decoded_bytes"`
+	WarmHits         int64          `json:"warm_compressed_hits"`
+	Runs             []semRunRecord `json:"runs"`
+}
+
+// identicalOutputs reports whether two output vectors match bit for bit.
+func identicalOutputs(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runFigSEM is the proof-of-win study for the semi-external-memory fast
+// path. Three checks, all hard-enforced:
+//
+//  1. Sparse frontiers — forced-full BFS and SSSP with SEM on must skip
+//     dead sub-blocks (BlocksSkipped > 0) and move strictly fewer device
+//     bytes than the SEM-off baseline, with bit-identical outputs.
+//  2. Dense frontiers — PR keeps every vertex active, so SEM must skip
+//     nothing and change nothing: bit-identical outputs, no extra bytes.
+//  3. Compressed tier — a compressed shared cache on the unweighted graph
+//     must represent at least semCapacityRatioMin decoded bytes per RAM
+//     byte, and a warm re-run must actually hit that tier.
+//
+// Device traffic is simulated, so every assertion is deterministic.
+func runFigSEM(cfg *Config, w io.Writer) error {
+	ds, err := cfg.dataset("uk-sim")
+	if err != nil {
+		return err
+	}
+	e, err := newEnv(cfg, ds)
+	if err != nil {
+		return err
+	}
+
+	workloads := []struct {
+		alg      Algorithm
+		frontier string
+	}{
+		{Algorithm{"BFS", false, func(src graph.VertexID) core.Program { return &algorithms.BFS{Source: src} }}, "sparse"},
+		{Algorithm{"SSSP", true, func(src graph.VertexID) core.Program { return &algorithms.SSSP{Source: src} }}, "sparse"},
+		{Algorithm{"PR", false, func(graph.VertexID) core.Program { return &algorithms.PageRank{Iterations: 5} }}, "dense"},
+	}
+
+	t := metrics.NewTable("Semi-external-memory fast path — forced-full on "+ds.Name,
+		"algorithm", "frontier", "base read", "sem read", "saved", "blocks skipped", "identical")
+	var records []semRunRecord
+	for _, wl := range workloads {
+		l, err := e.layout("graphsd", wl.alg.Weighted)
+		if err != nil {
+			return err
+		}
+		prog := wl.alg.New(e.source)
+		opts := core.Options{ForceModel: core.ForceFull, DefaultBuffer: true}
+		base, err := core.Run(l, prog, opts)
+		if err != nil {
+			return err
+		}
+		opts.SEM = true
+		sem, err := core.Run(l, wl.alg.New(e.source), opts)
+		if err != nil {
+			return err
+		}
+
+		identical := identicalOutputs(base.Outputs, sem.Outputs) &&
+			sem.Iterations == base.Iterations && sem.Converged == base.Converged
+		rec := semRunRecord{
+			Algorithm:     wl.alg.Name,
+			Frontier:      wl.frontier,
+			BaseReadBytes: base.IO.ReadBytes(),
+			SEMReadBytes:  sem.IO.ReadBytes(),
+			BlocksSkipped: sem.SEM.BlocksSkipped,
+			BytesSkipped:  sem.SEM.BytesSkipped,
+			Iterations:    sem.Iterations,
+			Identical:     identical,
+		}
+		records = append(records, rec)
+		t.AddRow(wl.alg.Name, wl.frontier,
+			storage.FormatBytes(rec.BaseReadBytes), storage.FormatBytes(rec.SEMReadBytes),
+			storage.FormatBytes(rec.BaseReadBytes-rec.SEMReadBytes),
+			fmt.Sprintf("%d (%s)", rec.BlocksSkipped, storage.FormatBytes(rec.BytesSkipped)),
+			fmt.Sprint(identical))
+
+		if !identical {
+			return fmt.Errorf("harness: %s outputs with SEM differ from SEM-off baseline", wl.alg.Name)
+		}
+		switch wl.frontier {
+		case "sparse":
+			if rec.BlocksSkipped == 0 {
+				return fmt.Errorf("harness: sparse-frontier %s skipped no sub-blocks under SEM", wl.alg.Name)
+			}
+			if rec.SEMReadBytes >= rec.BaseReadBytes {
+				return fmt.Errorf("harness: %s read %d device bytes under SEM, baseline %d — skips saved nothing",
+					wl.alg.Name, rec.SEMReadBytes, rec.BaseReadBytes)
+			}
+		case "dense":
+			if rec.BlocksSkipped != 0 {
+				return fmt.Errorf("harness: dense-frontier %s skipped %d sub-blocks — bitmap miscounts activity",
+					wl.alg.Name, rec.BlocksSkipped)
+			}
+			if rec.SEMReadBytes > rec.BaseReadBytes {
+				return fmt.Errorf("harness: dense-frontier %s read %d bytes under SEM, baseline %d — SEM added traffic",
+					wl.alg.Name, rec.SEMReadBytes, rec.BaseReadBytes)
+			}
+		}
+	}
+
+	// Compressed tier: cold run measures the capacity multiplier over every
+	// sub-block offered to the tier; warm run must be served by it.
+	l, err := e.layout("graphsd", false)
+	if err != nil {
+		return err
+	}
+	shared := buffer.NewSharedCompressed(l.Meta.EdgeBytesTotal())
+	prProg := func() core.Program { return &algorithms.PageRank{Iterations: 5} }
+	plain, err := core.Run(l, prProg(), core.Options{DefaultBuffer: true, ForceModel: core.ForceFull})
+	if err != nil {
+		return err
+	}
+	cold, err := core.Run(l, prProg(), core.Options{SharedBlocks: shared, ForceModel: core.ForceFull})
+	if err != nil {
+		return err
+	}
+	warm, err := core.Run(l, prProg(), core.Options{SharedBlocks: shared, ForceModel: core.ForceFull})
+	if err != nil {
+		return err
+	}
+	if !identicalOutputs(plain.Outputs, cold.Outputs) || !identicalOutputs(plain.Outputs, warm.Outputs) {
+		return fmt.Errorf("harness: compressed-tier outputs differ from the uncached baseline")
+	}
+	ratio := cold.SEM.EffectiveCapacityRatio()
+	t.AddNote("compressed tier — %s decoded graph held in %s RAM: %.2fx effective capacity (floor %.2fx); warm run %d compressed hits, decode %v",
+		storage.FormatBytes(cold.SEM.DecodedBytes), storage.FormatBytes(cold.SEM.CompressedBytes),
+		ratio, semCapacityRatioMin, warm.SEM.CompressedHits, shared.Stats().DecodeTime.Round(1000))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	if out := os.Getenv("SEM_OUT"); out != "" {
+		art := semArtifact{
+			Dataset:          ds.Name,
+			CapacityRatioMin: semCapacityRatioMin,
+			CapacityRatio:    ratio,
+			CompressedBytes:  cold.SEM.CompressedBytes,
+			DecodedBytes:     cold.SEM.DecodedBytes,
+			WarmHits:         warm.SEM.CompressedHits,
+			Runs:             records,
+		}
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("harness: writing SEM_OUT: %w", err)
+		}
+		fmt.Fprintf(w, "wrote semi-external-memory artifact to %s\n", out)
+	}
+
+	if ratio < semCapacityRatioMin {
+		return fmt.Errorf("harness: compressed tier holds %.2fx decoded bytes per RAM byte, floor %.2fx",
+			ratio, semCapacityRatioMin)
+	}
+	if warm.SEM.CompressedHits == 0 {
+		return fmt.Errorf("harness: warm run never hit the compressed shared tier")
+	}
+	return nil
+}

@@ -134,6 +134,14 @@ type Config struct {
 	// interval i seeks at most BlocksPerRow[i] times — empty sub-blocks are
 	// never opened. Nil assumes fully-populated rows (P blocks each).
 	BlocksPerRow []int
+	// SEM enables semi-external-memory costing: the full model skips every
+	// sub-block of a source interval with no active vertex, so its cost is
+	// the summed RowDiskBytes of active rows, not the whole edge set.
+	// RowDiskBytes (length P) holds each source row's on-disk payload and
+	// must be set when SEM is. The on-demand formula is untouched — SCIU
+	// already reads only active vertices' edges.
+	SEM          bool
+	RowDiskBytes []int64
 }
 
 // edgeBytesOnDisk resolves the EdgeBytesOnDisk fallback.
@@ -207,6 +215,12 @@ func (c Config) Validate() error {
 			}
 		}
 	}
+	if c.SEM && len(c.RowDiskBytes) != c.P {
+		return fmt.Errorf("iosched: SEM costing needs row disk bytes for all %d rows, got %d", c.P, len(c.RowDiskBytes))
+	}
+	if c.RowDiskBytes != nil && len(c.RowDiskBytes) != c.P {
+		return fmt.Errorf("iosched: row-disk-bytes length %d != P %d", len(c.RowDiskBytes), c.P)
+	}
 	return nil
 }
 
@@ -248,6 +262,36 @@ func (s *Scheduler) CostFull() time.Duration {
 	p := s.cfg.Profile
 	vBytes := int64(s.cfg.NumVertices) * graph.VertexValueBytes
 	eBytes := s.cfg.edgeBytesOnDisk()
+	return p.SeqCost(storage.SeqRead, vBytes+eBytes) + p.SeqCost(storage.SeqWrite, vBytes)
+}
+
+// CostFullFor returns the full-model cost for a specific frontier. Without
+// SEM costing (or without an active set to inspect) it is CostFull — the
+// full model reads everything regardless of activity. With SEM, the engine
+// skips every sub-block of a source interval holding no active vertex, so
+// only active rows' on-disk bytes are charged: no bytes and no seeks for
+// skipped blocks.
+func (s *Scheduler) CostFullFor(active *bitset.ActiveSet) time.Duration {
+	if !s.cfg.SEM || s.cfg.RowDiskBytes == nil || active == nil {
+		return s.CostFull()
+	}
+	per := s.cfg.intervalLen()
+	var eBytes int64
+	for i := 0; i < s.cfg.P; i++ {
+		lo := i * per
+		hi := lo + per
+		if hi > s.cfg.NumVertices {
+			hi = s.cfg.NumVertices
+		}
+		if lo >= hi {
+			break
+		}
+		if active.CountRange(lo, hi) > 0 {
+			eBytes += s.cfg.RowDiskBytes[i]
+		}
+	}
+	p := s.cfg.Profile
+	vBytes := int64(s.cfg.NumVertices) * graph.VertexValueBytes
 	return p.SeqCost(storage.SeqRead, vBytes+eBytes) + p.SeqCost(storage.SeqWrite, vBytes)
 }
 
@@ -354,7 +398,7 @@ func (s *Scheduler) Decide(iteration int, active *bitset.ActiveSet, degrees []ui
 		SeqBytes:     seqB,
 		RanBytes:     ranB,
 		Seeks:        seeks,
-		CostFull:     s.CostFull(),
+		CostFull:     s.CostFullFor(active),
 		CostOnDemand: s.CostOnDemand(seqB, ranB, seeks),
 		CorrFull:     s.factor[FullIO],
 		CorrOnDemand: s.factor[OnDemandIO],

@@ -1,0 +1,108 @@
+package iosched
+
+import (
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/bitset"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// semConfig is testConfig with SEM costing enabled: 4 rows of equal on-disk
+// payload summing to the full edge set.
+func semConfig(numV int, numE int64) Config {
+	cfg := testConfig(numV, numE)
+	cfg.SEM = true
+	per := numE * int64(graph.EdgeBytes) / int64(cfg.P)
+	cfg.RowDiskBytes = []int64{per, per, per, per}
+	return cfg
+}
+
+func TestCostFullForSkipsDeadRows(t *testing.T) {
+	cfg := semConfig(1000, 50000)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All rows active: identical to the frontier-blind constant.
+	all := bitset.NewActiveSet(1000)
+	all.ActivateAll()
+	if got, want := s.CostFullFor(all), s.CostFull(); got != want {
+		t.Fatalf("all-active SEM cost %v != CostFull %v", got, want)
+	}
+
+	// One active vertex: only its row's bytes are charged, so the cost
+	// must drop strictly below the constant but stay above the pure
+	// vertex-array cost.
+	one := bitset.NewActiveSet(1000)
+	one.Activate(0)
+	sparse := s.CostFullFor(one)
+	if sparse >= s.CostFull() {
+		t.Fatalf("single-row SEM cost %v not below CostFull %v", sparse, s.CostFull())
+	}
+	p := cfg.Profile
+	vBytes := int64(1000) * graph.VertexValueBytes
+	want := p.SeqCost(storage.SeqRead, vBytes+cfg.RowDiskBytes[0]) + p.SeqCost(storage.SeqWrite, vBytes)
+	if sparse != want {
+		t.Fatalf("single-row SEM cost %v, want %v", sparse, want)
+	}
+
+	// Empty frontier: vertex arrays only.
+	none := bitset.NewActiveSet(1000)
+	floor := p.SeqCost(storage.SeqRead, vBytes) + p.SeqCost(storage.SeqWrite, vBytes)
+	if got := s.CostFullFor(none); got != floor {
+		t.Fatalf("empty-frontier SEM cost %v, want vertex-array floor %v", got, floor)
+	}
+}
+
+func TestCostFullForWithoutSEMIsConstant(t *testing.T) {
+	s, err := New(testConfig(1000, 50000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := bitset.NewActiveSet(1000)
+	one.Activate(7)
+	if got, want := s.CostFullFor(one), s.CostFull(); got != want {
+		t.Fatalf("non-SEM CostFullFor %v != CostFull %v", got, want)
+	}
+	if got, want := s.CostFullFor(nil), s.CostFull(); got != want {
+		t.Fatalf("nil-frontier CostFullFor %v != CostFull %v", got, want)
+	}
+}
+
+func TestSEMConfigValidation(t *testing.T) {
+	bad := testConfig(1000, 50000)
+	bad.SEM = true
+	if err := bad.Validate(); err == nil {
+		t.Error("SEM without RowDiskBytes accepted")
+	}
+	bad.RowDiskBytes = []int64{1, 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("short RowDiskBytes accepted")
+	}
+	ok := semConfig(1000, 50000)
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecideUsesFrontierFullCost pins the Decision plumbing: under SEM a
+// sparse frontier must be offered the reduced full cost, which can flip the
+// model choice relative to the frontier-blind constant.
+func TestDecideUsesFrontierFullCost(t *testing.T) {
+	cfg := semConfig(1000, 50000)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := bitset.NewActiveSet(1000)
+	one.Activate(0)
+	d := s.Decide(0, one, uniformDegrees(1000, 50))
+	if d.CostFull != s.CostFullFor(one) {
+		t.Fatalf("decision CostFull %v, want frontier-aware %v", d.CostFull, s.CostFullFor(one))
+	}
+	if d.CostFull >= s.CostFull() {
+		t.Fatalf("sparse-frontier decision cost %v not below constant %v", d.CostFull, s.CostFull())
+	}
+}

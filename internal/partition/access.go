@@ -52,6 +52,41 @@ func (l *Layout) LoadSubBlockInto(i, j int, dst []graph.Edge, buf []byte) ([]gra
 	return dst, buf, nil
 }
 
+// LoadSubBlockPayload reads sub-block (i, j) in full and returns its edges
+// as a delta-coded payload *without* decoding it into edges — the form the
+// semi-external-memory compressed cache tier stores. Under the delta codec
+// the verified on-disk bytes are returned verbatim (zero transcode cost);
+// raw layouts are decoded and re-encoded once, with the transcode charged as
+// decode time. Decode the result with graph.AppendDeltaBlock using the
+// interval bases of (i, j). Empty sub-blocks return a nil payload and no
+// I/O.
+func (l *Layout) LoadSubBlockPayload(i, j int) ([]byte, error) {
+	if l.Meta.SubBlockEdges(i, j) == 0 {
+		return nil, nil
+	}
+	buf, err := l.Dev.ReadFile(SubBlockName(i, j))
+	if err != nil {
+		return nil, fmt.Errorf("partition: loading sub-block (%d,%d) [%s]: %w", i, j, l.Meta.BlockCodec(), err)
+	}
+	if err := l.Meta.VerifyBlockSum(i, j, buf); err != nil {
+		return nil, fmt.Errorf("partition: sub-block (%d,%d) [%s]: %w", i, j, l.Meta.BlockCodec(), err)
+	}
+	if l.Meta.BlockCodec() == graph.CodecDelta {
+		return buf, nil
+	}
+	t0 := time.Now()
+	edges, err := graph.AppendEdges(nil, buf, l.Meta.Weighted)
+	if err != nil {
+		l.noteDecode(t0)
+		return nil, fmt.Errorf("partition: decoding sub-block (%d,%d) [raw]: %w", i, j, err)
+	}
+	iLo, _ := l.Meta.Interval(i)
+	jLo, _ := l.Meta.Interval(j)
+	payload := graph.EncodeDeltaBlock(nil, edges, graph.VertexID(iLo), graph.VertexID(jLo), l.Meta.Weighted)
+	l.noteDecode(t0)
+	return payload, nil
+}
+
 // StreamSubBlock reads sub-block (i, j) in chunks of at most chunkBytes of
 // decoded edges (rounded down to whole records, minimum one record — for
 // delta blocks, minimum one source run) and invokes fn for each decoded

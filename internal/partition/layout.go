@@ -180,6 +180,19 @@ func (m *Manifest) SubBlockDiskBytes(i, j int) int64 {
 	return m.BlockBytes[i][j]
 }
 
+// RowDiskBytes returns, for each source interval, the summed on-disk payload
+// of its grid row's sub-blocks. The semi-external-memory cost model uses it
+// to price a full iteration that skips every block of an inactive row.
+func (m *Manifest) RowDiskBytes() []int64 {
+	rows := make([]int64, m.P)
+	for i := range rows {
+		for j := 0; j < m.P; j++ {
+			rows[i] += m.SubBlockDiskBytes(i, j)
+		}
+	}
+	return rows
+}
+
 // NonEmptyBlocksPerRow returns, for each source interval, how many of its
 // grid row's sub-blocks hold at least one edge — the per-row seek cap of the
 // on-demand cost model (iosched.Config.BlocksPerRow): selective reads never

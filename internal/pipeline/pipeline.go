@@ -36,20 +36,28 @@ type Stats struct {
 	// fetch fault. The consumer increments it — the prefetcher itself only
 	// ever reports what it delivered.
 	Fallbacks int
-	Stall     time.Duration
-	Fetch     time.Duration
-	Overlap   time.Duration
+	// Skipped counts non-empty sub-blocks the consumer never fetched
+	// because the semi-external-memory active bitmap proved they carry no
+	// active edges; SkippedBytes is their on-disk size. Like Fallbacks,
+	// these are consumer-maintained.
+	Skipped      int
+	SkippedBytes int64
+	Stall        time.Duration
+	Fetch        time.Duration
+	Overlap      time.Duration
 }
 
 // Add returns the field-wise sum of s and o.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Blocks:    s.Blocks + o.Blocks,
-		Bytes:     s.Bytes + o.Bytes,
-		Fallbacks: s.Fallbacks + o.Fallbacks,
-		Stall:     s.Stall + o.Stall,
-		Fetch:     s.Fetch + o.Fetch,
-		Overlap:   s.Overlap + o.Overlap,
+		Blocks:       s.Blocks + o.Blocks,
+		Bytes:        s.Bytes + o.Bytes,
+		Fallbacks:    s.Fallbacks + o.Fallbacks,
+		Skipped:      s.Skipped + o.Skipped,
+		SkippedBytes: s.SkippedBytes + o.SkippedBytes,
+		Stall:        s.Stall + o.Stall,
+		Fetch:        s.Fetch + o.Fetch,
+		Overlap:      s.Overlap + o.Overlap,
 	}
 }
 
@@ -57,12 +65,14 @@ func (s Stats) Add(o Stats) Stats {
 // activity to a phase: snapshot before, snapshot after, subtract.
 func (s Stats) Sub(o Stats) Stats {
 	return Stats{
-		Blocks:    s.Blocks - o.Blocks,
-		Bytes:     s.Bytes - o.Bytes,
-		Fallbacks: s.Fallbacks - o.Fallbacks,
-		Stall:     s.Stall - o.Stall,
-		Fetch:     s.Fetch - o.Fetch,
-		Overlap:   s.Overlap - o.Overlap,
+		Blocks:       s.Blocks - o.Blocks,
+		Bytes:        s.Bytes - o.Bytes,
+		Fallbacks:    s.Fallbacks - o.Fallbacks,
+		Skipped:      s.Skipped - o.Skipped,
+		SkippedBytes: s.SkippedBytes - o.SkippedBytes,
+		Stall:        s.Stall - o.Stall,
+		Fetch:        s.Fetch - o.Fetch,
+		Overlap:      s.Overlap - o.Overlap,
 	}
 }
 

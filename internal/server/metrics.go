@@ -98,6 +98,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, name := range s.names {
 		p.Int("graphsd_shared_cache_evictions_total", s.graphs[name].shared.Stats().Evictions, metrics.L("graph", name))
 	}
+	p.Header("graphsd_shared_cache_compressed_hits_total", "counter", "Shared-cache hits served from the compressed (delta-coded) tier.")
+	for _, name := range s.names {
+		p.Int("graphsd_shared_cache_compressed_hits_total", s.graphs[name].shared.Stats().CompressedHits, metrics.L("graph", name))
+	}
+	p.Header("graphsd_shared_cache_decode_seconds_total", "counter", "Wall time spent decoding compressed-tier hits (overlapped with compute).")
+	for _, name := range s.names {
+		p.Val("graphsd_shared_cache_decode_seconds_total", s.graphs[name].shared.Stats().DecodeTime.Seconds(), metrics.L("graph", name))
+	}
 	p.Header("graphsd_shared_cache_used_bytes", "gauge", "Decoded bytes resident in the shared cache.")
 	for _, name := range s.names {
 		p.Int("graphsd_shared_cache_used_bytes", s.graphs[name].shared.Used(), metrics.L("graph", name))
@@ -144,6 +152,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Header("graphsd_pipeline_fallbacks_total", "counter", "Sub-blocks loaded synchronously after a pipeline degrade on a transient fault.")
 	for _, a := range aggs {
 		p.Int("graphsd_pipeline_fallbacks_total", int64(a.pipe.Fallbacks), metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_sem_blocks_skipped_total", "counter", "Non-empty sub-blocks never read because the SEM block-activity bitmap proved them dead.")
+	for _, a := range aggs {
+		p.Int("graphsd_sem_blocks_skipped_total", int64(a.pipe.Skipped), metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_sem_bytes_skipped_total", "counter", "On-disk bytes of SEM-skipped sub-blocks — device traffic the bitmap avoided.")
+	for _, a := range aggs {
+		p.Int("graphsd_sem_bytes_skipped_total", a.pipe.SkippedBytes, metrics.L("graph", a.name))
 	}
 	p.Header("graphsd_pipeline_stall_seconds_total", "counter", "Compute time spent waiting on prefetches.")
 	for _, a := range aggs {

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/graphsd/graphsd/internal/jobs"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// TestServerSEMCompressed serves a graph with the SEM fast path and the
+// compressed shared cache: jobs must agree exactly with a plain server's
+// outputs, a warm job must hit the compressed tier, and /metrics must
+// expose the new SEM and compressed-cache families.
+func TestServerSEMCompressed(t *testing.T) {
+	dir, _ := buildLayoutDir(t, 9, 7, 4)
+	// The cache must hold the whole grid so the warm job can hit it.
+	gc := GraphConfig{Name: "rmat9", Dir: dir, Profile: storage.HDD, CacheBytes: 1 << 30}
+	_, plainTS := newTestServer(t, Config{Graphs: []GraphConfig{gc}})
+	gc.SEM = true
+	gc.Compressed = true
+	sem, semTS := newTestServer(t, Config{Graphs: []GraphConfig{gc}})
+
+	run := func(ts *httptest.Server, req jobs.Request) []float64 {
+		t.Helper()
+		code, st := postJob(t, ts, req)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %+v: HTTP %d", req, code)
+		}
+		waitDone(t, ts, st.ID)
+		var full struct {
+			Full []float64 `json:"full"`
+		}
+		if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/result?full=1", &full); code != http.StatusOK {
+			t.Fatalf("result: HTTP %d", code)
+		}
+		return full.Full
+	}
+
+	// BFS distances are integers, exact under every execution path, so the
+	// SEM server must reproduce the plain server's output bit for bit even
+	// though the adaptive scheduler is free to pick different models.
+	bfs := jobs.Request{Graph: "rmat9", Algorithm: "bfs", Source: 1}
+	want := run(plainTS, bfs)
+	got := run(semTS, bfs)
+	if len(want) == 0 || len(got) != len(want) {
+		t.Fatalf("output lengths: plain=%d sem=%d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("bfs vertex %d: plain=%v sem=%v", i, want[i], got[i])
+		}
+	}
+
+	// A dense PR job runs the full model, so the warm repeat must be served
+	// from the compressed tier; its outputs must match the cold run exactly.
+	pr := jobs.Request{Graph: "rmat9", Algorithm: "pr"}
+	cold := run(semTS, pr)
+	warm := run(semTS, pr)
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("pr vertex %d: cold=%v warm=%v", i, cold[i], warm[i])
+		}
+	}
+	shared, _, ok := sem.Graph("rmat9")
+	if !ok {
+		t.Fatal("graph not registered")
+	}
+	if !shared.Compressed() {
+		t.Fatal("server built a decoded cache despite Compressed config")
+	}
+	if st := shared.Stats(); st.CompressedHits == 0 {
+		t.Fatalf("warm job recorded no compressed-tier hits: %+v", st)
+	}
+
+	resp, err := http.Get(semTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	body := buf.String()
+	for _, want := range []string{
+		`graphsd_sem_blocks_skipped_total{graph="rmat9"}`,
+		`graphsd_sem_bytes_skipped_total{graph="rmat9"}`,
+		`graphsd_shared_cache_compressed_hits_total{graph="rmat9"}`,
+		`graphsd_shared_cache_decode_seconds_total{graph="rmat9"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if strings.Contains(body, `graphsd_shared_cache_compressed_hits_total{graph="rmat9"} 0`) {
+		t.Error("compressed-hit counter stuck at zero after warm job")
+	}
+}

@@ -52,6 +52,12 @@ type GraphConfig struct {
 	// Retries, when positive, retries transient read faults on the
 	// graph's device under exponential backoff.
 	Retries int
+	// SEM runs every job on this graph through the semi-external-memory
+	// fast path (block-activity bitmaps skip dead sub-blocks).
+	SEM bool
+	// Compressed stores the shared sub-block cache delta-coded, trading a
+	// per-hit decode for roughly double the effective capacity.
+	Compressed bool
 }
 
 // Config sizes the server.
@@ -72,6 +78,7 @@ type graphEntry struct {
 	dev    *storage.Device
 	layout *partition.Layout
 	shared *buffer.Shared
+	sem    bool
 
 	mu       sync.Mutex
 	jobsRun  int64 // completed (Done) jobs folded into the aggregates
@@ -159,11 +166,16 @@ func New(cfg Config) (*Server, error) {
 		if cache <= 0 {
 			cache = l.Meta.EdgeBytesTotal() / 2
 		}
+		newShared := buffer.NewShared
+		if gc.Compressed {
+			newShared = buffer.NewSharedCompressed
+		}
 		s.graphs[gc.Name] = &graphEntry{
 			name:   gc.Name,
 			dev:    dev,
 			layout: l,
-			shared: buffer.NewShared(cache),
+			shared: newShared(cache),
+			sem:    gc.SEM,
 		}
 		s.names = append(s.names, gc.Name)
 	}
@@ -214,6 +226,7 @@ func (s *Server) runJob(ctx context.Context, req jobs.Request, onIter func(core.
 		MaxIterations: req.MaxIterations,
 		DefaultBuffer: true,
 		SharedBlocks:  g.shared,
+		SEM:           g.sem,
 		OnIteration:   onIter,
 	})
 	if err != nil {
