@@ -209,6 +209,10 @@ func cmdRun(args []string) error {
 	resume := fs.Bool("resume", false, "resume from the checkpoint in -checkpoint, if present")
 	retries := fs.Int("retries", 0, "retry transient read faults up to N times with exponential backoff")
 	sem := fs.Bool("sem", false, "semi-external-memory fast path: skip dead sub-blocks, compress the buffer tier")
+	async := fs.Bool("async", false, "asynchronous execution: priority scheduling over sub-block rows (monotonic algorithms: prd, cc, sssp, bfs)")
+	asyncEps := fs.Float64("async-eps", 0, "stop an -async run once total pending residual falls to this (0: run to frontier drain)")
+	asyncSeed := fs.Uint64("async-seed", 0, "tie-break seed for the -async scheduler (fixed seed: reproducible schedule)")
+	progress := fs.Int("progress", 0, "print a one-line frontier/residual summary every N iterations (0: off)")
 	fs.Parse(args)
 	if *layoutDir == "" || *alg == "" {
 		return fmt.Errorf("run: -layout and -algorithm are required")
@@ -271,8 +275,31 @@ func cmdRun(args []string) error {
 	}
 	opts.DisableCrossIteration = *noCross
 	opts.SEM = *sem
+	opts.Async = *async
+	opts.AsyncEpsilon = *asyncEps
+	opts.AsyncSeed = *asyncSeed
 	opts.PrefetchDepth = *prefetchDepth
 	opts.PrefetchBytes = *prefetchBytes
+	if (*asyncEps != 0 || *asyncSeed != 0) && !*async {
+		return fmt.Errorf("run: -async-eps and -async-seed require -async")
+	}
+	if *async && l.Meta.System != "graphsd" {
+		return fmt.Errorf("run: -async is only supported for graphsd layouts (this one is %q)", l.Meta.System)
+	}
+	if *progress > 0 {
+		every := *progress
+		start := time.Now()
+		opts.OnIteration = func(st core.IterStat) {
+			if (st.Index+1)%every != 0 {
+				return
+			}
+			line := fmt.Sprintf("[%7.1fs] iter %4d path=%-9s active=%d", time.Since(start).Seconds(), st.Index, st.Path, st.Active)
+			if *async {
+				line += fmt.Sprintf(" residual=%.3e blocks=%d", st.Residual, st.Blocks)
+			}
+			fmt.Fprintln(os.Stderr, line)
+		}
+	}
 	if *ckDir != "" {
 		opts.Checkpoint = core.CheckpointOptions{Every: *ckEvery, Dir: *ckDir, Resume: *resume}
 	}
@@ -335,6 +362,10 @@ func cmdRun(args []string) error {
 				s.CompressedHits, s.DecodeTime.Round(time.Microsecond), s.EffectiveCapacityRatio())
 		}
 		fmt.Println(line)
+	}
+	if a := res.Async; a.Enabled {
+		fmt.Printf("async: %d steps (%d selective), %d sub-blocks scheduled, %d reactivations, final residual %.3e\n",
+			a.Steps, a.SelectiveSteps, a.BlocksScheduled, a.Reactivations, a.FinalResidual)
 	}
 	if acc := res.SchedAccuracy; acc.Observed > 0 {
 		fmt.Printf("scheduler accuracy: %d observed iterations, mispredict mean %.1f%% last %.1f%%, corrections full=%.2f on-demand=%.2f\n",

@@ -51,6 +51,8 @@ func cmdServe(args []string) error {
 	retries := fs.Int("retries", 0, "retry transient read faults up to N times per graph device")
 	sem := fs.Bool("sem", false, "run jobs through the semi-external-memory fast path (skip dead sub-blocks)")
 	compressed := fs.Bool("compressed-cache", false, "store the shared sub-block cache delta-coded (decode per hit, ~2x capacity)")
+	async := fs.Bool("async", false, "run monotonic algorithms (prd, cc, sssp, bfs) through the asynchronous priority scheduler")
+	asyncEps := fs.Float64("async-eps", 0, "residual stop threshold for -async runs (0: run to frontier drain)")
 	fs.Parse(args)
 	if len(graphs) == 0 {
 		return fmt.Errorf("serve: at least one -graph name=layoutdir is required")
@@ -65,6 +67,8 @@ func cmdServe(args []string) error {
 		graphs[i].Retries = *retries
 		graphs[i].SEM = *sem
 		graphs[i].Compressed = *compressed
+		graphs[i].Async = *async
+		graphs[i].AsyncEpsilon = *asyncEps
 	}
 
 	s, err := server.New(server.Config{

@@ -56,6 +56,17 @@ type State struct {
 	// TouchedNext the staged next-iteration touched bitset words.
 	Active      []uint64
 	TouchedNext []uint64
+	// Async marks a checkpoint taken by the asynchronous engine, whose loop
+	// state differs from BSP's: Iteration doubles as the scheduler step
+	// counter, EnqueueSteps records the step at which each of the P interval
+	// rows last entered the priority queue (the aging input), and Consumed
+	// holds the ever-consumed bitset words (reactivation accounting). The
+	// queue itself is not stored — the engine rebuilds it canonically from
+	// Values/Active, reproducing identical priorities. BSP checkpoints leave
+	// all three zero, keeping the format backward compatible.
+	Async        bool
+	EnqueueSteps []uint64
+	Consumed     []uint64
 }
 
 // Path returns the checkpoint file path inside dir.
@@ -143,6 +154,7 @@ func Load(dir string) (*State, error) {
 const (
 	flagSecondaryPending = 1 << 0
 	flagHasAux           = 1 << 1
+	flagAsync            = 1 << 2
 )
 
 func (s *State) appendBody(buf []byte) []byte {
@@ -158,6 +170,9 @@ func (s *State) appendBody(buf []byte) []byte {
 	if s.Aux != nil {
 		flags |= flagHasAux
 	}
+	if s.Async {
+		flags |= flagAsync
+	}
 	buf = append(buf, flags)
 	buf = appendFloats(buf, s.Values)
 	if s.Aux != nil {
@@ -166,6 +181,10 @@ func (s *State) appendBody(buf []byte) []byte {
 	buf = appendFloats(buf, s.AccNext)
 	buf = appendWords(buf, s.Active)
 	buf = appendWords(buf, s.TouchedNext)
+	if s.Async {
+		buf = appendWords(buf, s.EnqueueSteps)
+		buf = appendWords(buf, s.Consumed)
+	}
 	return buf
 }
 
@@ -186,6 +205,11 @@ func (s *State) parseBody(data []byte) error {
 	s.AccNext = r.floats("accumulators")
 	s.Active = r.words("active bitset")
 	s.TouchedNext = r.words("touched bitset")
+	if flags&flagAsync != 0 {
+		s.Async = true
+		s.EnqueueSteps = r.words("enqueue steps")
+		s.Consumed = r.words("consumed bitset")
+	}
 	if r.err != nil {
 		return r.err
 	}

@@ -1,0 +1,738 @@
+// Asynchronous execution (Options.Async): a work-list engine for monotonic
+// programs that replaces the BSP barrier with a priority queue over the P
+// source intervals of the sub-block grid.
+//
+// One scheduler step pops the pending-mass-richest interval and processes
+// its whole grid row atomically: the row's frontier is frozen, the frozen
+// vertices' live values are snapshotted, every non-empty sub-block (i, j)
+// is streamed (through the prefetch pipeline and shared cache) or loaded
+// selectively (per-vertex reads, when the row's frontier is sparse enough
+// that the cost model prices them below streaming), its contributions are
+// scattered with the lock-free two-phase scatter and applied immediately
+// into the live values, and finally every frozen source is settled with
+// AsyncConsume. Rows whose pending mass changed are re-keyed in the queue;
+// the run converges when the queue drains or total residual falls to
+// Options.AsyncEpsilon.
+//
+// Processing a whole row per pop is what keeps PR-Delta's mass accounting
+// exact: a source's residual is consumed only after it has been pushed to
+// every destination interval, so no per-(vertex, column) pushed-mass matrix
+// is needed. For min-programs row atomicity is merely the natural grain.
+//
+// Determinism contract: for a fixed Options.AsyncSeed and thread count the
+// pop sequence — and therefore every result bit — is reproducible. Row
+// priorities are always recomputed canonically (ascending vertex order over
+// the live frontier) rather than maintained incrementally, ties break by a
+// seeded hash then the row index, aging is a pure function of the persisted
+// step counter, and checkpoints capture the step counter and per-row
+// enqueue steps, so a resumed run replays the identical schedule.
+package core
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/bitset"
+	"github.com/graphsd/graphsd/internal/checkpoint"
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/pipeline"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// asyncAgingEvery is the aging cadence: every asyncAgingEvery-th pop takes
+// the longest-queued row instead of the highest-keyed one, so a cold,
+// expensive, far-from-the-action row is processed at least once per
+// asyncAgingEvery·P steps no matter how little mass it holds.
+const asyncAgingEvery = 16
+
+// asyncRow is one source interval's scheduling state.
+type asyncRow struct {
+	i    int     // interval (grid row) index
+	mass float64 // canonical pending mass, Σ Residual over the row's frontier
+	key  float64 // heap priority: mass per second of row I/O
+	tie  uint64  // seeded tie-break hash, fixed per (seed, i)
+	enq  int64   // step at which the row last entered the queue (aging)
+	pos  int     // heap position, -1 when not queued
+}
+
+// rowHeap is a max-heap over queued rows: key descending, then tie hash,
+// then row index — a total order, so heap extraction is deterministic.
+type rowHeap []*asyncRow
+
+func (h rowHeap) Len() int { return len(h) }
+func (h rowHeap) Less(a, b int) bool {
+	ra, rb := h[a], h[b]
+	if ra.key != rb.key {
+		return ra.key > rb.key
+	}
+	if ra.tie != rb.tie {
+		return ra.tie < rb.tie
+	}
+	return ra.i < rb.i
+}
+func (h rowHeap) Swap(a, b int) {
+	h[a], h[b] = h[b], h[a]
+	h[a].pos = a
+	h[b].pos = b
+}
+func (h *rowHeap) Push(x any) {
+	r := x.(*asyncRow)
+	r.pos = len(*h)
+	*h = append(*h, r)
+}
+func (h *rowHeap) Pop() any {
+	old := *h
+	r := old[len(old)-1]
+	r.pos = -1
+	old[len(old)-1] = nil
+	*h = old[:len(old)-1]
+	return r
+}
+
+// asyncTie is a splitmix64-style hash of (seed, row); equal-mass rows pop
+// in hash order so different seeds explore different (but each fully
+// reproducible) schedules.
+func asyncTie(seed uint64, i int) uint64 {
+	z := seed + uint64(i+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// asyncRun is the asynchronous driver state layered over an Engine.
+type asyncRun struct {
+	e    *Engine
+	mono Monotonic
+
+	rows []*asyncRow
+	h    rowHeap
+	step int64
+
+	// rowBlocks lists each row's non-empty destination columns and
+	// rowStreamCost prices streaming all of them (seek + sequential read
+	// per block), the denominator of the priority key.
+	rowBlocks     [][]int
+	rowStreamCost []time.Duration
+
+	// frontier is the frozen per-step row frontier (the scatter filter) and
+	// frontList its ascending vertex list. consumed marks vertices settled
+	// at least once, for reactivation counting.
+	frontier  *bitset.ActiveSet
+	frontList []int
+	consumed  *bitset.ActiveSet
+	dirty     []bool // rows whose mass must be recomputed after the step
+
+	blocks   int64 // sub-blocks processed
+	reacts   int64 // consumed vertices re-entering the frontier
+	selSteps int   // steps that took the selective path
+	fallback int   // pipelined blocks re-loaded synchronously after a degrade
+}
+
+// runAsync executes the engine asynchronously. It mirrors run()'s setup and
+// result assembly but replaces the iteration loop with the scheduler loop.
+func (e *Engine) runAsync() (*Result, error) {
+	mono, ok := e.prog.(Monotonic)
+	if !ok {
+		return nil, fmt.Errorf("core: program %s is not monotonic; -async needs label-correcting or residual form (use prd instead of pr)", e.prog.Name())
+	}
+	if e.opts.PersistValues {
+		return nil, fmt.Errorf("core: PersistValues is incompatible with Async (values are live, not iteration-versioned)")
+	}
+	start := time.Now()
+	if e.ctx == nil {
+		e.ctx = context.Background()
+	}
+	dev := e.layout.Dev
+	ioBase := dev.Stats()
+	decodeStart := e.layout.DecodeTime()
+
+	var err error
+	e.degrees, err = e.layout.LoadDegrees()
+	if err != nil {
+		return nil, err
+	}
+	e.prog.Init(e.n, e.valPrev, e.aux, e.active)
+
+	a := &asyncRun{
+		e:             e,
+		mono:          mono,
+		rows:          make([]*asyncRow, e.p),
+		rowBlocks:     make([][]int, e.p),
+		rowStreamCost: make([]time.Duration, e.p),
+		frontier:      bitset.NewActiveSet(e.n),
+		consumed:      bitset.NewActiveSet(e.n),
+		dirty:         make([]bool, e.p),
+	}
+	for i := 0; i < e.p; i++ {
+		a.rows[i] = &asyncRow{i: i, tie: asyncTie(e.opts.AsyncSeed, i), pos: -1}
+		var cost time.Duration
+		for j := 0; j < e.p; j++ {
+			if e.layout.Meta.SubBlockEdges(i, j) == 0 {
+				continue
+			}
+			a.rowBlocks[i] = append(a.rowBlocks[i], j)
+			cost += e.sched.BlockCost(e.layout.Meta.SubBlockDiskBytes(i, j))
+		}
+		a.rowStreamCost[i] = cost
+	}
+
+	resumed := false
+	checkpoints := 0
+	ck := e.opts.Checkpoint
+	if ck.Resume && ck.Dir != "" && checkpoint.Exists(ck.Dir) {
+		st, err := checkpoint.Load(ck.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.restore(st); err != nil {
+			return nil, err
+		}
+		resumed = true
+	}
+	resumedFrom := int(a.step)
+
+	// Seed (or, after a resume, rebuild) the queue from the live frontier.
+	for i := 0; i < e.p; i++ {
+		a.refreshRow(i, a.rows[i].enq)
+	}
+
+	maxIter := e.prog.MaxIterations()
+	if e.opts.MaxIterations > 0 {
+		maxIter = e.opts.MaxIterations
+	}
+	// One BSP iteration touches up to P live rows, so the equivalent async
+	// step budget is maxIter rows per interval.
+	maxSteps := int64(maxIter) * int64(e.p)
+
+	eps := e.opts.AsyncEpsilon
+	var iterStats []IterStat
+	converged := false
+	for a.h.Len() > 0 {
+		if err := e.checkCtx(); err != nil {
+			return nil, err
+		}
+		if eps > 0 && a.totalResidual() <= eps {
+			converged = true
+			break
+		}
+		if a.step >= maxSteps {
+			break
+		}
+
+		row := a.popRow()
+		ioBefore := dev.Stats()
+		computeBefore := e.computeTime
+		decodeBefore := e.layout.DecodeTime()
+		plBefore := e.plStats
+		blocksBefore := a.blocks
+		reactsBefore := a.reacts
+		activeBefore := e.active.Count()
+
+		path, err := a.processRow(row.i)
+		if err != nil {
+			return nil, err
+		}
+		a.step++
+
+		ioDelta := dev.Stats().Sub(ioBefore)
+		st := IterStat{
+			Index:         int(a.step) - 1,
+			Path:          path,
+			Active:        activeBefore,
+			Blocks:        int(a.blocks - blocksBefore),
+			Reactivations: a.reacts - reactsBefore,
+			Residual:      a.totalResidual(),
+			IO:            ioDelta,
+			IOTime:        ioDelta.TotalTime(),
+			ComputeTime:   e.computeTime - computeBefore,
+			DecodeTime:    e.layout.DecodeTime() - decodeBefore,
+			Pipeline:      e.plStats.Sub(plBefore),
+		}
+		iterStats = append(iterStats, st)
+		if e.opts.OnIteration != nil {
+			e.opts.OnIteration(st)
+		}
+
+		if ck.saveEnabled() && a.step%int64(ck.Every) == 0 {
+			if err := a.save(ck.Dir); err != nil {
+				return nil, err
+			}
+			checkpoints++
+		}
+	}
+	if a.h.Len() == 0 {
+		converged = true
+	}
+	e.plStats.Fallbacks += a.fallback
+
+	outputs := make([]float64, e.n)
+	tOut := time.Now()
+	for v := range outputs {
+		outputs[v] = e.prog.Output(graph.VertexID(v), e.valPrev[v], e.aux)
+	}
+	e.computeTime += time.Since(tOut)
+
+	return &Result{
+		Algorithm:         e.prog.Name(),
+		Iterations:        int(a.step),
+		Converged:         converged,
+		Outputs:           outputs,
+		WallTime:          time.Since(start),
+		ComputeTime:       e.computeTime,
+		DecodeTime:        e.layout.DecodeTime() - decodeStart + time.Duration(e.semDecodeNanos.Load()),
+		Codec:             e.layout.Meta.BlockCodec().String(),
+		CompressRatio:     compressRatio(&e.layout.Meta),
+		IO:                dev.Stats().Sub(ioBase),
+		SharedHits:        e.sharedHits.Load(),
+		SharedMisses:      e.sharedMisses.Load(),
+		SchedulerOverhead: e.sched.TotalOverhead(),
+		SchedAccuracy:     e.sched.Accuracy(),
+		Buffer:            e.buf.Stats(),
+		Pipeline:          e.plStats,
+		IterStats:         iterStats,
+		Resumed:           resumed,
+		ResumedFrom:       resumedFrom,
+		Checkpoints:       checkpoints,
+		SEM: SEMStats{
+			Enabled:         e.opts.SEM || (e.opts.SharedBlocks != nil && e.opts.SharedBlocks.Compressed()),
+			BlocksSkipped:   int64(e.plStats.Skipped),
+			BytesSkipped:    e.plStats.SkippedBytes,
+			CompressedHits:  e.semCompHits.Load(),
+			DecodeTime:      time.Duration(e.semDecodeNanos.Load()),
+			CompressedBytes: e.semCompBytes.Load(),
+			DecodedBytes:    e.semDecBytes.Load(),
+		},
+		Async: AsyncStats{
+			Enabled:         true,
+			Steps:           int(a.step),
+			SelectiveSteps:  a.selSteps,
+			BlocksScheduled: a.blocks,
+			Reactivations:   a.reacts,
+			FinalResidual:   a.totalResidual(),
+		},
+	}, nil
+}
+
+// totalResidual sums the canonical pending mass over all rows (queued rows
+// hold the only non-zero masses).
+func (a *asyncRun) totalResidual() float64 {
+	var t float64
+	for _, r := range a.rows {
+		if r.pos >= 0 {
+			t += r.mass
+		}
+	}
+	return t
+}
+
+// rowMass recomputes row i's pending mass canonically: ascending vertex
+// order over the live frontier, so the same engine state always produces
+// the identical float — the bedrock of deterministic replay and resume.
+func (a *asyncRun) rowMass(i int) float64 {
+	e := a.e
+	lo, hi := e.layout.Meta.Interval(i)
+	var mass float64
+	e.active.ForEachRange(lo, hi, func(v int) bool {
+		mass += a.mono.Residual(graph.VertexID(v), e.valPrev[v], e.aux)
+		return true
+	})
+	return mass
+}
+
+// refreshRow recomputes row i's mass and key and fixes its queue
+// membership: enqueue (recording enq as its entry step) when mass appeared,
+// re-key in place when it changed, remove when it drained.
+func (a *asyncRun) refreshRow(i int, enq int64) {
+	r := a.rows[i]
+	r.mass = a.rowMass(i)
+	if r.mass <= 0 {
+		if r.pos >= 0 {
+			heap.Remove(&a.h, r.pos)
+		}
+		return
+	}
+	costSec := a.rowStreamCost[i].Seconds()
+	if costSec <= 0 {
+		// A row with no on-disk blocks is free to process; schedule it
+		// first so its (edge-less) frontier settles immediately.
+		costSec = 1e-12
+	}
+	r.key = r.mass / costSec
+	if r.pos >= 0 {
+		heap.Fix(&a.h, r.pos)
+		return
+	}
+	r.enq = enq
+	heap.Push(&a.h, r)
+}
+
+// popRow extracts the next row to process: normally the heap maximum, but
+// every asyncAgingEvery-th step the longest-queued row, so low-mass rows
+// are never starved. Aging depends only on the persisted step counter.
+func (a *asyncRun) popRow() *asyncRow {
+	if (a.step+1)%asyncAgingEvery == 0 && a.h.Len() > 1 {
+		oldest := 0
+		for k := 1; k < len(a.h); k++ {
+			r, o := a.h[k], a.h[oldest]
+			if r.enq < o.enq || (r.enq == o.enq && r.i < o.i) {
+				oldest = k
+			}
+		}
+		return heap.Remove(&a.h, oldest).(*asyncRow)
+	}
+	return heap.Pop(&a.h).(*asyncRow)
+}
+
+// processRow runs one scheduler step on row i, returning the executed path
+// ("async" streamed, "async-sel" selective). See the package comment for
+// the step's phases and why the row is processed atomically.
+func (a *asyncRun) processRow(i int) (string, error) {
+	e := a.e
+	lo, hi := e.layout.Meta.Interval(i)
+
+	// Freeze the row frontier and snapshot its values: every sub-block of
+	// the row scatters the identical inputs even though applies mutate the
+	// live values mid-row (the diagonal block feeds back into this very
+	// interval). The frozen set is also the scatter filter — e.active
+	// changes under the applies and must not filter the scatter.
+	a.frontList = a.frontList[:0]
+	a.frontier.Reset()
+	e.active.ForEachRange(lo, hi, func(v int) bool {
+		a.frontList = append(a.frontList, v)
+		a.frontier.Activate(v)
+		e.valCur[v] = e.valPrev[v]
+		return true
+	})
+	for k := range a.dirty {
+		a.dirty[k] = false
+	}
+	a.dirty[i] = true
+
+	// Pick the row's load path: stream every non-empty block, or read the
+	// frontier's edges selectively through the per-vertex index. The value
+	// terms are identical either way, so the comparison is edges-only.
+	path := "async"
+	selective := false
+	if len(a.frontList) > 0 && len(a.rowBlocks[i]) > 0 {
+		seqB, ranB, seeks := e.sched.EstimateOnDemand(a.frontier, e.degrees)
+		if e.sched.RowSelectiveCost(seqB, ranB, seeks, hi-lo) < a.rowStreamCost[i] {
+			selective = true
+			path = "async-sel"
+		}
+	}
+
+	var applied int64
+	var err error
+	if selective {
+		a.selSteps++
+		applied, err = a.scatterRowSelective(i, lo)
+	} else {
+		applied, err = a.scatterRowStreamed(i)
+	}
+	if err != nil {
+		return path, err
+	}
+
+	// Settle the frozen sources in ascending order: each one's snapshot has
+	// now been pushed along every out-edge, so consume it and keep the
+	// vertex active only if mass arrived underneath the scatter.
+	t0 := time.Now()
+	for _, v := range a.frontList {
+		nv, act := a.mono.AsyncConsume(graph.VertexID(v), e.valCur[v], e.valPrev[v], e.aux, e.n)
+		e.valPrev[v] = nv
+		if !act {
+			e.active.Deactivate(v)
+		}
+		a.consumed.Activate(v)
+	}
+	e.computeTime += time.Since(t0)
+
+	// Per-step value traffic: the frozen interval's values stream in once;
+	// the applied destinations write back. BSP charges the full |V| array
+	// both ways every iteration — this per-interval accounting is where the
+	// async device-byte win on sparse frontiers comes from.
+	e.layout.Dev.Charge(storage.SeqRead, int64(hi-lo)*graph.VertexValueBytes)
+	if applied > 0 {
+		e.layout.Dev.Charge(storage.SeqWrite, applied*graph.VertexValueBytes)
+	}
+
+	// Re-key every row whose mass moved: this row (consumed) and every
+	// destination row the applies activated into.
+	for r := 0; r < e.p; r++ {
+		if a.dirty[r] {
+			a.refreshRow(r, a.step+1)
+		}
+	}
+	return path, nil
+}
+
+// scatterRowStreamed processes row i by streaming its non-empty sub-blocks
+// whole, prefetched through the I/O pipeline (transient faults degrade the
+// rest of the row to synchronous loads, as in the BSP passes). Each block
+// is scattered and applied before the next is consumed.
+func (a *asyncRun) scatterRowStreamed(i int) (int64, error) {
+	e := a.e
+	cols := a.rowBlocks[i]
+	if len(a.frontList) == 0 {
+		return 0, nil
+	}
+	reqs := make([]pipeline.Request, 0, len(cols))
+	for _, j := range cols {
+		reqs = append(reqs, pipeline.Request{I: i, J: j, Bytes: e.layout.Meta.SubBlockBytes(i, j)})
+	}
+	pf := e.newBlockPrefetcher(reqs)
+	if pf != nil {
+		defer e.finishPrefetch(pf)
+	}
+	degraded := false
+	var applied int64
+	for _, req := range reqs {
+		if err := e.checkCtx(); err != nil {
+			return applied, err
+		}
+		var edges []graph.Edge
+		var err error
+		if pf != nil && !degraded {
+			_, edges, err = pf.NextCtx(e.ctx)
+			if err != nil {
+				if !storage.IsTransient(err) {
+					return applied, err
+				}
+				degraded = true
+			}
+		}
+		if pf == nil || degraded {
+			if degraded {
+				a.fallback++
+			}
+			edges, err = e.loadBlock(req.I, req.J)
+			if err != nil {
+				return applied, err
+			}
+		}
+		applied += a.scatterApplyBlock(edges, req.J)
+	}
+	return applied, nil
+}
+
+// scatterRowSelective processes row i by reading only the frozen frontier's
+// edge runs through each sub-block's vertex index — the async analogue of
+// SCIU's on-demand loads. It runs synchronously: frontier rows this sparse
+// spend their time seeking, not streaming, and the frozen frontier keeps
+// the reads deterministic.
+func (a *asyncRun) scatterRowSelective(i, lo int) (int64, error) {
+	e := a.e
+	// Modelled per-step index consultation, the per-interval slice of
+	// SCIU's 2|V| term.
+	_, hi := e.layout.Meta.Interval(i)
+	e.layout.Dev.Charge(storage.SeqRead, int64(hi-lo)*graph.IndexEntryBytes)
+
+	var applied int64
+	bufp, _ := e.ioBufs.Get().(*[]byte)
+	if bufp == nil {
+		bufp = new([]byte)
+	}
+	defer e.ioBufs.Put(bufp)
+	var edges []graph.Edge
+	for _, j := range a.rowBlocks[i] {
+		if err := e.checkCtx(); err != nil {
+			return applied, err
+		}
+		idx, err := e.index(i, j)
+		if err != nil {
+			return applied, err
+		}
+		r, err := e.layout.OpenSubBlock(i, j)
+		if err != nil {
+			return applied, err
+		}
+		edges = edges[:0]
+		var loopErr error
+		for _, v := range a.frontList {
+			var runEdges []graph.Edge
+			runEdges, *bufp, loopErr = e.layout.ReadVertexEdges(r, idx, i, graph.VertexID(v), *bufp)
+			if loopErr != nil {
+				break
+			}
+			edges = append(edges, runEdges...)
+		}
+		closeErr := r.Close()
+		if loopErr != nil {
+			return applied, fmt.Errorf("core: async interval %d sub-block %d: %w", i, j, loopErr)
+		}
+		if closeErr != nil {
+			return applied, closeErr
+		}
+		applied += a.scatterApplyBlock(edges, j)
+	}
+	return applied, nil
+}
+
+// scatterApplyBlock scatters one sub-block's edges from the frozen snapshot
+// and immediately applies the touched destinations of interval j into the
+// live values, returning the number of vertices applied.
+func (a *asyncRun) scatterApplyBlock(edges []graph.Edge, j int) int64 {
+	e := a.e
+	a.blocks++
+	if len(edges) == 0 {
+		return 0
+	}
+	jLo, jHi := e.layout.Meta.Interval(j)
+	e.scatter(edges, e.valCur, a.frontier, e.acc, e.touched, jLo, jHi)
+	return a.applyAsyncInterval(j)
+}
+
+// applyAsyncInterval folds interval j's touched accumulators into the live
+// values with AsyncApply, activating woken vertices (counting those that
+// had already been consumed as reactivations) and marking their rows dirty
+// for re-keying. Apply is per-vertex independent, so large batches are
+// chunked across the configured threads exactly like the BSP apply;
+// activation, reactivation and dirty bookkeeping merge serially so counts
+// and heap updates stay deterministic.
+func (a *asyncRun) applyAsyncInterval(j int) int64 {
+	e := a.e
+	lo, hi := e.layout.Meta.Interval(j)
+	t0 := time.Now()
+	defer func() { e.computeTime += time.Since(t0) }()
+	id := e.prog.Identity()
+
+	var pending []int
+	e.touched.ForEachRange(lo, hi, func(v int) bool {
+		pending = append(pending, v)
+		return true
+	})
+	if len(pending) == 0 {
+		return 0
+	}
+
+	activate := func(v int) {
+		if !e.active.Contains(v) {
+			e.active.Activate(v)
+			if a.consumed.Contains(v) {
+				a.reacts++
+			}
+		}
+		a.dirty[j] = true
+	}
+
+	workers := e.opts.threads()
+	if len(pending) < serialApplyThreshold || workers <= 1 {
+		for _, v := range pending {
+			nv, act := a.mono.AsyncApply(graph.VertexID(v), e.valPrev[v], e.acc[v], e.aux, e.n)
+			e.valPrev[v] = nv
+			if act {
+				activate(v)
+			}
+			e.acc[v] = id
+			e.touched.Deactivate(v)
+		}
+		return int64(len(pending))
+	}
+
+	chunk := (len(pending) + workers - 1) / workers
+	activated := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		loK, hiK := w*chunk, min((w+1)*chunk, len(pending))
+		if loK >= hiK {
+			continue
+		}
+		wg.Add(1)
+		go func(w, loK, hiK int) {
+			defer wg.Done()
+			var acts []int
+			for _, v := range pending[loK:hiK] {
+				nv, act := a.mono.AsyncApply(graph.VertexID(v), e.valPrev[v], e.acc[v], e.aux, e.n)
+				e.valPrev[v] = nv
+				if act {
+					acts = append(acts, v)
+				}
+				e.acc[v] = id
+			}
+			activated[w] = acts
+		}(w, loK, hiK)
+	}
+	wg.Wait()
+	for _, acts := range activated {
+		for _, v := range acts {
+			activate(v)
+		}
+	}
+	for _, v := range pending {
+		e.touched.Deactivate(v)
+	}
+	return int64(len(pending))
+}
+
+// save captures the async engine state at a step boundary: live values and
+// aux, the frontier, the ever-consumed set, the step counter and every
+// row's enqueue step. The queue itself is not saved — restore recomputes
+// every row's mass canonically, reproducing identical keys.
+func (a *asyncRun) save(dir string) error {
+	e := a.e
+	enq := make([]uint64, e.p)
+	for i, r := range a.rows {
+		enq[i] = uint64(r.enq)
+	}
+	st := &checkpoint.State{
+		Algorithm:    e.prog.Name(),
+		NumVertices:  e.n,
+		P:            e.p,
+		Iteration:    int(a.step),
+		Values:       e.valPrev,
+		Aux:          e.aux,
+		AccNext:      e.accNext, // identity by the step invariant
+		Active:       e.active.Words(),
+		TouchedNext:  e.touched.Words(), // empty by the step invariant
+		Async:        true,
+		EnqueueSteps: enq,
+		Consumed:     a.consumed.Words(),
+	}
+	return checkpoint.Save(dir, st)
+}
+
+// restore loads an async checkpoint into the engine. The caller rebuilds
+// the queue by refreshing every row afterwards.
+func (a *asyncRun) restore(st *checkpoint.State) error {
+	e := a.e
+	if !st.Async {
+		return fmt.Errorf("core: checkpoint was taken by the BSP engine; cannot resume it under -async")
+	}
+	if st.Algorithm != e.prog.Name() {
+		return fmt.Errorf("core: checkpoint is for algorithm %q, running %q", st.Algorithm, e.prog.Name())
+	}
+	if st.NumVertices != e.n || st.P != e.p {
+		return fmt.Errorf("core: checkpoint shape %d vertices / P=%d, layout has %d / P=%d",
+			st.NumVertices, st.P, e.n, e.p)
+	}
+	if len(st.Values) != e.n {
+		return fmt.Errorf("core: checkpoint values sized %d, want %d", len(st.Values), e.n)
+	}
+	if (st.Aux == nil) != (e.aux == nil) || len(st.Aux) != len(e.aux) {
+		return fmt.Errorf("core: checkpoint aux state length %d, program %s keeps %d",
+			len(st.Aux), e.prog.Name(), len(e.aux))
+	}
+	if len(st.EnqueueSteps) != e.p {
+		return fmt.Errorf("core: checkpoint enqueue steps sized %d, want P=%d", len(st.EnqueueSteps), e.p)
+	}
+	copy(e.valPrev, st.Values)
+	if e.aux != nil {
+		copy(e.aux, st.Aux)
+	}
+	if err := e.active.LoadWords(st.Active); err != nil {
+		return fmt.Errorf("core: checkpoint active frontier: %w", err)
+	}
+	if err := a.consumed.LoadWords(st.Consumed); err != nil {
+		return fmt.Errorf("core: checkpoint consumed set: %w", err)
+	}
+	for i, r := range a.rows {
+		r.enq = int64(st.EnqueueSteps[i])
+	}
+	a.step = int64(st.Iteration)
+	return nil
+}

@@ -229,3 +229,51 @@ func BenchmarkEngineCompressed(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineAsync compares asynchronous and BSP execution on the two
+// workloads the scheduler targets: a sparse-frontier traversal (SSSP, where
+// async touches only live rows while BSP sweeps the grid) and PageRank-Delta
+// run to a residual epsilon (where async retires mass richest-row-first).
+// Device bytes and block activations are reported alongside wall time — they
+// are the figures the fig-async experiment asserts on.
+func BenchmarkEngineAsync(b *testing.B) {
+	sparse := gen.Weighted(gen.Chain(4096), 7, 11)
+	rmat, err := gen.RMAT(12, 12, gen.Graph500, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		prog func() core.Program
+		opts core.Options
+	}{
+		{"sssp-sparse/bsp", sparse, func() core.Program { return &algorithms.SSSP{Source: 0} },
+			core.Options{DefaultBuffer: true}},
+		{"sssp-sparse/async", sparse, func() core.Program { return &algorithms.SSSP{Source: 0} },
+			core.Options{Async: true, DefaultBuffer: true}},
+		{"prd-epsilon/bsp", rmat, func() core.Program { return &algorithms.PageRankDelta{Iterations: 200} },
+			core.Options{DefaultBuffer: true}},
+		{"prd-epsilon/async", rmat, func() core.Program { return &algorithms.PageRankDelta{Iterations: 200} },
+			core.Options{Async: true, AsyncEpsilon: 1e-6, DefaultBuffer: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			l := benchLayout(b, c.g, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(l, c.prog(), c.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.IO.TotalBytes())/1024, "device-KiB")
+				b.ReportMetric(float64(res.WallTime.Microseconds())/1000, "wall-ms")
+				if res.Async.Enabled {
+					b.ReportMetric(float64(res.Async.BlocksScheduled), "blocks")
+				} else {
+					b.ReportMetric(float64(res.Iterations), "iters")
+				}
+			}
+		})
+	}
+}

@@ -33,6 +33,9 @@ func (e *Engine) saveCheckpoint(dir string, iter int, secondaryPending bool) err
 // layout shape. The caller re-enters the loop at st.Iteration; acc/touched
 // already satisfy the loop invariant (identity/empty) from NewEngine.
 func (e *Engine) restoreCheckpoint(st *checkpoint.State) error {
+	if st.Async {
+		return fmt.Errorf("core: checkpoint was taken by the async engine; resume it with Options.Async")
+	}
 	if st.Algorithm != e.prog.Name() {
 		return fmt.Errorf("core: checkpoint is for algorithm %q, running %q", st.Algorithm, e.prog.Name())
 	}

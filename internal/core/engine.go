@@ -210,6 +210,9 @@ func (e *Engine) checkCtx() error {
 }
 
 func (e *Engine) run() (*Result, error) {
+	if e.opts.Async {
+		return e.runAsync()
+	}
 	start := time.Now()
 	if e.ctx == nil {
 		e.ctx = context.Background()

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/graphsd/graphsd/internal/buffer"
 	"github.com/graphsd/graphsd/internal/graph"
 	"github.com/graphsd/graphsd/internal/pipeline"
@@ -34,6 +36,7 @@ const (
 // that way.
 type fciuPass struct {
 	pf        *pipeline.Prefetcher[[]graph.Edge]
+	ctx       context.Context
 	reqs      []pipeline.Request
 	next      int
 	degraded  bool
@@ -78,7 +81,7 @@ func (e *Engine) newFCIUPass(mode fciuMode) *fciuPass {
 			reqs = append(reqs, pipeline.Request{I: i, J: j, Bytes: e.layout.Meta.SubBlockBytes(i, j)})
 		}
 	}
-	return &fciuPass{pf: e.newBlockPrefetcher(reqs), reqs: reqs}
+	return &fciuPass{pf: e.newBlockPrefetcher(reqs), ctx: e.ctx, reqs: reqs}
 }
 
 // take returns the prefetched edges for sub-block (i, j) when it is the
@@ -101,7 +104,7 @@ func (p *fciuPass) take(i, j int) (edges []graph.Edge, ok bool, err error) {
 	}
 	p.next++
 	if !p.degraded {
-		_, edges, err = p.pf.Next()
+		_, edges, err = p.pf.NextCtx(p.ctx)
 		if err == nil || !storage.IsTransient(err) {
 			return edges, true, err
 		}

@@ -103,6 +103,25 @@ type Options struct {
 	SharedBlocks *buffer.Shared
 	// Checkpoint configures crash-safe iteration checkpointing and resume.
 	Checkpoint CheckpointOptions
+	// Async replaces the BSP iteration loop with the asynchronous work-list
+	// engine: a priority queue over source intervals keyed by pending update
+	// mass, processed highest-mass first with no global barrier. Requires a
+	// program implementing Monotonic (label-correcting traversals, PR-Delta);
+	// non-monotonic programs are rejected at run start. Results reach the
+	// same fixed point as BSP (bit-exact labels for min-programs, within
+	// Program tolerance for PR-Delta) but the iteration trace, paths, and
+	// traffic differ. Incompatible with PersistValues; ForceModel and
+	// StreamChunkBytes are ignored.
+	Async bool
+	// AsyncEpsilon stops an async run once the total pending residual over
+	// active vertices falls to or below it. Zero means run until the
+	// frontier drains (min-programs converge exactly; PR-Delta converges to
+	// its per-vertex tolerance).
+	AsyncEpsilon float64
+	// AsyncSeed seeds the scheduler's deterministic tie-breaking between
+	// equal-mass rows. A fixed seed reproduces the exact pop sequence, and
+	// therefore bit-identical results, across runs and checkpoint/resume.
+	AsyncSeed uint64
 }
 
 // CheckpointOptions controls checkpoint/resume of an engine run. A
@@ -235,16 +254,52 @@ type Result struct {
 	// activity bitmap skipped, and the compressed cache tier's hit/decode
 	// and effective-capacity accounting.
 	SEM SEMStats
+
+	// Async reports the asynchronous engine's outcomes; zero-valued (with
+	// Enabled false) for BSP runs.
+	Async AsyncStats
 }
 
-// IterStat describes one logical iteration of an engine run.
+// AsyncStats reports one asynchronous run. Steps is the number of scheduler
+// pops (each processes one source interval's live sub-blocks); for
+// comparison with BSP, Result.Iterations holds the same count.
+type AsyncStats struct {
+	Enabled bool
+	// Steps counts scheduler pops; SelectiveSteps the subset that loaded
+	// the row's edges selectively (per-vertex reads) instead of streaming
+	// whole sub-blocks.
+	Steps          int
+	SelectiveSteps int
+	// BlocksScheduled counts sub-blocks actually processed across all
+	// steps — the async analogue of BSP's iterations × P² full-pass reads.
+	BlocksScheduled int64
+	// Reactivations counts vertices re-entering the frontier after having
+	// been consumed at least once — the re-computation async trades for
+	// skipped barriers.
+	Reactivations int64
+	// FinalResidual is the total pending mass when the run stopped: 0 when
+	// the frontier drained, otherwise ≤ Options.AsyncEpsilon (unless the
+	// step bound was hit first).
+	FinalResidual float64
+}
+
+// IterStat describes one logical iteration of an engine run. Under async
+// execution one IterStat is emitted per scheduler step with Path "async"
+// (whole-row streaming) or "async-sel" (selective per-vertex loads).
 type IterStat struct {
 	Index int
-	// Path is the executed update path: "sciu", "fciu-1", "fciu-2" or
-	// "full-single".
+	// Path is the executed update path: "sciu", "fciu-1", "fciu-2",
+	// "full-single", "async" or "async-sel".
 	Path string
 	// Active is the number of active vertices entering the iteration.
 	Active int
+	// Blocks is the number of sub-blocks the step processed and
+	// Reactivations the number of previously-consumed vertices it woke;
+	// Residual is the total pending mass after the step. All three are
+	// async-only (zero under BSP).
+	Blocks        int
+	Reactivations int64
+	Residual      float64
 	// IO is the device traffic attributed to the iteration; IOTime and
 	// ComputeTime are its simulated-disk and measured-CPU shares.
 	// DecodeTime is the payload decode wall-clock attributed to the

@@ -66,6 +66,44 @@ type Program interface {
 	Output(v graph.VertexID, val float64, aux []float64) float64
 }
 
+// Monotonic is the optional capability a Program implements to run under
+// the asynchronous engine (Options.Async). A monotonic program's state only
+// ever moves toward the fixed point — labels only shrink under a min-Merge,
+// or pending PageRank residual only drains into the rank — so sub-blocks may
+// be processed in any order, any number of times, without a global barrier,
+// and the fixed point reached is the same one BSP converges to.
+//
+// Under async execution the engine repeatedly picks the pending-mass-richest
+// source interval, scatters the frozen frontier's values through its
+// sub-blocks, applies contributions with AsyncApply, and then settles each
+// scattered source with AsyncConsume. Residual is the scheduling signal: the
+// run converges when the total residual over all active vertices falls to
+// Options.AsyncEpsilon or the frontier drains.
+type Monotonic interface {
+	Program
+	// Residual returns v's pending update mass — how much un-propagated
+	// work the vertex still holds. Label-correcting programs return a
+	// constant 1 per active vertex; PR-Delta returns |val| (the residual
+	// itself). Must be non-negative and zero only when v has nothing left
+	// to push.
+	Residual(v graph.VertexID, val float64, aux []float64) float64
+	// AsyncApply folds the merged contribution into v's current value,
+	// reporting v's new value and whether v became (or stays) active. It
+	// differs from Apply in that cur is v's live value, not the previous
+	// iteration's snapshot, and it must not finalize state that
+	// AsyncConsume settles (PR-Delta accumulates into the residual here
+	// and moves it to the rank only in AsyncConsume).
+	AsyncApply(v graph.VertexID, cur, merged float64, aux []float64, n int) (float64, bool)
+	// AsyncConsume settles a source vertex after the engine scattered
+	// snapshot (the value the scatter actually used) along all of v's
+	// out-edges: it returns v's post-consumption value and whether v
+	// remains active. cur is v's live value, which may differ from
+	// snapshot if contributions arrived mid-scatter — a min-program stays
+	// active iff cur improved below snapshot; PR-Delta banks snapshot into
+	// the rank and keeps only the mass that arrived since.
+	AsyncConsume(v graph.VertexID, snapshot, cur float64, aux []float64, n int) (float64, bool)
+}
+
 // RunReference executes prog for up to maxIters BSP iterations on an
 // in-memory CSR, with no I/O at all. It is the correctness oracle for the
 // out-of-core engines: every engine configuration must produce the same

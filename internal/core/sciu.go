@@ -158,7 +158,7 @@ func (e *Engine) runSCIU() error {
 		var blk sciuBlock
 		var err error
 		if pf != nil && !degraded {
-			_, blk, err = pf.Next()
+			_, blk, err = pf.NextCtx(e.ctx)
 			if err != nil && storage.IsTransient(err) {
 				degraded = true
 			}

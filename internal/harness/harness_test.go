@@ -83,7 +83,7 @@ func TestPaperAlgorithms(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	ids := []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig10-sched", "fig11", "fig12", "fig-sem", "ext-storage", "ext-psweep", "ext-buffer-policy"}
+	ids := []string{"table3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig10-sched", "fig11", "fig12", "fig-sem", "fig-async", "ext-storage", "ext-psweep", "ext-buffer-policy"}
 	exps := Experiments()
 	if len(exps) != len(ids) {
 		t.Fatalf("%d experiments, want %d", len(exps), len(ids))
@@ -187,6 +187,31 @@ func TestSEMExperiment(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{"Semi-external-memory", "sparse", "dense", "effective capacity", "compressed hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAsyncExperiment runs the asynchronous-execution study on its own: it
+// enforces the device-byte reduction, block-activation, and baseline
+// regression gates and, when ASYNC_OUT is set (CI), writes the
+// BENCH_async.json artifact.
+func TestAsyncExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment is slow; skipped with -short")
+	}
+	cfg := quickConfig(t)
+	exp, err := ByID("fig-async")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := exp.Run(cfg, &buf); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"Asynchronous", "sparse", "reduction", "BSP baseline"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}

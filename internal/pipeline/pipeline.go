@@ -12,6 +12,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -243,9 +244,31 @@ func (p *Prefetcher[T]) release(n int64) {
 // the sequence is exhausted (or Close) it returns ErrClosed; after a fetch
 // error it returns that error at the failing block's position.
 func (p *Prefetcher[T]) Next() (Request, T, error) {
+	return p.NextCtx(context.Background())
+}
+
+// NextCtx is Next with a cancellation escape: if ctx is cancelled while the
+// consumer is blocked — either waiting for the next slot or for its fetch to
+// finish — it returns ctx.Err() immediately rather than riding out the
+// in-flight device read. The abandoned slot stays owned by the prefetcher;
+// the caller must still Close it, which waits out in-flight fetches and
+// releases their buffers. A ctx error is not a fetch error: it is not
+// recorded as firstErr and does not stop admission on its own.
+func (p *Prefetcher[T]) NextCtx(ctx context.Context) (Request, T, error) {
 	var zero T
+	// Checked first so an already-dead ctx short-circuits deterministically:
+	// a bare select would pick at random between Done and a ready result.
+	if err := ctx.Err(); err != nil {
+		return Request{}, zero, err
+	}
 	t0 := time.Now()
-	s, ok := <-p.order
+	var s *slot[T]
+	var ok bool
+	select {
+	case s, ok = <-p.order:
+	case <-ctx.Done():
+		return Request{}, zero, ctx.Err()
+	}
 	if !ok {
 		p.mu.Lock()
 		err := p.firstErr
@@ -255,7 +278,14 @@ func (p *Prefetcher[T]) Next() (Request, T, error) {
 		}
 		return Request{}, zero, err
 	}
-	<-s.done
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		// Put the slot back conceptually: its depth/byte reservations are
+		// released by Close's drain once the fetch lands. Dropping it here
+		// is safe because a cancelled consumer never calls Next again.
+		return Request{}, zero, ctx.Err()
+	}
 	stall := time.Since(t0)
 	p.release(s.req.Bytes)
 	p.mu.Lock()

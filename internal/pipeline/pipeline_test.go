@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -248,5 +249,52 @@ func TestManyDepths(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestNextCtxCancelled checks the cancellation contract the engine's
+// RunContext relies on: NextCtx returns the context error promptly while the
+// in-flight fetch is still blocked inside the device, and Close afterwards
+// reclaims the abandoned slot without deadlocking.
+func TestNextCtxCancelled(t *testing.T) {
+	release := make(chan struct{})
+	fetch := func(r Request) (int, error) {
+		<-release
+		return r.I, nil
+	}
+	p := New(seqRequests(4, 10), fetch, Options{Depth: 2})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := p.NextCtx(ctx)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("NextCtx returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("NextCtx did not observe cancellation while fetch was blocked")
+	}
+
+	close(release)
+	p.Close()
+
+	// A pre-cancelled context short-circuits even when results are ready.
+	p2 := New(seqRequests(2, 10), func(r Request) (int, error) { return r.I, nil }, Options{Depth: 2})
+	defer p2.Close()
+	if _, v, err := p2.Next(); err != nil || v != 0 {
+		t.Fatalf("Next = (%d, %v), want block 0", v, err)
+	}
+	cancelled, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, _, err := p2.NextCtx(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled NextCtx returned %v, want context.Canceled", err)
 	}
 }

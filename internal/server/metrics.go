@@ -127,6 +127,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		schedMax      float64
 		corrFull      float64
 		corrOnDemand  float64
+		asyncRuns     int64
+		asyncSteps    int64
+		asyncBlocks   int64
+		asyncReacts   int64
 	}
 	aggs := make([]agg, 0, len(s.names))
 	for _, name := range s.names {
@@ -134,7 +138,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		g.mu.Lock()
 		a := agg{name: name, runs: g.jobsRun, pipe: g.pipeline, buf: g.buffer,
 			schedObserved: g.schedObserved, schedMax: g.schedMaxMispred,
-			corrFull: g.schedCorrFull, corrOnDemand: g.schedCorrOnDemand}
+			corrFull: g.schedCorrFull, corrOnDemand: g.schedCorrOnDemand,
+			asyncRuns: g.asyncRuns, asyncSteps: g.asyncSteps,
+			asyncBlocks: g.asyncBlocks, asyncReacts: g.asyncReacts}
 		if g.schedObserved > 0 {
 			a.schedMean = g.schedMispredict / float64(g.schedObserved)
 		}
@@ -176,6 +182,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Header("graphsd_buffer_bytes_saved_total", "counter", "Device bytes avoided by per-run buffer hits, summed over completed jobs.")
 	for _, a := range aggs {
 		p.Int("graphsd_buffer_bytes_saved_total", a.buf.BytesSaved, metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_async_runs_total", "counter", "Completed jobs executed by the asynchronous priority scheduler.")
+	for _, a := range aggs {
+		p.Int("graphsd_async_runs_total", a.asyncRuns, metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_async_steps_total", "counter", "Async scheduler pops (one source interval processed per step), summed over completed jobs.")
+	for _, a := range aggs {
+		p.Int("graphsd_async_steps_total", a.asyncSteps, metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_async_blocks_scheduled_total", "counter", "Sub-blocks processed by async steps, summed over completed jobs.")
+	for _, a := range aggs {
+		p.Int("graphsd_async_blocks_scheduled_total", a.asyncBlocks, metrics.L("graph", a.name))
+	}
+	p.Header("graphsd_async_reactivations_total", "counter", "Vertices re-entering the frontier after having been consumed, summed over completed async jobs.")
+	for _, a := range aggs {
+		p.Int("graphsd_async_reactivations_total", a.asyncReacts, metrics.L("graph", a.name))
 	}
 	p.Header("graphsd_sched_observed_iterations_total", "counter", "Iterations fed back through the scheduler's calibration loop, summed over completed jobs.")
 	for _, a := range aggs {

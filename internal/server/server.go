@@ -58,6 +58,12 @@ type GraphConfig struct {
 	// Compressed stores the shared sub-block cache delta-coded, trading a
 	// per-hit decode for roughly double the effective capacity.
 	Compressed bool
+	// Async runs jobs whose program is monotonic (prd, cc, sssp, bfs)
+	// through the asynchronous priority scheduler; other programs fall back
+	// to BSP. AsyncEpsilon is the residual stop threshold for those runs
+	// (zero: run to frontier drain).
+	Async        bool
+	AsyncEpsilon float64
 }
 
 // Config sizes the server.
@@ -74,16 +80,24 @@ type Config struct {
 // graphEntry is one registered graph: its device, layout, shared cache, and
 // the per-graph aggregates folded in as jobs on it complete.
 type graphEntry struct {
-	name   string
-	dev    *storage.Device
-	layout *partition.Layout
-	shared *buffer.Shared
-	sem    bool
+	name     string
+	dev      *storage.Device
+	layout   *partition.Layout
+	shared   *buffer.Shared
+	sem      bool
+	async    bool
+	asyncEps float64
 
 	mu       sync.Mutex
 	jobsRun  int64 // completed (Done) jobs folded into the aggregates
 	buffer   buffer.Stats
 	pipeline pipeline.Stats
+	// Async aggregates across completed async runs: runs, scheduler steps,
+	// sub-blocks scheduled, and frontier reactivations.
+	asyncRuns   int64
+	asyncSteps  int64
+	asyncBlocks int64
+	asyncReacts int64
 	// Scheduler calibration accuracy, summed/held across completed runs:
 	// observed iterations, summed mean-mispredict weighted by observations
 	// (for a cross-run mean), the worst ratio seen, and the most recent
@@ -102,6 +116,12 @@ func (g *graphEntry) fold(res *core.Result) {
 	g.jobsRun++
 	g.buffer = g.buffer.Add(res.Buffer)
 	g.pipeline = g.pipeline.Add(res.Pipeline)
+	if res.Async.Enabled {
+		g.asyncRuns++
+		g.asyncSteps += int64(res.Async.Steps)
+		g.asyncBlocks += res.Async.BlocksScheduled
+		g.asyncReacts += res.Async.Reactivations
+	}
 	if acc := res.SchedAccuracy; acc.Observed > 0 {
 		g.schedObserved += int64(acc.Observed)
 		g.schedMispredict += acc.MeanMispredict * float64(acc.Observed)
@@ -171,11 +191,13 @@ func New(cfg Config) (*Server, error) {
 			newShared = buffer.NewSharedCompressed
 		}
 		s.graphs[gc.Name] = &graphEntry{
-			name:   gc.Name,
-			dev:    dev,
-			layout: l,
-			shared: newShared(cache),
-			sem:    gc.SEM,
+			name:     gc.Name,
+			dev:      dev,
+			layout:   l,
+			shared:   newShared(cache),
+			sem:      gc.SEM,
+			async:    gc.Async,
+			asyncEps: gc.AsyncEpsilon,
 		}
 		s.names = append(s.names, gc.Name)
 	}
@@ -222,13 +244,20 @@ func (s *Server) runJob(ctx context.Context, req jobs.Request, onIter func(core.
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.RunContext(ctx, g.layout, prog, core.Options{
+	opts := core.Options{
 		MaxIterations: req.MaxIterations,
 		DefaultBuffer: true,
 		SharedBlocks:  g.shared,
 		SEM:           g.sem,
 		OnIteration:   onIter,
-	})
+	}
+	// Async applies only to monotonic programs; others (pr, widestpath)
+	// silently run BSP so one server flag serves mixed workloads.
+	if _, mono := prog.(core.Monotonic); mono && g.async {
+		opts.Async = true
+		opts.AsyncEpsilon = g.asyncEps
+	}
+	res, err := core.RunContext(ctx, g.layout, prog, opts)
 	if err != nil {
 		return nil, err
 	}
