@@ -53,6 +53,11 @@ func cmdServe(args []string) error {
 	compressed := fs.Bool("compressed-cache", false, "store the shared sub-block cache delta-coded (decode per hit, ~2x capacity)")
 	async := fs.Bool("async", false, "run monotonic algorithms (prd, cc, sssp, bfs) through the asynchronous priority scheduler")
 	asyncEps := fs.Float64("async-eps", 0, "residual stop threshold for -async runs (0: run to frontier drain)")
+	journal := fs.String("journal", "", "durability directory: job journal (WAL) and per-job engine checkpoints; a restarted server replays it and resumes unfinished jobs")
+	jobTimeout := fs.Duration("job-timeout", 0, "server-side running-time bound for jobs that carry no timeout of their own (0: none)")
+	jobRetries := fs.Int("job-retries", 0, "re-run a job up to N extra attempts after transient storage failures")
+	ckEvery := fs.Int("checkpoint-every", 0, "engine checkpoint interval in iterations for -journal jobs (0: every iteration)")
+	ckKeep := fs.Int("checkpoint-keep", 0, "retain the last N terminal jobs' checkpoint directories instead of pruning them")
 	fs.Parse(args)
 	if len(graphs) == 0 {
 		return fmt.Errorf("serve: at least one -graph name=layoutdir is required")
@@ -72,13 +77,24 @@ func cmdServe(args []string) error {
 	}
 
 	s, err := server.New(server.Config{
-		Graphs:     graphs,
-		Workers:    *workers,
-		QueueDepth: *queue,
-		MemBudget:  *memBudget,
+		Graphs:          graphs,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MemBudget:       *memBudget,
+		JournalDir:      *journal,
+		JobTimeout:      *jobTimeout,
+		JobRetries:      *jobRetries,
+		CheckpointEvery: *ckEvery,
+		CheckpointKeep:  *ckKeep,
 	})
 	if err != nil {
 		return err
+	}
+	if *journal != "" {
+		// The e2e harness parses this line to assert recovery accounting.
+		rec := s.Recovery()
+		fmt.Printf("graphsd: journal replayed: %d records; jobs recovered=%d requeued=%d expired=%d lost=%d\n",
+			s.Journal().Stats().ReplayRecords, rec.Recovered, rec.Requeued, rec.Expired, rec.Lost)
 	}
 
 	ln, err := net.Listen("tcp", *listen)

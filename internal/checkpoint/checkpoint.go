@@ -151,6 +151,39 @@ func Load(dir string) (*State, error) {
 	return s, nil
 }
 
+// Info is the cheap identity summary Inspect returns: enough to decide
+// whether a checkpoint is resumable by a given run (same program, same
+// layout shape, same engine mode) without touching the state arrays.
+type Info struct {
+	Algorithm   string
+	NumVertices int
+	P           int
+	Iteration   int
+	// Async reports the engine mode that wrote the checkpoint: the BSP and
+	// async loop states are mutually non-resumable, and the engine refuses
+	// the mismatch. Callers that can fall back (the job server re-running a
+	// recovered job fresh) use Inspect to discard the stale file instead of
+	// failing the job.
+	Async bool
+}
+
+// Inspect loads and validates the checkpoint in dir and returns its
+// identity. The full state is parsed (validating the CRC and structure) but
+// not retained.
+func Inspect(dir string) (Info, error) {
+	st, err := Load(dir)
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{
+		Algorithm:   st.Algorithm,
+		NumVertices: st.NumVertices,
+		P:           st.P,
+		Iteration:   st.Iteration,
+		Async:       st.Async,
+	}, nil
+}
+
 const (
 	flagSecondaryPending = 1 << 0
 	flagHasAux           = 1 << 1

@@ -3,10 +3,21 @@
 // admitted against two budgets — queue depth and an aggregate memory
 // estimate across queued and running jobs — then executed by a fixed number
 // of workers, each job carrying a context so cancellation (client request,
-// per-job timeout, server shutdown) stops the engine between sub-blocks.
+// per-job timeout or deadline, server shutdown) stops the engine between
+// sub-blocks.
+//
+// With a Journal configured the scheduler is durable: every submission is
+// appended to the write-ahead log before it is acknowledged, every terminal
+// state before it is reported, and a restarted scheduler replays the log —
+// jobs that finished stay finished, jobs that never finished are re-queued,
+// and jobs that were mid-run resume from their engine checkpoint (per-job
+// directories under CheckpointRoot), producing results bit-identical to an
+// uninterrupted run. Once the journal fails the scheduler sheds load
+// (ErrUnavailable) instead of accepting work it cannot make durable.
 //
 // The scheduler is deliberately engine-agnostic: it runs any Runner, so its
-// lifecycle, admission, and shutdown logic is testable without layouts.
+// lifecycle, admission, recovery, and shutdown logic is testable without
+// layouts.
 package jobs
 
 import (
@@ -14,15 +25,20 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
 	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/storage"
 )
 
 // State is a job's lifecycle state. Transitions are strictly
-// Queued → Running → one of (Done, Failed, Cancelled), except that a queued
-// job may go directly to Cancelled.
+// Queued → Running → one of (Done, Failed, Cancelled, Expired), except that
+// a queued job may go directly to Cancelled (drain, client cancel) or
+// Expired (deadline passed before a worker picked it up).
 type State int
 
 const (
@@ -31,6 +47,7 @@ const (
 	Done
 	Failed
 	Cancelled
+	Expired
 )
 
 // String returns the lowercase state name used in the API and metrics.
@@ -46,16 +63,30 @@ func (s State) String() string {
 		return "failed"
 	case Cancelled:
 		return "cancelled"
+	case Expired:
+		return "expired"
 	default:
 		return fmt.Sprintf("state(%d)", int(s))
 	}
 }
 
+// stateByName inverts String, for journal replay.
+func stateByName(name string) (State, bool) {
+	for _, s := range States {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // Final reports whether s is a terminal state.
-func (s State) Final() bool { return s == Done || s == Failed || s == Cancelled }
+func (s State) Final() bool {
+	return s == Done || s == Failed || s == Cancelled || s == Expired
+}
 
 // States lists every lifecycle state, for metrics enumeration.
-var States = []State{Queued, Running, Done, Failed, Cancelled}
+var States = []State{Queued, Running, Done, Failed, Cancelled, Expired}
 
 // Request describes one job submission.
 type Request struct {
@@ -68,20 +99,53 @@ type Request struct {
 	// MaxIterations overrides the algorithm's iteration bound when positive.
 	MaxIterations int `json:"max_iterations,omitempty"`
 	// TimeoutMS cancels the job this many milliseconds after it starts
-	// running. Zero means no timeout.
+	// running. Zero selects the scheduler's DefaultTimeout (if any).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Deadline, when set, is the absolute wall-clock instant past which the
+	// job is worthless: a queued job past it is expired instead of run, and
+	// a running job's context is cancelled at it. Unlike TimeoutMS it
+	// survives restarts — a recovered job past its journaled deadline is
+	// expired at replay, not re-run.
+	Deadline *time.Time `json:"deadline,omitempty"`
 }
 
-// Runner executes one admitted job. onIter is invoked after each engine
-// iteration for progress reporting; implementations must pass it through to
-// core.Options.OnIteration (or call it themselves).
-type Runner func(ctx context.Context, req Request, onIter func(core.IterStat)) (*core.Result, error)
+// deadlinePassed reports whether the request's deadline exists and is past.
+func (r Request) deadlinePassed(now time.Time) bool {
+	return r.Deadline != nil && now.After(*r.Deadline)
+}
+
+// RunInfo carries the per-job execution context a Runner needs beyond the
+// request itself: identity, attempt number, checkpoint wiring, and the
+// progress callback.
+type RunInfo struct {
+	// ID is the job's identifier and Attempt the 1-based execution attempt
+	// (>1 after transient-failure retries).
+	ID      string
+	Attempt int
+	// CheckpointDir is the job's private checkpoint directory ("" when
+	// checkpointing is disabled) and CheckpointEvery the iteration interval
+	// to checkpoint at. Resume asks the runner to restore any checkpoint
+	// found there — always true under a CheckpointRoot, because a fresh
+	// job's directory is empty and a recovered or retried job's holds
+	// exactly the state to resume from.
+	CheckpointDir   string
+	CheckpointEvery int
+	Resume          bool
+	// OnIteration is invoked after each engine iteration for progress
+	// reporting; implementations must pass it through to
+	// core.Options.OnIteration (or call it themselves).
+	OnIteration func(core.IterStat)
+}
+
+// Runner executes one admitted job.
+type Runner func(ctx context.Context, req Request, info RunInfo) (*core.Result, error)
 
 // Config sizes a Scheduler.
 type Config struct {
 	// Workers is the number of jobs executed concurrently. Minimum 1.
 	Workers int
 	// QueueDepth bounds the jobs admitted but not yet running. Minimum 1.
+	// Recovered jobs re-queued at startup do not count against it.
 	QueueDepth int
 	// MemBudget, when positive, bounds the summed memory estimates of
 	// queued and running jobs; submissions beyond it are rejected with
@@ -92,17 +156,51 @@ type Config struct {
 	EstimateBytes func(Request) int64
 	// Run executes one job. Required.
 	Run Runner
+	// Journal, when non-nil, makes the scheduler durable: submissions and
+	// terminal states are journaled before acknowledgement, and New replays
+	// the journal's recovered records (re-queueing unfinished jobs) before
+	// the workers start.
+	Journal *Journal
+	// Retries re-runs a job up to this many extra attempts when it fails
+	// with a transient storage error (storage.IsTransient). Permanent
+	// failures and cancellations are never retried.
+	Retries int
+	// RetryBackoff is the pause before the first job-level retry, doubled
+	// per attempt and capped at 32x. Zero selects 10ms.
+	RetryBackoff time.Duration
+	// DefaultTimeout bounds a job's running time when the request carries
+	// no TimeoutMS of its own. Zero means no server-side timeout.
+	DefaultTimeout time.Duration
+	// CheckpointRoot, when set, gives every job a private checkpoint
+	// directory <root>/<jobID> wired through RunInfo, and the scheduler
+	// prunes it once the job's terminal record is durably journaled.
+	CheckpointRoot string
+	// CheckpointEvery is the iteration interval passed to runners; zero
+	// with a CheckpointRoot selects 1 (checkpoint every iteration).
+	CheckpointEvery int
+	// CheckpointKeep retains the checkpoint directories of the last N
+	// terminal jobs for debugging instead of pruning them immediately.
+	CheckpointKeep int
 }
 
-// Admission errors. The server maps both to HTTP 429.
+// Admission errors. The server maps ErrQueueFull and ErrMemBudget to HTTP
+// 429; ErrClosed and ErrUnavailable to 503 with a Retry-After.
 var (
 	ErrQueueFull = errors.New("jobs: queue full")
 	ErrMemBudget = errors.New("jobs: memory budget exhausted")
 	ErrClosed    = errors.New("jobs: scheduler shut down")
+	// ErrUnavailable rejects submissions the scheduler cannot make durable
+	// (journal failed or draining); clients should retry against a healthy
+	// replica or after the restart.
+	ErrUnavailable = errors.New("jobs: not accepting jobs (journal unavailable)")
 )
 
 // ErrNotFound reports an unknown job ID.
 var ErrNotFound = errors.New("jobs: no such job")
+
+// ErrDeadlineExpired is the terminal error of a job that ran out of
+// wall-clock deadline (Request.Deadline), distinct from a client cancel.
+var ErrDeadlineExpired = errors.New("jobs: deadline expired")
 
 // Job is one submitted request and its lifecycle. All fields are guarded by
 // mu; read them through Status.
@@ -116,10 +214,13 @@ type Job struct {
 	res        *core.Result
 	iterations int
 	activeVert int
+	attempt    int
 	submitted  time.Time
 	started    time.Time
 	finished   time.Time
 	estBytes   int64
+	recovered  bool // reconstructed from the journal at startup
+	wasRunning bool // recovered job that had started before the crash
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -131,24 +232,40 @@ func (j *Job) ID() string { return j.id }
 // Request returns the submission that created the job.
 func (j *Job) Request() Request { return j.req }
 
+// Recovered reports whether the job was reconstructed from the journal by a
+// restarted scheduler.
+func (j *Job) Recovered() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.recovered
+}
+
 // Status is a point-in-time JSON-ready view of a job.
 type Status struct {
-	ID        string  `json:"id"`
-	Graph     string  `json:"graph"`
-	Algorithm string  `json:"algorithm"`
-	State     string  `json:"state"`
-	Error     string  `json:"error,omitempty"`
+	ID        string `json:"id"`
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"`
+	State     string `json:"state"`
+	Error     string `json:"error,omitempty"`
 	// Iterations completed so far (live while running) and the active
 	// vertex count entering the most recent iteration.
 	Iterations int `json:"iterations"`
 	ActiveVert int `json:"active_vertices,omitempty"`
 	// Converged is meaningful once State is "done".
 	Converged bool `json:"converged,omitempty"`
+	// Attempt is the execution attempt count (>1 after retries); Recovered
+	// marks a job replayed from the journal after a restart.
+	Attempt   int  `json:"attempt,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
+	// Resumed reports that the run restored an engine checkpoint instead of
+	// recomputing from iteration zero.
+	Resumed bool `json:"resumed,omitempty"`
 	// EstBytes is the admission-time memory estimate.
 	EstBytes  int64  `json:"est_bytes,omitempty"`
 	Submitted string `json:"submitted"`
 	Started   string `json:"started,omitempty"`
 	Finished  string `json:"finished,omitempty"`
+	Deadline  string `json:"deadline,omitempty"`
 	// WaitMS/RunMS are queue latency and execution wall time.
 	WaitMS int64 `json:"wait_ms"`
 	RunMS  int64 `json:"run_ms,omitempty"`
@@ -165,15 +282,21 @@ func (j *Job) Status() Status {
 		State:      j.state.String(),
 		Iterations: j.iterations,
 		ActiveVert: j.activeVert,
+		Attempt:    j.attempt,
+		Recovered:  j.recovered,
 		EstBytes:   j.estBytes,
 		Submitted:  j.submitted.UTC().Format(time.RFC3339Nano),
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
+	if j.req.Deadline != nil {
+		st.Deadline = j.req.Deadline.UTC().Format(time.RFC3339Nano)
+	}
 	if j.res != nil {
 		st.Converged = j.res.Converged
 		st.Iterations = j.res.Iterations
+		st.Resumed = j.res.Resumed
 	}
 	if !j.started.IsZero() {
 		st.Started = j.started.UTC().Format(time.RFC3339Nano)
@@ -185,7 +308,7 @@ func (j *Job) Status() Status {
 		st.RunMS = end.Sub(j.started).Milliseconds()
 	} else {
 		st.WaitMS = time.Since(j.submitted).Milliseconds()
-		if !j.finished.IsZero() { // cancelled while queued
+		if !j.finished.IsZero() { // cancelled or expired while queued
 			st.WaitMS = j.finished.Sub(j.submitted).Milliseconds()
 			st.RunMS = 0
 		}
@@ -194,7 +317,9 @@ func (j *Job) Status() Status {
 }
 
 // Result returns the completed run's result, or nil while the job is not
-// Done.
+// Done — including a job that finished before a restart: the journal
+// records outcomes, not result payloads, so a recovered Done job's values
+// are gone.
 func (j *Job) Result() *core.Result {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -218,11 +343,30 @@ func (j *Job) Err() error {
 	return j.err
 }
 
+// RecoveryStats reports what a restarted scheduler's journal replay did.
+// Lost is the accounting invariant: submitted jobs the replay could neither
+// finish nor re-queue — always zero unless the journal itself is corrupt
+// beyond a torn tail.
+type RecoveryStats struct {
+	// Recovered counts journaled jobs that were already terminal; Requeued
+	// those re-queued for (re-)execution, of which Resumable had started
+	// before the crash and hold an engine checkpoint to resume from.
+	Recovered int64 `json:"recovered"`
+	Requeued  int64 `json:"requeued"`
+	Resumable int64 `json:"resumable"`
+	// Expired counts jobs whose deadline passed while the server was down.
+	Expired int64 `json:"expired"`
+	Lost    int64 `json:"lost"`
+	// ReplaySeconds is the journal replay wall clock.
+	ReplaySeconds float64 `json:"replay_seconds"`
+}
+
 // Scheduler is the bounded worker pool. Create with New, submit with
 // Submit, stop with Close.
 type Scheduler struct {
 	cfg   Config
 	queue chan *Job
+	depth int // admission bound; queue capacity may exceed it after recovery
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -230,12 +374,20 @@ type Scheduler struct {
 	seq      int64
 	memUsed  int64
 	closed   bool
+	killed   bool            // abandoned by Kill: workers stop without journaling
 	finished map[State]int64 // terminal-state counts, monotonic
+	retried  int64           // job-level retry attempts
+	expired  int64           // jobs expired past their deadline
+	keptCk   []string        // terminal jobs whose checkpoint dirs are retained
+	recovery RecoveryStats
 
 	wg sync.WaitGroup
 }
 
-// New starts a scheduler with cfg.Workers workers.
+// New starts a scheduler with cfg.Workers workers. With cfg.Journal set it
+// first replays the journal's recovered records: terminal jobs are restored
+// for listing, unfinished jobs are re-queued (ahead of any new submission)
+// and will resume from their checkpoints.
 func New(cfg Config) *Scheduler {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
@@ -246,11 +398,25 @@ func New(cfg Config) *Scheduler {
 	if cfg.Run == nil {
 		panic("jobs: Config.Run is required")
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	if cfg.CheckpointRoot != "" && cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
 	s := &Scheduler{
 		cfg:      cfg,
-		queue:    make(chan *Job, cfg.QueueDepth),
+		depth:    cfg.QueueDepth,
 		jobs:     make(map[string]*Job),
 		finished: make(map[State]int64),
+	}
+	var requeue []*Job
+	if cfg.Journal != nil {
+		requeue = s.replay(cfg.Journal.ConsumeReplay())
+	}
+	s.queue = make(chan *Job, cfg.QueueDepth+len(requeue))
+	for _, j := range requeue {
+		s.queue <- j
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -259,10 +425,177 @@ func New(cfg Config) *Scheduler {
 	return s
 }
 
+// replay folds the journal's records into the job table and returns the
+// jobs to re-queue, in submission order. Called before the workers start,
+// so no locking is needed beyond the job constructors.
+func (s *Scheduler) replay(recs []Record) []*Job {
+	start := time.Now()
+	for _, rec := range recs {
+		switch rec.Type {
+		case RecSubmit:
+			if rec.Req == nil || rec.ID == "" {
+				continue
+			}
+			if _, dup := s.jobs[rec.ID]; dup {
+				continue
+			}
+			est := int64(0)
+			if s.cfg.EstimateBytes != nil {
+				est = s.cfg.EstimateBytes(*rec.Req)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			j := &Job{
+				id:        rec.ID,
+				req:       *rec.Req,
+				state:     Queued,
+				submitted: rec.Time,
+				estBytes:  est,
+				recovered: true,
+				ctx:       ctx,
+				cancel:    cancel,
+			}
+			s.jobs[j.id] = j
+			s.order = append(s.order, j.id)
+			if rec.Seq > s.seq {
+				s.seq = rec.Seq
+			}
+		case RecStart:
+			if j := s.jobs[rec.ID]; j != nil && !j.state.Final() {
+				j.wasRunning = true
+				if rec.Attempt > j.attempt {
+					j.attempt = rec.Attempt
+				}
+			}
+		case RecProgress:
+			if j := s.jobs[rec.ID]; j != nil && !j.state.Final() {
+				j.iterations = rec.Iter
+			}
+		case RecFinal:
+			j := s.jobs[rec.ID]
+			if j == nil || j.state.Final() {
+				// Duplicate finals (a retried journal append that landed
+				// twice) are idempotently ignored: the first final wins.
+				continue
+			}
+			st, ok := stateByName(rec.State)
+			if !ok || !st.Final() {
+				continue
+			}
+			j.state = st
+			j.finished = rec.Time
+			if rec.Error != "" {
+				j.err = errors.New(rec.Error)
+			}
+			j.cancel()
+		}
+	}
+
+	now := time.Now()
+	var requeue []*Job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state.Final() {
+			s.recovery.Recovered++
+			s.finished[j.state]++
+			continue
+		}
+		if j.req.deadlinePassed(now) {
+			s.expireLocked(j, now)
+			s.recovery.Expired++
+			continue
+		}
+		s.memUsed += j.estBytes
+		s.recovery.Requeued++
+		if j.wasRunning && s.cfg.CheckpointRoot != "" && checkpointDirExists(s.checkpointDir(j.id)) {
+			s.recovery.Resumable++
+		}
+		requeue = append(requeue, j)
+	}
+	// The invariant the chaos suite asserts: every journaled submit is
+	// accounted for.
+	s.recovery.Lost = int64(len(s.order)) - (s.recovery.Recovered + s.recovery.Requeued + s.recovery.Expired)
+	s.recovery.ReplaySeconds = time.Since(start).Seconds()
+	s.gcOrphanCheckpoints(requeue)
+	return requeue
+}
+
+// expireLocked moves a non-running job to Expired and journals it. Caller
+// guarantees no worker owns the job (replay, or the job was Queued under
+// its own lock).
+func (s *Scheduler) expireLocked(j *Job, now time.Time) {
+	j.state = Expired
+	j.err = ErrDeadlineExpired
+	j.finished = now
+	j.cancel()
+	s.finished[Expired]++
+	s.expired++
+	s.journalFinal(j, Expired, ErrDeadlineExpired)
+	s.gcCheckpointLocked(j.id)
+}
+
+// checkpointDir returns the job's private checkpoint directory.
+func (s *Scheduler) checkpointDir(id string) string {
+	return filepath.Join(s.cfg.CheckpointRoot, id)
+}
+
+func checkpointDirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
+// gcOrphanCheckpoints removes checkpoint directories that belong to no
+// re-queued job: terminal jobs' leftovers (beyond CheckpointKeep, newest
+// first) and directories of jobs the journal has never heard of.
+func (s *Scheduler) gcOrphanCheckpoints(requeue []*Job) {
+	if s.cfg.CheckpointRoot == "" {
+		return
+	}
+	entries, err := os.ReadDir(s.cfg.CheckpointRoot)
+	if err != nil {
+		return
+	}
+	live := make(map[string]bool, len(requeue))
+	for _, j := range requeue {
+		live[j.id] = true
+	}
+	var terminal []string
+	for _, e := range entries {
+		if !e.IsDir() || live[e.Name()] {
+			continue
+		}
+		if j, ok := s.jobs[e.Name()]; ok && j.state.Final() {
+			terminal = append(terminal, e.Name())
+			continue
+		}
+		os.RemoveAll(filepath.Join(s.cfg.CheckpointRoot, e.Name()))
+	}
+	// Terminal leftovers: keep the newest CheckpointKeep by submission
+	// order, prune the rest.
+	sort.Slice(terminal, func(a, b int) bool { return jobSeq(terminal[a]) < jobSeq(terminal[b]) })
+	keepFrom := len(terminal) - s.cfg.CheckpointKeep
+	if keepFrom < 0 {
+		keepFrom = 0
+	}
+	for _, id := range terminal[:keepFrom] {
+		os.RemoveAll(filepath.Join(s.cfg.CheckpointRoot, id))
+	}
+	s.keptCk = append(s.keptCk, terminal[keepFrom:]...)
+}
+
+// jobSeq parses the sequence number out of a job ID (j<seq>-<hash>).
+func jobSeq(id string) int64 {
+	var seq int64
+	fmt.Sscanf(id, "j%d-", &seq)
+	return seq
+}
+
 // Submit admits req, returning the queued job or an admission error
-// (ErrQueueFull, ErrMemBudget, ErrClosed). Job IDs are deterministic in the
-// submission sequence: j<seq>-<fnv32a of graph|algorithm|params>, so equal
-// request streams produce equal IDs across server runs.
+// (ErrQueueFull, ErrMemBudget, ErrClosed, ErrUnavailable). With a journal
+// configured the submission is durable before Submit returns. Job IDs are
+// deterministic in the submission sequence: j<seq>-<fnv32a of
+// graph|algorithm|params>, so equal request streams produce equal IDs
+// across server runs — and across restarts, because the replayed journal
+// re-seeds the sequence.
 func (s *Scheduler) Submit(req Request) (*Job, error) {
 	est := int64(0)
 	if s.cfg.EstimateBytes != nil {
@@ -270,19 +603,24 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	}
 
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if s.cfg.Journal != nil && s.cfg.Journal.Err() != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, s.cfg.Journal.Err())
+	}
 	if s.cfg.MemBudget > 0 && s.memUsed+est > s.cfg.MemBudget {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %d bytes reserved, job needs %d, budget %d",
 			ErrMemBudget, s.memUsed, est, s.cfg.MemBudget)
 	}
-	s.seq++
+	if len(s.queue) >= s.depth {
+		return nil, fmt.Errorf("%w: depth %d", ErrQueueFull, s.depth)
+	}
+	seq := s.seq + 1
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
-		id:        jobID(s.seq, req),
+		id:        jobID(seq, req),
 		req:       req,
 		state:     Queued,
 		submitted: time.Now(),
@@ -290,17 +628,24 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 		ctx:       ctx,
 		cancel:    cancel,
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.mu.Unlock()
-		cancel()
-		return nil, fmt.Errorf("%w: depth %d", ErrQueueFull, cap(s.queue))
+	// Durability precedes visibility: the submit record must be on disk
+	// before a worker can run the job or the client learns its ID. The
+	// fsync happens under s.mu, which also serialises journal order with
+	// submission order.
+	if s.cfg.Journal != nil {
+		rec := Record{Type: RecSubmit, ID: j.id, Time: j.submitted, Seq: seq, Req: &req}
+		if err := s.cfg.Journal.Append(rec); err != nil {
+			cancel()
+			return nil, err
+		}
 	}
+	s.seq = seq
+	// The depth check above plus the fact that only Submit (under mu) adds
+	// to the queue makes this send non-blocking.
+	s.queue <- j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.memUsed += est
-	s.mu.Unlock()
 	return j, nil
 }
 
@@ -345,12 +690,58 @@ func (s *Scheduler) Cancel(id string) error {
 		j.finished = time.Now()
 		j.mu.Unlock()
 		j.cancel()
-		s.release(j, Cancelled)
+		s.finishQueued(j, Cancelled, context.Canceled)
 		return nil
 	}
 	j.mu.Unlock()
 	j.cancel() // running: engine observes ctx; finished: no-op
 	return nil
+}
+
+// finishQueued accounts a job that went terminal without ever running:
+// journal, checkpoint GC, reservation release, counter.
+func (s *Scheduler) finishQueued(j *Job, final State, err error) {
+	s.mu.Lock()
+	s.journalFinal(j, final, err)
+	s.gcCheckpointLocked(j.id)
+	s.memUsed -= j.estBytes
+	s.finished[final]++
+	if final == Expired {
+		s.expired++
+	}
+	s.mu.Unlock()
+}
+
+// journalFinal appends the job's terminal record. Called with s.mu held.
+// Journal failure here is deliberately tolerated: the job still finishes in
+// memory, and a restart will simply re-run it — duplicate execution, never
+// a lost job.
+func (s *Scheduler) journalFinal(j *Job, final State, err error) {
+	if s.cfg.Journal == nil || s.killed {
+		return
+	}
+	rec := Record{Type: RecFinal, ID: j.id, Time: time.Now(), State: final.String()}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	s.cfg.Journal.Append(rec)
+}
+
+// gcCheckpointLocked prunes the job's checkpoint directory once its
+// terminal record is durable, retaining the last CheckpointKeep terminal
+// jobs' directories for debugging. Called with s.mu held.
+func (s *Scheduler) gcCheckpointLocked(id string) {
+	if s.cfg.CheckpointRoot == "" || s.killed {
+		return
+	}
+	if s.cfg.CheckpointKeep > 0 {
+		s.keptCk = append(s.keptCk, id)
+		if len(s.keptCk) <= s.cfg.CheckpointKeep {
+			return
+		}
+		id, s.keptCk = s.keptCk[0], s.keptCk[1:]
+	}
+	os.RemoveAll(s.checkpointDir(id))
 }
 
 // Counts returns the number of jobs currently in each state.
@@ -362,8 +753,8 @@ func (s *Scheduler) Counts() map[State]int64 {
 	return out
 }
 
-// QueueDepth returns (queued jobs, capacity).
-func (s *Scheduler) QueueDepth() (int, int) { return len(s.queue), cap(s.queue) }
+// QueueDepth returns (queued jobs, admission capacity).
+func (s *Scheduler) QueueDepth() (int, int) { return len(s.queue), s.depth }
 
 // MemReserved returns the summed memory estimates of queued and running
 // jobs, and the configured budget (0 = unlimited).
@@ -375,16 +766,20 @@ func (s *Scheduler) MemReserved() (used, budget int64) {
 
 // release returns a finished job's memory reservation and tallies its
 // terminal state. Idempotence is guaranteed by callers: it runs exactly
-// once per job, at the single Queued→Cancelled or Running→terminal edge.
+// once per job, at the single Queued→terminal or Running→terminal edge.
 func (s *Scheduler) release(j *Job, final State) {
 	s.mu.Lock()
 	s.memUsed -= j.estBytes
 	s.finished[final]++
+	if final == Expired {
+		s.expired++
+	}
 	s.mu.Unlock()
 }
 
 // FinishedCounts returns the monotonic terminal-state totals (done, failed,
-// cancelled) since the scheduler started — counter semantics for /metrics.
+// cancelled, expired) since the scheduler started, including terminal jobs
+// recovered from the journal — counter semantics for /metrics.
 func (s *Scheduler) FinishedCounts() map[State]int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -395,42 +790,99 @@ func (s *Scheduler) FinishedCounts() map[State]int64 {
 	return out
 }
 
+// Retried returns the total job-level retry attempts after transient
+// failures.
+func (s *Scheduler) Retried() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retried
+}
+
+// ExpiredDeadline returns the total jobs expired past their deadline,
+// including expiries detected at replay.
+func (s *Scheduler) ExpiredDeadline() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expired
+}
+
+// Recovery returns what the startup journal replay did; the zero value when
+// no journal is configured.
+func (s *Scheduler) Recovery() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
+		s.mu.Lock()
+		dead := s.killed
+		s.mu.Unlock()
+		if dead {
+			continue // crash simulation: nothing runs, nothing is journaled
+		}
 		s.runJob(j)
 	}
 }
 
 func (s *Scheduler) runJob(j *Job) {
+	now := time.Now()
 	j.mu.Lock()
 	if j.state != Queued { // cancelled while queued
 		j.mu.Unlock()
 		return
 	}
+	if j.req.deadlinePassed(now) {
+		j.state = Expired
+		j.err = ErrDeadlineExpired
+		j.finished = now
+		j.mu.Unlock()
+		j.cancel()
+		s.mu.Lock()
+		s.journalFinal(j, Expired, ErrDeadlineExpired)
+		s.gcCheckpointLocked(j.id)
+		s.mu.Unlock()
+		s.release(j, Expired)
+		return
+	}
 	j.state = Running
-	j.started = time.Now()
+	j.started = now
+	j.attempt++
+	attempt := j.attempt
 	j.mu.Unlock()
 
 	ctx := j.ctx
-	var cancelTimeout context.CancelFunc
-	if j.req.TimeoutMS > 0 {
-		ctx, cancelTimeout = context.WithTimeout(ctx, time.Duration(j.req.TimeoutMS)*time.Millisecond)
+	var cancels []context.CancelFunc
+	timeout := time.Duration(j.req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
 	}
-	res, err := s.cfg.Run(ctx, j.req, func(st core.IterStat) {
-		j.mu.Lock()
-		j.iterations = st.Index + 1
-		j.activeVert = st.Active
-		j.mu.Unlock()
-	})
-	if cancelTimeout != nil {
-		cancelTimeout()
+	if timeout > 0 {
+		var c context.CancelFunc
+		ctx, c = context.WithTimeout(ctx, timeout)
+		cancels = append(cancels, c)
+	}
+	if j.req.Deadline != nil {
+		var c context.CancelFunc
+		ctx, c = context.WithDeadline(ctx, *j.req.Deadline)
+		cancels = append(cancels, c)
+	}
+
+	res, err := s.runAttempts(ctx, j, attempt)
+
+	for _, c := range cancels {
+		c()
 	}
 	j.cancel() // release the job context either way
 
 	final := Done
 	switch {
 	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded) && j.req.deadlinePassed(time.Now()):
+		final = Expired
+		err = fmt.Errorf("%w: %v", ErrDeadlineExpired, err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		final = Cancelled
 	default:
@@ -442,12 +894,84 @@ func (s *Scheduler) runJob(j *Job) {
 	j.res = res
 	j.finished = time.Now()
 	j.mu.Unlock()
+	s.mu.Lock()
+	s.journalFinal(j, final, err)
+	s.gcCheckpointLocked(j.id)
+	s.mu.Unlock()
 	s.release(j, final)
 }
 
-// Close stops admission, cancels every non-terminal job, and waits for the
-// workers to drain — a cancelled engine stops at the next sub-block, so
-// shutdown is prompt. It returns ctx.Err() if the workers outlive ctx.
+// runAttempts executes the job, retrying transient storage failures up to
+// cfg.Retries extra attempts under doubling backoff. Each attempt journals
+// a start record; retried attempts resume from the job's checkpoint, so the
+// iterations a failed attempt completed are never recomputed.
+func (s *Scheduler) runAttempts(ctx context.Context, j *Job, attempt int) (*core.Result, error) {
+	info := RunInfo{
+		ID:              j.id,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		OnIteration: func(st core.IterStat) {
+			j.mu.Lock()
+			j.iterations = st.Index + 1
+			j.activeVert = st.Active
+			j.mu.Unlock()
+			s.journalProgress(j.id, st.Index+1)
+		},
+	}
+	if s.cfg.CheckpointRoot != "" {
+		info.CheckpointDir = s.checkpointDir(j.id)
+		info.Resume = true
+	}
+	backoff := s.cfg.RetryBackoff
+	for {
+		info.Attempt = attempt
+		s.journalStart(j.id, attempt)
+		res, err := s.cfg.Run(ctx, j.req, info)
+		if err == nil || ctx.Err() != nil || !storage.IsTransient(err) {
+			return res, err
+		}
+		s.mu.Lock()
+		exhausted := attempt > s.cfg.Retries
+		if !exhausted {
+			s.retried++
+		}
+		s.mu.Unlock()
+		if exhausted {
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 32*s.cfg.RetryBackoff {
+			backoff *= 2
+		}
+		attempt++
+		j.mu.Lock()
+		j.attempt = attempt
+		j.mu.Unlock()
+	}
+}
+
+func (s *Scheduler) journalStart(id string, attempt int) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	s.cfg.Journal.Append(Record{Type: RecStart, ID: id, Time: time.Now(), Attempt: attempt})
+}
+
+func (s *Scheduler) journalProgress(id string, iter int) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	s.cfg.Journal.Append(Record{Type: RecProgress, ID: id, Time: time.Now(), Iter: iter})
+}
+
+// Close stops admission, deterministically cancels every still-queued job
+// (journaling each before any worker can race the drain), cancels running
+// jobs' contexts (a cancelled engine stops at the next sub-block, so
+// shutdown is prompt), and waits for the workers. It returns ctx.Err() if
+// the workers outlive ctx.
 func (s *Scheduler) Close(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -456,17 +980,69 @@ func (s *Scheduler) Close(ctx context.Context) error {
 	}
 	s.closed = true
 	jobs := make([]*Job, 0, len(s.jobs))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+
+	// First pass: flip every still-Queued job to Cancelled under its own
+	// lock. A worker that dequeues one afterwards sees state != Queued and
+	// skips it; a job the worker moved to Running first is cancelled via
+	// its context like any running job. Either way the outcome is terminal
+	// and journaled — the drain cannot silently drop a queued job.
+	now := time.Now()
+	for _, j := range jobs {
+		j.mu.Lock()
+		if j.state == Queued {
+			j.state = Cancelled
+			j.err = ErrClosed
+			j.finished = now
+			j.mu.Unlock()
+			j.cancel()
+			s.finishQueued(j, Cancelled, ErrClosed)
+			continue
+		}
+		j.mu.Unlock()
+		j.cancel() // running: prompt stop; terminal: no-op
+	}
+	close(s.queue)
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Kill abandons the scheduler the way SIGKILL would: job contexts are
+// cancelled so the engine aborts mid-run, but nothing further is journaled
+// and no checkpoint is pruned — the on-disk state freezes exactly as a
+// crash would leave it. Restart tests reopen the journal afterwards and
+// assert full recovery. It waits for the workers within ctx's deadline.
+func (s *Scheduler) Kill(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.killed = true
+	jobs := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
-	close(s.queue)
 	s.mu.Unlock()
 
 	for _, j := range jobs {
-		if !j.State().Final() {
-			s.Cancel(j.ID())
-		}
+		j.cancel()
 	}
+	close(s.queue)
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

@@ -23,9 +23,9 @@ func newBlockingRunner() *blockingRunner {
 	return &blockingRunner{started: make(chan string, 64), release: make(chan struct{})}
 }
 
-func (b *blockingRunner) run(ctx context.Context, req Request, onIter func(core.IterStat)) (*core.Result, error) {
+func (b *blockingRunner) run(ctx context.Context, req Request, info RunInfo) (*core.Result, error) {
 	b.started <- req.Graph
-	onIter(core.IterStat{Index: 0, Active: 42})
+	info.OnIteration(core.IterStat{Index: 0, Active: 42})
 	select {
 	case <-b.release:
 		b.mu.Lock()
@@ -257,13 +257,13 @@ func TestCloseCancelsEverything(t *testing.T) {
 // TestSchedulerStress: many producers and cancellers against a small pool,
 // run under -race in CI.
 func TestSchedulerStress(t *testing.T) {
-	run := func(ctx context.Context, req Request, onIter func(core.IterStat)) (*core.Result, error) {
+	run := func(ctx context.Context, req Request, info RunInfo) (*core.Result, error) {
 		for i := 0; i < 3; i++ {
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			case <-time.After(time.Millisecond):
-				onIter(core.IterStat{Index: i})
+				info.OnIteration(core.IterStat{Index: i})
 			}
 		}
 		return &core.Result{Iterations: 3, Converged: true}, nil

@@ -24,8 +24,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	p.Header("graphsd_jobs_total", "counter", "Jobs finished, by terminal state.")
 	finished := s.sched.FinishedCounts()
-	for _, st := range []jobs.State{jobs.Done, jobs.Failed, jobs.Cancelled} {
+	for _, st := range []jobs.State{jobs.Done, jobs.Failed, jobs.Cancelled, jobs.Expired} {
 		p.Int("graphsd_jobs_total", finished[st], metrics.L("state", st.String()))
+	}
+
+	// Durability: what the startup journal replay did, plus live journal
+	// traffic. All zero when the server runs without -journal.
+	rec := s.sched.Recovery()
+	p.Header("graphsd_jobs_recovered_total", "counter", "Journaled jobs restored already-terminal at startup replay.")
+	p.Int("graphsd_jobs_recovered_total", rec.Recovered)
+	p.Header("graphsd_jobs_requeued_total", "counter", "Journaled jobs re-queued for execution at startup replay (Resumable of them hold an engine checkpoint).")
+	p.Int("graphsd_jobs_requeued_total", rec.Requeued)
+	p.Header("graphsd_jobs_lost_total", "counter", "Journaled jobs the replay could neither finish nor re-queue. Must stay 0.")
+	p.Int("graphsd_jobs_lost_total", rec.Lost)
+	p.Header("graphsd_jobs_expired_deadline_total", "counter", "Jobs expired past their Request.Deadline (at replay or at runtime).")
+	p.Int("graphsd_jobs_expired_deadline_total", s.sched.ExpiredDeadline())
+	p.Header("graphsd_jobs_retried_total", "counter", "Job-level retry attempts after transient storage failures.")
+	p.Int("graphsd_jobs_retried_total", s.sched.Retried())
+	if s.journal != nil {
+		js := s.journal.Stats()
+		p.Header("graphsd_journal_records_total", "counter", "Records appended to the job journal by this process.")
+		p.Int("graphsd_journal_records_total", js.Records)
+		p.Header("graphsd_journal_bytes_total", "counter", "Bytes appended to the job journal by this process.")
+		p.Int("graphsd_journal_bytes_total", js.Bytes)
+		p.Header("graphsd_journal_segments", "gauge", "Journal segment files on disk, including the active one.")
+		p.Int("graphsd_journal_segments", int64(js.Segments))
+		p.Header("graphsd_journal_replay_records_total", "counter", "Records replayed from the journal at startup.")
+		p.Int("graphsd_journal_replay_records_total", js.ReplayRecords)
+		p.Header("graphsd_journal_replay_seconds", "gauge", "Wall clock the startup journal replay took.")
+		p.Val("graphsd_journal_replay_seconds", js.ReplayTime.Seconds())
 	}
 
 	p.Header("graphsd_jobs_current", "gauge", "Jobs currently queued or running.")

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
@@ -30,6 +31,7 @@ import (
 
 	"github.com/graphsd/graphsd/internal/algorithms"
 	"github.com/graphsd/graphsd/internal/buffer"
+	"github.com/graphsd/graphsd/internal/checkpoint"
 	"github.com/graphsd/graphsd/internal/core"
 	"github.com/graphsd/graphsd/internal/graph"
 	"github.com/graphsd/graphsd/internal/jobs"
@@ -75,6 +77,27 @@ type Config struct {
 	Workers    int
 	QueueDepth int
 	MemBudget  int64
+	// JournalDir, when set, makes the server durable: job lifecycle records
+	// are written to a WAL under <dir>/wal before they are acknowledged,
+	// per-job engine checkpoints live under <dir>/checkpoints, and a
+	// restarted server replays the journal — finished jobs stay finished,
+	// unfinished jobs are re-queued and resume from their checkpoints with
+	// results bit-identical to an uninterrupted run. Empty keeps the
+	// pre-durability behaviour (jobs die with the process).
+	JournalDir string
+	// JournalSegmentBytes is the WAL rotation threshold (0: 1 MiB).
+	JournalSegmentBytes int64
+	// CheckpointEvery is the per-job engine checkpoint interval in
+	// iterations (0 with a journal: every iteration); CheckpointKeep
+	// retains the last N terminal jobs' checkpoint directories for
+	// debugging instead of pruning them at job completion.
+	CheckpointEvery int
+	CheckpointKeep  int
+	// JobRetries re-runs a job up to N extra attempts when it fails with a
+	// transient storage error; JobTimeout bounds any job's running time
+	// when the request carries no timeout of its own.
+	JobRetries int
+	JobTimeout time.Duration
 }
 
 // graphEntry is one registered graph: its device, layout, shared cache, and
@@ -137,11 +160,12 @@ func (g *graphEntry) fold(res *core.Result) {
 // Server is the resident job server. Create with New, serve its Handler,
 // and stop with Close.
 type Server struct {
-	graphs map[string]*graphEntry
-	names  []string // sorted, for deterministic /metrics output
-	sched  *jobs.Scheduler
-	mux    *http.ServeMux
-	start  time.Time
+	graphs  map[string]*graphEntry
+	names   []string // sorted, for deterministic /metrics output
+	sched   *jobs.Scheduler
+	journal *jobs.Journal // nil without Config.JournalDir
+	mux     *http.ServeMux
+	start   time.Time
 }
 
 // New opens every configured graph and starts the job scheduler.
@@ -202,17 +226,37 @@ func New(cfg Config) (*Server, error) {
 		s.names = append(s.names, gc.Name)
 	}
 	sort.Strings(s.names)
-	s.sched = jobs.New(jobs.Config{
-		Workers:       cfg.Workers,
-		QueueDepth:    cfg.QueueDepth,
-		MemBudget:     cfg.MemBudget,
-		EstimateBytes: s.estimateBytes,
-		Run:           s.runJob,
-	})
+	jcfg := jobs.Config{
+		Workers:        cfg.Workers,
+		QueueDepth:     cfg.QueueDepth,
+		MemBudget:      cfg.MemBudget,
+		EstimateBytes:  s.estimateBytes,
+		Run:            s.runJob,
+		Retries:        cfg.JobRetries,
+		DefaultTimeout: cfg.JobTimeout,
+	}
+	if cfg.JournalDir != "" {
+		jr, err := jobs.OpenJournal(filepath.Join(cfg.JournalDir, "wal"), cfg.JournalSegmentBytes)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.journal = jr
+		jcfg.Journal = jr
+		jcfg.CheckpointRoot = filepath.Join(cfg.JournalDir, "checkpoints")
+		jcfg.CheckpointEvery = cfg.CheckpointEvery
+		jcfg.CheckpointKeep = cfg.CheckpointKeep
+	}
+	s.sched = jobs.New(jcfg)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
 }
+
+// Journal returns the server's job journal, nil when durability is off.
+func (s *Server) Journal() *jobs.Journal { return s.journal }
+
+// Recovery reports what the startup journal replay did.
+func (s *Server) Recovery() jobs.RecoveryStats { return s.sched.Recovery() }
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -229,13 +273,34 @@ func (s *Server) Graph(name string) (*buffer.Shared, *storage.Device, bool) {
 	return g.shared, g.dev, true
 }
 
-// Close stops the scheduler, cancelling running jobs and waiting for the
-// workers to drain within ctx's deadline.
-func (s *Server) Close(ctx context.Context) error { return s.sched.Close(ctx) }
+// Close drains the scheduler (cancelling running jobs, waiting for the
+// workers within ctx's deadline) and seals the journal. During the drain
+// new submissions are rejected with 503 + Retry-After.
+func (s *Server) Close(ctx context.Context) error {
+	err := s.sched.Close(ctx)
+	if s.journal != nil {
+		if jerr := s.journal.Close(); err == nil {
+			err = jerr
+		}
+	}
+	return err
+}
+
+// Kill abandons the server the way SIGKILL would — no drain, no terminal
+// journal records, the on-disk journal and checkpoints frozen mid-flight —
+// for restart chaos tests that then reopen the same JournalDir.
+func (s *Server) Kill(ctx context.Context) error {
+	err := s.sched.Kill(ctx)
+	if s.journal != nil {
+		s.journal.Close()
+	}
+	return err
+}
 
 // runJob is the jobs.Runner: it binds an admitted request to the engine
-// with the graph's shared cache wired in.
-func (s *Server) runJob(ctx context.Context, req jobs.Request, onIter func(core.IterStat)) (*core.Result, error) {
+// with the graph's shared cache and the job's private checkpoint directory
+// wired in.
+func (s *Server) runJob(ctx context.Context, req jobs.Request, info jobs.RunInfo) (*core.Result, error) {
 	g, ok := s.graphs[req.Graph]
 	if !ok {
 		return nil, fmt.Errorf("server: unknown graph %q", req.Graph)
@@ -249,7 +314,7 @@ func (s *Server) runJob(ctx context.Context, req jobs.Request, onIter func(core.
 		DefaultBuffer: true,
 		SharedBlocks:  g.shared,
 		SEM:           g.sem,
-		OnIteration:   onIter,
+		OnIteration:   info.OnIteration,
 	}
 	// Async applies only to monotonic programs; others (pr, widestpath)
 	// silently run BSP so one server flag serves mixed workloads.
@@ -257,12 +322,38 @@ func (s *Server) runJob(ctx context.Context, req jobs.Request, onIter func(core.
 		opts.Async = true
 		opts.AsyncEpsilon = g.asyncEps
 	}
+	if info.CheckpointDir != "" {
+		opts.Checkpoint = core.CheckpointOptions{
+			Every:  info.CheckpointEvery,
+			Dir:    info.CheckpointDir,
+			Resume: info.Resume && s.resumableCheckpoint(info.CheckpointDir, prog.Name(), opts.Async, g),
+		}
+	}
 	res, err := core.RunContext(ctx, g.layout, prog, opts)
 	if err != nil {
 		return nil, err
 	}
 	g.fold(res)
 	return res, nil
+}
+
+// resumableCheckpoint decides whether the checkpoint in dir (if any) can
+// seed this run: same algorithm, same layout shape, same engine mode (a BSP
+// run cannot resume an async checkpoint or vice versa — the loop states
+// differ). A mismatched or corrupt checkpoint is discarded so the recovered
+// job re-runs from scratch instead of failing: the journaled request is the
+// contract, the checkpoint only an accelerator.
+func (s *Server) resumableCheckpoint(dir, progName string, async bool, g *graphEntry) bool {
+	if !checkpoint.Exists(dir) {
+		return true // nothing there: Resume is a no-op, the run starts fresh
+	}
+	ci, err := checkpoint.Inspect(dir)
+	if err == nil && ci.Algorithm == progName && ci.Async == async &&
+		ci.NumVertices == g.layout.Meta.NumVertices {
+		return true
+	}
+	checkpoint.Remove(dir)
+	return false
 }
 
 // estimateBytes predicts a job's peak engine memory for admission control:
@@ -343,7 +434,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, j.Status())
 	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrMemBudget):
 		writeError(w, http.StatusTooManyRequests, "%v", err)
-	case errors.Is(err, jobs.ErrClosed):
+	case errors.Is(err, jobs.ErrClosed), errors.Is(err, jobs.ErrUnavailable), errors.Is(err, jobs.ErrJournalUnavailable):
+		// Draining, or the journal is gone: the server sheds load instead
+		// of accepting work it cannot run or make durable. Clients retry
+		// after the restart (or against a healthy replica).
+		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -428,12 +523,18 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	res := j.Result()
 	if res == nil {
 		st := j.Status()
-		if st.State == "failed" || st.State == "cancelled" {
+		switch st.State {
+		case "failed", "cancelled", "expired":
 			writeJSON(w, http.StatusConflict, st)
-			return
+		case "done":
+			// A job that finished before a restart: the journal preserves
+			// outcomes, not result payloads. Resubmitting the same request
+			// recomputes the identical values.
+			writeError(w, http.StatusGone, "job %s finished before a server restart; its result payload was not retained — resubmit the request to recompute it", j.ID())
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusConflict, st)
 		}
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusConflict, st)
 		return
 	}
 	out := resultPayload{Status: j.Status()}

@@ -82,7 +82,10 @@ func (c *Chaos) Injector() func(op, name string) error {
 				c.stats.Transient++
 				return Transient(fmt.Errorf("chaos: transient read fault on %s (op %d)", name, c.stats.Ops))
 			}
-		case "write":
+		case "write", "append":
+			// "append" is the job journal's WAL op: a torn append leaves a
+			// half-frame tail for replay to truncate, the journal-side
+			// analogue of a torn block write.
 			if c.opts.TornWriteProb > 0 && c.rng.Float64() < c.opts.TornWriteProb {
 				c.stats.Torn++
 				return fmt.Errorf("chaos: torn write on %s (op %d): %w", name, c.stats.Ops, ErrTornWrite)
