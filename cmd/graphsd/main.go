@@ -26,6 +26,7 @@ import (
 	"github.com/graphsd/graphsd/internal/algorithms"
 	"github.com/graphsd/graphsd/internal/baseline"
 	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/delta"
 	"github.com/graphsd/graphsd/internal/graph"
 	"github.com/graphsd/graphsd/internal/iotrace"
 	"github.com/graphsd/graphsd/internal/metrics"
@@ -45,6 +46,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "verify":
@@ -74,6 +77,7 @@ subcommands:
   preprocess  partition a graph into an on-disk layout
   run         execute an algorithm over a preprocessed layout
   serve       run the resident job server with an HTTP API
+  ingest      stream edge mutations into a running 'serve -mutable' server
   compare     run one algorithm under every system and print a comparison
   verify      check an out-of-core run against the in-memory BSP oracle
   stats       describe a preprocessed layout
@@ -663,6 +667,26 @@ func cmdStats(args []string) error {
 			}
 		}
 		fmt.Printf("grid:      diagonal %d edges, upper %d, lower (secondary) %d\n", diag, upper, lower)
+	}
+	// Mutable-graph state: layout generation, sealed delta layers awaiting
+	// compaction, and unsealed mutations still in the WAL (what a restarted
+	// server would replay into its memtable).
+	if m.System == "graphsd" && (m.Generation > 0 || m.MutationsTotal > 0 || len(m.DeltaLayers) > 0) {
+		fmt.Printf("generation: %d (compactions over the layout's lifetime)\n", m.Generation)
+		fmt.Printf("delta:      %d sealed layers, %s pending compaction\n",
+			len(m.DeltaLayers), storage.FormatBytes(m.DeltaDiskBytes()))
+		// The manifest's MutationsTotal covers sealed mutations only; the
+		// store's view folds in whatever the mutation WAL replays into the
+		// memtable.
+		if s, err := delta.Open(dev, delta.Options{}); err == nil {
+			st := s.Stats()
+			fmt.Printf("mutations:  %d applied over the layout's lifetime\n", st.MutationsTotal)
+			fmt.Printf("memtable:   %d keys, ~%s unsealed (replayed from the mutation WAL)\n",
+				st.MemtableKeys, storage.FormatBytes(st.MemtableBytes))
+			s.Close()
+		} else {
+			fmt.Printf("mutations:  %d sealed (mutation WAL unavailable: %v)\n", m.MutationsTotal, err)
+		}
 	}
 	return nil
 }

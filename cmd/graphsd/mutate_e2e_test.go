@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// scrapeMetricE2E pulls one labelled sample out of a live /metrics page.
+func scrapeMetricE2E(t *testing.T, base, metric, graphName string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	re := regexp.MustCompile(fmt.Sprintf(`(?m)^%s\{graph="%s"[^}]*\} (\S+)$`, metric, graphName))
+	m := re.FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s{graph=%q} absent from /metrics", metric, graphName)
+	}
+	return string(m[1])
+}
+
+// TestMutableServeEndToEnd drives the full mutable-graph loop on the real
+// binary: serve -mutable, `graphsd ingest` a mutation file, query, compact
+// over HTTP, SIGKILL the server, restart it over the same layout, and
+// require byte-identical query results plus lifetime mutation/compaction
+// counters that survived the crash.
+func TestMutableServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	layoutDir := filepath.Join(dir, "layout")
+	run(t, graphgenBin, "-kind", "rmat", "-scale", "10", "-edgefactor", "8", "-o", graphPath)
+	run(t, graphsdBin, "preprocess", "-graph", graphPath, "-layout", layoutDir, "-p", "4")
+
+	serveArgs := []string{
+		"-graph", "m=" + layoutDir, "-profile", "ssd",
+		"-mutable", "-memtable-bytes", "4096", "-compact-threshold", "64",
+	}
+	p1 := startServe(t, serveArgs...)
+
+	// Ingest a mutation file through the CLI: inserts (plain and '+'),
+	// deletes, comments, a weighted-format line on an unweighted graph is
+	// NOT included (the server would 400 the batch).
+	var muts strings.Builder
+	muts.WriteString("# ring through the low vertex IDs\n")
+	for v := 0; v < 200; v++ {
+		fmt.Fprintf(&muts, "+ %d %d\n", v, (v+1)%200)
+	}
+	for v := 0; v < 50; v++ {
+		fmt.Fprintf(&muts, "%d %d\n", 300+v, 400+v) // bare lines ingest as inserts
+	}
+	for v := 0; v < 30; v++ {
+		fmt.Fprintf(&muts, "- %d %d\n", v, (v+1)%200) // delete a slice of the ring
+	}
+	mutFile := filepath.Join(dir, "muts.txt")
+	if err := os.WriteFile(mutFile, []byte(muts.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, graphsdBin, "ingest", "-server", p1.base, "-graph", "m", "-file", mutFile, "-batch", "64")
+	if !strings.Contains(out, "ingested 280 mutations") {
+		t.Fatalf("ingest output: %s", out)
+	}
+	if v := scrapeMetricE2E(t, p1.base, "graphsd_mutations_total", "m"); v != "280" {
+		t.Fatalf("graphsd_mutations_total = %s, want 280", v)
+	}
+
+	// Query the mutated graph; keep the full result for the restart check.
+	j1 := p1.submit(t, `{"graph":"m","algorithm":"pr"}`)
+	p1.waitDone(t, j1.ID)
+	res1 := p1.fullResult(t, j1.ID)
+
+	// Compact over HTTP: layers fold into the base, queries keep answering.
+	resp, err := http.Post(p1.base+"/v1/graphs/m/compact", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(cbody, []byte(`"delta_layers": 0`)) {
+		t.Fatalf("compact: HTTP %d: %s", resp.StatusCode, cbody)
+	}
+	if v := scrapeMetricE2E(t, p1.base, "graphsd_compactions_total", "m"); v != "1" {
+		t.Fatalf("graphsd_compactions_total = %s, want 1", v)
+	}
+	j2 := p1.submit(t, `{"graph":"m","algorithm":"pr"}`)
+	p1.waitDone(t, j2.ID)
+	if !bytes.Equal(res1, p1.fullResult(t, j2.ID)) {
+		t.Fatal("compaction changed query results")
+	}
+
+	// Crash (SIGKILL, no drain) and restart over the same layout directory.
+	if err := p1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-p1.done; err == nil {
+		t.Fatal("SIGKILLed server exited cleanly?")
+	}
+	p1.done <- fmt.Errorf("already reaped")
+
+	p2 := startServe(t, serveArgs...)
+	// Lifetime counters come back from the manifest.
+	if v := scrapeMetricE2E(t, p2.base, "graphsd_mutations_total", "m"); v != "280" {
+		t.Fatalf("after restart: graphsd_mutations_total = %s, want 280", v)
+	}
+	if v := scrapeMetricE2E(t, p2.base, "graphsd_compactions_total", "m"); v != "1" {
+		t.Fatalf("after restart: graphsd_compactions_total = %s, want 1", v)
+	}
+	if v := scrapeMetricE2E(t, p2.base, "graphsd_delta_layers", "m"); v != "0" {
+		t.Fatalf("after restart: graphsd_delta_layers = %s, want 0", v)
+	}
+
+	// The restarted server answers the same query byte-identically, and
+	// keeps taking writes.
+	j3 := p2.submit(t, `{"graph":"m","algorithm":"pr"}`)
+	p2.waitDone(t, j3.ID)
+	if !bytes.Equal(res1, p2.fullResult(t, j3.ID)) {
+		t.Fatal("restart changed query results")
+	}
+	resp2, err := http.Post(p2.base+"/v1/graphs/m/edges", "application/json",
+		strings.NewReader(`{"mutations":[{"op":"insert","src":7,"dst":9}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("mutate after restart: HTTP %d", resp2.StatusCode)
+	}
+	if v := scrapeMetricE2E(t, p2.base, "graphsd_mutations_total", "m"); v != "281" {
+		t.Fatalf("after restart write: graphsd_mutations_total = %s, want 281", v)
+	}
+
+	// `graphsd stats` on the (now quiet) layout reports the mutable state.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-p2.done:
+		p2.done <- nil
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not exit within 5s of SIGTERM")
+	}
+	statsOut := run(t, graphsdBin, "stats", "-layout", layoutDir)
+	for _, want := range []string{"generation: 1", "mutations:  281"} {
+		if !strings.Contains(statsOut, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, statsOut)
+		}
+	}
+}

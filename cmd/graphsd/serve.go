@@ -58,6 +58,9 @@ func cmdServe(args []string) error {
 	jobRetries := fs.Int("job-retries", 0, "re-run a job up to N extra attempts after transient storage failures")
 	ckEvery := fs.Int("checkpoint-every", 0, "engine checkpoint interval in iterations for -journal jobs (0: every iteration)")
 	ckKeep := fs.Int("checkpoint-keep", 0, "retain the last N terminal jobs' checkpoint directories instead of pruning them")
+	mutable := fs.Bool("mutable", false, "accept edge mutations on every served graph (POST /v1/graphs/{name}/edges; WAL-backed, snapshot-isolated reads)")
+	memtableBytes := fs.Int64("memtable-bytes", 0, "mutation memtable bytes before sealing a delta layer (0: 1 MiB)")
+	compactThreshold := fs.Int("compact-threshold", 0, "sealed delta layers that trigger background compaction (0: 4)")
 	fs.Parse(args)
 	if len(graphs) == 0 {
 		return fmt.Errorf("serve: at least one -graph name=layoutdir is required")
@@ -74,6 +77,9 @@ func cmdServe(args []string) error {
 		graphs[i].Compressed = *compressed
 		graphs[i].Async = *async
 		graphs[i].AsyncEpsilon = *asyncEps
+		graphs[i].Mutable = *mutable
+		graphs[i].MemtableBytes = *memtableBytes
+		graphs[i].CompactThreshold = *compactThreshold
 	}
 
 	s, err := server.New(server.Config{

@@ -12,13 +12,24 @@ import (
 	"github.com/graphsd/graphsd/internal/graph"
 )
 
-// Key identifies a sub-block by its grid coordinates.
+// Key identifies a sub-block by its grid coordinates plus the content
+// generation of the block at load time. Immutable layouts always use
+// generation 0; mutable layouts bump a sub-block's generation on every
+// mutation that touches it, so cache entries loaded before a write or a
+// compaction publish can never be served afterwards — the stale entries
+// simply stop being addressed and age out of the LRU.
 type Key struct {
 	I, J int
+	Gen  int64
 }
 
-// String returns the key as "(i,j)".
-func (k Key) String() string { return fmt.Sprintf("(%d,%d)", k.I, k.J) }
+// String returns the key as "(i,j)" or "(i,j)@gen" for mutable layouts.
+func (k Key) String() string {
+	if k.Gen != 0 {
+		return fmt.Sprintf("(%d,%d)@%d", k.I, k.J, k.Gen)
+	}
+	return fmt.Sprintf("(%d,%d)", k.I, k.J)
+}
 
 // Stats counts buffer outcomes for the Figure 12 experiment.
 type Stats struct {

@@ -17,7 +17,7 @@ func edges(n int) []graph.Edge {
 
 func TestEmptyBufferMisses(t *testing.T) {
 	b := New(100)
-	if _, ok := b.Get(Key{0, 0}); ok {
+	if _, ok := b.Get(Key{I: 0, J: 0}); ok {
 		t.Fatal("empty buffer hit")
 	}
 	s := b.Stats()
@@ -29,10 +29,10 @@ func TestEmptyBufferMisses(t *testing.T) {
 func TestPutGetRoundTrip(t *testing.T) {
 	b := New(1000)
 	e := edges(5)
-	if !b.Put(Key{1, 2}, e, 40, 10) {
+	if !b.Put(Key{I: 1, J: 2}, e, 40, 10) {
 		t.Fatal("Put rejected with ample space")
 	}
-	got, ok := b.Get(Key{1, 2})
+	got, ok := b.Get(Key{I: 1, J: 2})
 	if !ok || len(got) != 5 {
 		t.Fatalf("Get = %v, %v", got, ok)
 	}
@@ -47,7 +47,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 
 func TestZeroCapacityCachesNothing(t *testing.T) {
 	b := New(0)
-	if b.Put(Key{0, 0}, edges(1), 8, 100) {
+	if b.Put(Key{I: 0, J: 0}, edges(1), 8, 100) {
 		t.Fatal("zero-capacity buffer accepted an entry")
 	}
 	if b.Stats().Rejections != 1 {
@@ -57,26 +57,26 @@ func TestZeroCapacityCachesNothing(t *testing.T) {
 
 func TestOversizeRejected(t *testing.T) {
 	b := New(100)
-	if b.Put(Key{0, 0}, edges(20), 160, 1) {
+	if b.Put(Key{I: 0, J: 0}, edges(20), 160, 1) {
 		t.Fatal("oversize entry accepted")
 	}
-	if b.Put(Key{0, 0}, nil, -1, 1) {
+	if b.Put(Key{I: 0, J: 0}, nil, -1, 1) {
 		t.Fatal("negative size accepted")
 	}
 }
 
 func TestEvictsLowestPriority(t *testing.T) {
 	b := New(100)
-	b.Put(Key{0, 0}, edges(1), 40, 5)  // low priority
-	b.Put(Key{1, 0}, edges(1), 40, 50) // high priority
+	b.Put(Key{I: 0, J: 0}, edges(1), 40, 5)  // low priority
+	b.Put(Key{I: 1, J: 0}, edges(1), 40, 50) // high priority
 	// Needs 40 bytes; must evict (0,0), not (1,0).
-	if !b.Put(Key{2, 0}, edges(1), 40, 20) {
+	if !b.Put(Key{I: 2, J: 0}, edges(1), 40, 20) {
 		t.Fatal("insertion with evictable victim rejected")
 	}
-	if b.Contains(Key{0, 0}) {
+	if b.Contains(Key{I: 0, J: 0}) {
 		t.Fatal("low-priority entry survived")
 	}
-	if !b.Contains(Key{1, 0}) || !b.Contains(Key{2, 0}) {
+	if !b.Contains(Key{I: 1, J: 0}) || !b.Contains(Key{I: 2, J: 0}) {
 		t.Fatal("wrong victim evicted")
 	}
 	if b.Stats().Evictions != 1 {
@@ -86,27 +86,27 @@ func TestEvictsLowestPriority(t *testing.T) {
 
 func TestRejectsWhenAllResidentsHigherPriority(t *testing.T) {
 	b := New(80)
-	b.Put(Key{0, 0}, edges(1), 40, 100)
-	b.Put(Key{1, 0}, edges(1), 40, 90)
-	if b.Put(Key{2, 0}, edges(1), 40, 10) {
+	b.Put(Key{I: 0, J: 0}, edges(1), 40, 100)
+	b.Put(Key{I: 1, J: 0}, edges(1), 40, 90)
+	if b.Put(Key{I: 2, J: 0}, edges(1), 40, 10) {
 		t.Fatal("low-priority candidate displaced higher-priority residents")
 	}
-	if !b.Contains(Key{0, 0}) || !b.Contains(Key{1, 0}) {
+	if !b.Contains(Key{I: 0, J: 0}) || !b.Contains(Key{I: 1, J: 0}) {
 		t.Fatal("residents were disturbed")
 	}
 	// Equal priority must not displace either (strict inequality).
-	if b.Put(Key{3, 0}, edges(1), 40, 90) {
+	if b.Put(Key{I: 3, J: 0}, edges(1), 40, 90) {
 		t.Fatal("equal-priority candidate displaced a resident")
 	}
 }
 
 func TestEvictsMultipleVictims(t *testing.T) {
 	b := New(100)
-	b.Put(Key{0, 0}, edges(1), 30, 1)
-	b.Put(Key{1, 0}, edges(1), 30, 2)
-	b.Put(Key{2, 0}, edges(1), 30, 3)
+	b.Put(Key{I: 0, J: 0}, edges(1), 30, 1)
+	b.Put(Key{I: 1, J: 0}, edges(1), 30, 2)
+	b.Put(Key{I: 2, J: 0}, edges(1), 30, 3)
 	// 90 bytes used; an 80-byte candidate at priority 10 must evict all three.
-	if !b.Put(Key{3, 0}, edges(1), 80, 10) {
+	if !b.Put(Key{I: 3, J: 0}, edges(1), 80, 10) {
 		t.Fatal("multi-victim insertion rejected")
 	}
 	if b.Len() != 1 || b.Used() != 80 {
@@ -119,49 +119,49 @@ func TestEvictsMultipleVictims(t *testing.T) {
 
 func TestPutExistingRefreshesPriority(t *testing.T) {
 	b := New(100)
-	b.Put(Key{0, 0}, edges(1), 40, 1)
-	b.Put(Key{1, 0}, edges(1), 40, 50)
+	b.Put(Key{I: 0, J: 0}, edges(1), 40, 1)
+	b.Put(Key{I: 1, J: 0}, edges(1), 40, 50)
 	// Refresh (0,0) to a high priority; no new insertion recorded.
-	if !b.Put(Key{0, 0}, edges(1), 40, 60) {
+	if !b.Put(Key{I: 0, J: 0}, edges(1), 40, 60) {
 		t.Fatal("refresh rejected")
 	}
 	if b.Stats().Insertions != 2 {
 		t.Fatalf("insertions = %d", b.Stats().Insertions)
 	}
 	// Now (1,0) is the lowest priority and must be the victim.
-	if !b.Put(Key{2, 0}, edges(1), 40, 55) {
+	if !b.Put(Key{I: 2, J: 0}, edges(1), 40, 55) {
 		t.Fatal("insertion rejected")
 	}
-	if b.Contains(Key{1, 0}) || !b.Contains(Key{0, 0}) {
+	if b.Contains(Key{I: 1, J: 0}) || !b.Contains(Key{I: 0, J: 0}) {
 		t.Fatal("priority refresh not honoured by eviction")
 	}
 }
 
 func TestUpdatePriority(t *testing.T) {
 	b := New(80)
-	b.Put(Key{0, 0}, edges(1), 40, 100)
-	b.Put(Key{1, 0}, edges(1), 40, 90)
-	b.UpdatePriority(Key{0, 0}, 1)
+	b.Put(Key{I: 0, J: 0}, edges(1), 40, 100)
+	b.Put(Key{I: 1, J: 0}, edges(1), 40, 90)
+	b.UpdatePriority(Key{I: 0, J: 0}, 1)
 	// (0,0) now evictable by a priority-10 candidate.
-	if !b.Put(Key{2, 0}, edges(1), 40, 10) {
+	if !b.Put(Key{I: 2, J: 0}, edges(1), 40, 10) {
 		t.Fatal("insertion after priority downgrade rejected")
 	}
-	if b.Contains(Key{0, 0}) {
+	if b.Contains(Key{I: 0, J: 0}) {
 		t.Fatal("downgraded entry survived")
 	}
 	// Updating an absent key is a no-op.
-	b.UpdatePriority(Key{9, 9}, 5)
+	b.UpdatePriority(Key{I: 9, J: 9}, 5)
 }
 
 func TestRemoveAndClear(t *testing.T) {
 	b := New(100)
-	b.Put(Key{0, 0}, edges(1), 40, 1)
-	b.Remove(Key{0, 0})
-	if b.Contains(Key{0, 0}) || b.Used() != 0 {
+	b.Put(Key{I: 0, J: 0}, edges(1), 40, 1)
+	b.Remove(Key{I: 0, J: 0})
+	if b.Contains(Key{I: 0, J: 0}) || b.Used() != 0 {
 		t.Fatal("Remove failed")
 	}
-	b.Remove(Key{0, 0}) // absent: no-op
-	b.Put(Key{1, 1}, edges(1), 40, 1)
+	b.Remove(Key{I: 0, J: 0}) // absent: no-op
+	b.Put(Key{I: 1, J: 1}, edges(1), 40, 1)
 	b.Clear()
 	if b.Len() != 0 || b.Used() != 0 {
 		t.Fatal("Clear failed")
@@ -176,13 +176,13 @@ func TestPriorityTiesBreakByInsertionOrder(t *testing.T) {
 	// deterministically, regardless of map iteration order.
 	for trial := 0; trial < 20; trial++ {
 		b := New(120)
-		b.Put(Key{0, 0}, edges(1), 40, 5)
-		b.Put(Key{1, 0}, edges(1), 40, 5)
-		b.Put(Key{2, 0}, edges(1), 40, 5)
-		if !b.Put(Key{3, 0}, edges(1), 40, 9) {
+		b.Put(Key{I: 0, J: 0}, edges(1), 40, 5)
+		b.Put(Key{I: 1, J: 0}, edges(1), 40, 5)
+		b.Put(Key{I: 2, J: 0}, edges(1), 40, 5)
+		if !b.Put(Key{I: 3, J: 0}, edges(1), 40, 9) {
 			t.Fatal("insertion rejected")
 		}
-		if b.Contains(Key{0, 0}) || !b.Contains(Key{1, 0}) || !b.Contains(Key{2, 0}) {
+		if b.Contains(Key{I: 0, J: 0}) || !b.Contains(Key{I: 1, J: 0}) || !b.Contains(Key{I: 2, J: 0}) {
 			t.Fatalf("trial %d: wrong victim among ties", trial)
 		}
 	}
@@ -190,16 +190,16 @@ func TestPriorityTiesBreakByInsertionOrder(t *testing.T) {
 
 func TestFIFOPolicyEvictsOldest(t *testing.T) {
 	b := NewWithPolicy(80, FIFOPolicy)
-	b.Put(Key{0, 0}, edges(1), 40, 1000) // oldest, highest priority
-	b.Put(Key{1, 0}, edges(1), 40, 1)
+	b.Put(Key{I: 0, J: 0}, edges(1), 40, 1000) // oldest, highest priority
+	b.Put(Key{I: 1, J: 0}, edges(1), 40, 1)
 	// FIFO ignores priority: (0,0) goes first despite priority 1000.
-	if !b.Put(Key{2, 0}, edges(1), 40, 5) {
+	if !b.Put(Key{I: 2, J: 0}, edges(1), 40, 5) {
 		t.Fatal("FIFO insertion rejected")
 	}
-	if b.Contains(Key{0, 0}) {
+	if b.Contains(Key{I: 0, J: 0}) {
 		t.Fatal("FIFO kept the oldest entry")
 	}
-	if !b.Contains(Key{1, 0}) || !b.Contains(Key{2, 0}) {
+	if !b.Contains(Key{I: 1, J: 0}) || !b.Contains(Key{I: 2, J: 0}) {
 		t.Fatal("FIFO evicted the wrong entry")
 	}
 }
@@ -207,7 +207,7 @@ func TestFIFOPolicyEvictsOldest(t *testing.T) {
 func TestFIFONeverRejectsFittingEntry(t *testing.T) {
 	b := NewWithPolicy(40, FIFOPolicy)
 	for i := 0; i < 10; i++ {
-		if !b.Put(Key{i, 0}, edges(1), 40, int64(i)) {
+		if !b.Put(Key{I: i, J: 0}, edges(1), 40, int64(i)) {
 			t.Fatalf("FIFO rejected fitting entry %d", i)
 		}
 	}
@@ -223,7 +223,7 @@ func TestPropertyUsedWithinCapacity(t *testing.T) {
 		const capacity = 500
 		b := New(capacity)
 		for _, op := range ops {
-			k := Key{int(op % 7), int(op / 7 % 7)}
+			k := Key{I: int(op % 7), J: int(op / 7 % 7)}
 			switch op % 4 {
 			case 0:
 				b.Put(k, nil, int64(op%200), int64(op%13))

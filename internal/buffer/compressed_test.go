@@ -14,7 +14,7 @@ import (
 
 func TestBufferPayloadEntries(t *testing.T) {
 	b := New(100)
-	k := Key{1, 0}
+	k := Key{I: 1, J: 0}
 	payload := []byte{1, 2, 3, 4}
 	if !b.PutBytes(k, payload, 40, 5) {
 		t.Fatal("payload rejected with room to spare")
@@ -52,21 +52,21 @@ func TestBufferPayloadEntries(t *testing.T) {
 
 func TestBufferPayloadEviction(t *testing.T) {
 	b := New(10)
-	if !b.PutBytes(Key{1, 0}, make([]byte, 6), 60, 1) {
+	if !b.PutBytes(Key{I: 1, J: 0}, make([]byte, 6), 60, 1) {
 		t.Fatal("first payload rejected")
 	}
 	// A higher-priority candidate evicts the low-priority payload resident.
-	if !b.PutBytes(Key{2, 0}, make([]byte, 8), 80, 9) {
+	if !b.PutBytes(Key{I: 2, J: 0}, make([]byte, 8), 80, 9) {
 		t.Fatal("higher-priority payload rejected")
 	}
-	if b.Contains(Key{1, 0}) {
+	if b.Contains(Key{I: 1, J: 0}) {
 		t.Fatal("low-priority payload survived eviction")
 	}
 	if st := b.Stats(); st.Evictions != 1 {
 		t.Fatalf("evictions=%d, want 1", st.Evictions)
 	}
 	// A lower-priority candidate that doesn't fit is rejected.
-	if b.PutBytes(Key{3, 0}, make([]byte, 8), 80, 1) {
+	if b.PutBytes(Key{I: 3, J: 0}, make([]byte, 8), 80, 1) {
 		t.Fatal("low-priority payload displaced a higher-priority resident")
 	}
 }
@@ -80,7 +80,7 @@ func TestSharedCompressedRoundTrip(t *testing.T) {
 		t.Fatal("NewShared marked compressed")
 	}
 
-	k := Key{0, 1}
+	k := Key{I: 0, J: 1}
 	payload := []byte{9, 8, 7}
 	loads := 0
 	load := func() ([]byte, int64, error) {
@@ -136,7 +136,7 @@ func TestSharedCompressedDedup(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			p, _, err := s.GetOrLoadBytes(Key{5, 5}, func() ([]byte, int64, error) {
+			p, _, err := s.GetOrLoadBytes(Key{I: 5, J: 5}, func() ([]byte, int64, error) {
 				loads++ // single flight: only one goroutine runs this
 				<-release
 				return []byte{42}, 10, nil
@@ -177,7 +177,7 @@ func TestSharedPeekSurvivesEviction(t *testing.T) {
 			return []graph.Edge{{Src: graph.VertexID(i), Dst: graph.VertexID(j)}}, rec, nil
 		}
 	}
-	if _, _, err := s.GetOrLoad(Key{0, 0}, loadOne(0, 0)); err != nil {
+	if _, _, err := s.GetOrLoad(Key{I: 0, J: 0}, loadOne(0, 0)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -193,8 +193,8 @@ func TestSharedPeekSurvivesEviction(t *testing.T) {
 				return
 			default:
 			}
-			s.GetOrLoad(Key{i % 64, 1}, loadOne(i%64, 1))
-			s.GetOrLoad(Key{0, 0}, loadOne(0, 0))
+			s.GetOrLoad(Key{I: i % 64, J: 1}, loadOne(i%64, 1))
+			s.GetOrLoad(Key{I: 0, J: 0}, loadOne(0, 0))
 		}
 	}()
 	// Readers: peek and then keep reading the returned slice after the
@@ -204,7 +204,7 @@ func TestSharedPeekSurvivesEviction(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for n := 0; n < 2000; n++ {
-				if edges, ok := s.Peek(Key{0, 0}); ok {
+				if edges, ok := s.Peek(Key{I: 0, J: 0}); ok {
 					if edges[0].Src != 0 || edges[0].Dst != 0 {
 						t.Error("peeked slice mutated after eviction")
 						return

@@ -25,11 +25,11 @@ func TestSharedHitMiss(t *testing.T) {
 		loads++
 		return mkEdges(1, 2, 3), 100, nil
 	}
-	edges, hit, err := s.GetOrLoad(Key{1, 2}, load)
+	edges, hit, err := s.GetOrLoad(Key{I: 1, J: 2}, load)
 	if err != nil || hit || len(edges) != 3 {
 		t.Fatalf("first GetOrLoad: edges=%d hit=%t err=%v", len(edges), hit, err)
 	}
-	edges, hit, err = s.GetOrLoad(Key{1, 2}, load)
+	edges, hit, err = s.GetOrLoad(Key{I: 1, J: 2}, load)
 	if err != nil || !hit || len(edges) != 3 {
 		t.Fatalf("second GetOrLoad: edges=%d hit=%t err=%v", len(edges), hit, err)
 	}
@@ -47,23 +47,23 @@ func TestSharedLRUEviction(t *testing.T) {
 	put := func(k Key) {
 		s.GetOrLoad(k, func() ([]graph.Edge, int64, error) { return mkEdges(k.I, k.J, 1), 100, nil })
 	}
-	put(Key{0, 0})
-	put(Key{1, 0})
+	put(Key{I: 0, J: 0})
+	put(Key{I: 1, J: 0})
 	// Touch (0,0) so (1,0) is the LRU victim.
-	put(Key{0, 0})
-	put(Key{2, 0})
-	if !s.has(Key{0, 0}) || s.has(Key{1, 0}) || !s.has(Key{2, 0}) {
+	put(Key{I: 0, J: 0})
+	put(Key{I: 2, J: 0})
+	if !s.has(Key{I: 0, J: 0}) || s.has(Key{I: 1, J: 0}) || !s.has(Key{I: 2, J: 0}) {
 		t.Fatalf("LRU eviction picked the wrong victim: %+v", s.Stats())
 	}
 	if st := s.Stats(); st.Evictions != 1 {
 		t.Fatalf("evictions = %d, want 1", st.Evictions)
 	}
 	// A block larger than capacity is served but never cached.
-	_, _, err := s.GetOrLoad(Key{9, 9}, func() ([]graph.Edge, int64, error) { return mkEdges(9, 9, 1), 1000, nil })
+	_, _, err := s.GetOrLoad(Key{I: 9, J: 9}, func() ([]graph.Edge, int64, error) { return mkEdges(9, 9, 1), 1000, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.has(Key{9, 9}) {
+	if s.has(Key{I: 9, J: 9}) {
 		t.Fatal("oversized block was cached")
 	}
 	if st := s.Stats(); st.Rejections != 1 {
@@ -79,11 +79,11 @@ func (s *Shared) has(k Key) bool {
 func TestSharedFailedLoadNotCachedAndRetriable(t *testing.T) {
 	s := NewShared(1 << 20)
 	boom := errors.New("boom")
-	_, _, err := s.GetOrLoad(Key{1, 1}, func() ([]graph.Edge, int64, error) { return nil, 0, boom })
+	_, _, err := s.GetOrLoad(Key{I: 1, J: 1}, func() ([]graph.Edge, int64, error) { return nil, 0, boom })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
-	edges, _, err := s.GetOrLoad(Key{1, 1}, func() ([]graph.Edge, int64, error) { return mkEdges(1, 1, 2), 10, nil })
+	edges, _, err := s.GetOrLoad(Key{I: 1, J: 1}, func() ([]graph.Edge, int64, error) { return mkEdges(1, 1, 2), 10, nil })
 	if err != nil || len(edges) != 2 {
 		t.Fatalf("retry after failed load: edges=%d err=%v", len(edges), err)
 	}
@@ -102,7 +102,7 @@ func TestSharedSingleFlight(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-gate
-			edges, _, err := s.GetOrLoad(Key{3, 4}, func() ([]graph.Edge, int64, error) {
+			edges, _, err := s.GetOrLoad(Key{I: 3, J: 4}, func() ([]graph.Edge, int64, error) {
 				loads.Add(1)
 				return mkEdges(3, 4, 5), 50, nil
 			})
@@ -181,7 +181,7 @@ func TestSharedFailedFlightWaitersNotHits(t *testing.T) {
 	loaderDone := make(chan struct{})
 	go func() {
 		defer close(loaderDone)
-		_, hit, err := s.GetOrLoad(Key{5, 5}, func() ([]graph.Edge, int64, error) {
+		_, hit, err := s.GetOrLoad(Key{I: 5, J: 5}, func() ([]graph.Edge, int64, error) {
 			close(started)
 			<-release
 			return nil, 0, boom
@@ -198,7 +198,7 @@ func TestSharedFailedFlightWaitersNotHits(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			edges, hit, err := s.GetOrLoad(Key{5, 5}, func() ([]graph.Edge, int64, error) {
+			edges, hit, err := s.GetOrLoad(Key{I: 5, J: 5}, func() ([]graph.Edge, int64, error) {
 				t.Error("waiter ran its own load while a flight was pending")
 				return nil, 0, nil
 			})
@@ -232,7 +232,7 @@ func TestSharedFailedFlightWaitersNotHits(t *testing.T) {
 	started2 := make(chan struct{})
 	release2 := make(chan struct{})
 	go func() {
-		s.GetOrLoad(Key{6, 6}, func() ([]graph.Edge, int64, error) {
+		s.GetOrLoad(Key{I: 6, J: 6}, func() ([]graph.Edge, int64, error) {
 			close(started2)
 			<-release2
 			return mkEdges(6, 6, 2), 77, nil
@@ -242,7 +242,7 @@ func TestSharedFailedFlightWaitersNotHits(t *testing.T) {
 	waited := make(chan struct{})
 	go func() {
 		defer close(waited)
-		edges, hit, err := s.GetOrLoad(Key{6, 6}, func() ([]graph.Edge, int64, error) {
+		edges, hit, err := s.GetOrLoad(Key{I: 6, J: 6}, func() ([]graph.Edge, int64, error) {
 			return nil, 0, errors.New("should not run")
 		})
 		if !hit || err != nil || len(edges) != 2 {
@@ -270,7 +270,7 @@ func TestSharedNegativeCapacityClamped(t *testing.T) {
 	if s.Capacity() != 0 {
 		t.Fatalf("Capacity() = %d, want 0", s.Capacity())
 	}
-	edges, hit, err := s.GetOrLoad(Key{1, 1}, func() ([]graph.Edge, int64, error) {
+	edges, hit, err := s.GetOrLoad(Key{I: 1, J: 1}, func() ([]graph.Edge, int64, error) {
 		return mkEdges(1, 1, 3), 30, nil
 	})
 	if err != nil || hit || len(edges) != 3 {
@@ -284,6 +284,74 @@ func TestSharedNegativeCapacityClamped(t *testing.T) {
 	}
 }
 
+// TestSharedGenerationFlipUnderConcurrentLoad is the mutable-graph cache
+// contract under -race: while readers hammer GetOrLoad, a writer keeps
+// bumping the content generation (as the delta store does after every
+// mutation batch). A reader that keys its load with generation G must only
+// ever be handed edges loaded for generation G — stale pre-mutation blocks
+// may stay resident under their old keys, but must never satisfy a
+// new-generation request.
+func TestSharedGenerationFlipUnderConcurrentLoad(t *testing.T) {
+	s := NewShared(4000) // small: old-generation entries churn out under pressure
+	const (
+		workers = 8
+		blocks  = 6
+		rounds  = 400
+	)
+	var gen atomic.Int64
+	// Writer: flips the generation mid-traffic, like a mutation burst.
+	stop := make(chan struct{})
+	flipperDone := make(chan struct{})
+	go func() {
+		defer close(flipperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				gen.Add(1)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				g := gen.Load()
+				k := Key{I: (w + r) % blocks, J: r % 2, Gen: g}
+				// The loader stamps the generation into the edge it
+				// returns; a hit from any other generation is detected
+				// below.
+				edges, _, err := s.GetOrLoad(k, func() ([]graph.Edge, int64, error) {
+					return []graph.Edge{{Src: graph.VertexID(k.I), Dst: graph.VertexID(g)}}, 60, nil
+				})
+				if err != nil {
+					t.Errorf("GetOrLoad(%v): %v", k, err)
+					return
+				}
+				if int64(edges[0].Dst) != g || int(edges[0].Src) != k.I {
+					t.Errorf("key %v served generation %d content", k, edges[0].Dst)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-flipperDone
+
+	st := s.Stats()
+	if st.Misses == 0 {
+		t.Fatalf("generation flips forced no reloads: %+v", st)
+	}
+	if s.Used() > 4000 {
+		t.Fatalf("used %d exceeds capacity", s.Used())
+	}
+	t.Logf("generation flip: %+v, final gen %d", st, gen.Load())
+}
+
 func TestSharedZeroCapacityStillDedups(t *testing.T) {
 	s := NewShared(0)
 	var loads atomic.Int64
@@ -292,7 +360,7 @@ func TestSharedZeroCapacityStillDedups(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _, err := s.GetOrLoad(Key{1, 1}, func() ([]graph.Edge, int64, error) {
+			_, _, err := s.GetOrLoad(Key{I: 1, J: 1}, func() ([]graph.Edge, int64, error) {
 				loads.Add(1)
 				return mkEdges(1, 1, 1), 10, nil
 			})

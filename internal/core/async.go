@@ -561,7 +561,10 @@ func (a *asyncRun) scatterRowSelective(i, lo int) (int64, error) {
 			}
 			edges = append(edges, runEdges...)
 		}
-		closeErr := r.Close()
+		var closeErr error
+		if r != nil { // nil reader: the block lives entirely in the overlay
+			closeErr = r.Close()
+		}
 		if loopErr != nil {
 			return applied, fmt.Errorf("core: async interval %d sub-block %d: %w", i, j, loopErr)
 		}

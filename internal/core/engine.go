@@ -714,7 +714,7 @@ func (e *Engine) loadBlock(i, j int) ([]graph.Edge, error) {
 	if sc.Compressed() {
 		return e.loadBlockCompressed(sc, i, j)
 	}
-	edges, hit, err := sc.GetOrLoad(buffer.Key{I: i, J: j}, func() ([]graph.Edge, int64, error) {
+	edges, hit, err := sc.GetOrLoad(buffer.Key{I: i, J: j, Gen: e.layout.BlockVersion(i, j)}, func() ([]graph.Edge, int64, error) {
 		bufp, _ := e.ioBufs.Get().(*[]byte)
 		if bufp == nil {
 			bufp = new([]byte)

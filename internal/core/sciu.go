@@ -58,7 +58,10 @@ func (e *Engine) fetchSCIUBlock(req pipeline.Request) (sciuBlock, error) {
 		return true
 	})
 	e.ioBufs.Put(bufp)
-	closeErr := r.Close()
+	var closeErr error
+	if r != nil { // nil reader: the block lives entirely in the overlay
+		closeErr = r.Close()
+	}
 	if loopErr != nil {
 		return blk, fmt.Errorf("core: sciu interval %d sub-block %d: %w", i, j, loopErr)
 	}

@@ -116,7 +116,7 @@ func (e *Engine) payloadPriority(k buffer.Key, set *bitset.ActiveSet) int64 {
 // workers included — decodes its hit in its own goroutine, so decode
 // overlaps compute exactly like the reads themselves.
 func (e *Engine) loadBlockCompressed(sc *buffer.Shared, i, j int) ([]graph.Edge, error) {
-	payload, hit, err := sc.GetOrLoadBytes(buffer.Key{I: i, J: j}, func() ([]byte, int64, error) {
+	payload, hit, err := sc.GetOrLoadBytes(buffer.Key{I: i, J: j, Gen: e.layout.BlockVersion(i, j)}, func() ([]byte, int64, error) {
 		p, err := e.layout.LoadSubBlockPayload(i, j)
 		return p, e.layout.Meta.SubBlockBytes(i, j), err
 	})

@@ -4,40 +4,20 @@
 // or killed server can replay the log at startup and put every job back into
 // the state the outside world last observed.
 //
-// The log lives in a plain host directory — like checkpoints, it is
-// operational state of the server, deliberately outside the simulated
-// storage.Device whose faults it must survive. It is segmented: records are
-// appended to the newest segment and the file rotates once it passes the
-// configured size, so replay cost and torn-tail blast radius stay bounded.
-// Each process run opens a fresh segment; earlier segments are never touched
-// again, which is what makes the "only the newest segment of each run can be
-// torn" replay rule sound.
-//
-// Frame format (little-endian):
-//
-//	u32 payload length | u32 CRC32C(payload) | payload (JSON Record)
-//
-// Replay walks segments in creation order and tolerates a truncated or
-// corrupt tail in any segment — the signature a crash mid-append leaves —
-// by stopping that segment at the first bad frame and continuing with the
-// next segment. Submit/start/final appends are fsynced before returning
-// (durability precedes acknowledgement); progress records are advisory and
-// skip the sync.
+// The framing, segmentation and torn-tail recovery discipline live in
+// internal/wal (shared with the mutable-graph mutation log); this file owns
+// the JSON record encoding and which record types must be fsynced before
+// acknowledgement: submit/start/final are, progress records are advisory
+// and skip the sync.
 package jobs
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"os"
-	"path/filepath"
-	"sort"
-	"sync"
 	"time"
 
-	"github.com/graphsd/graphsd/internal/storage"
+	"github.com/graphsd/graphsd/internal/wal"
 )
 
 // Record types. The journal is a typed event log; see Record.
@@ -82,15 +62,9 @@ var ErrJournalUnavailable = errors.New("jobs: journal unavailable")
 // rejected instead of replayed.
 var journalMagic = [8]byte{'G', 'S', 'D', 'J', 'R', 'N', '0', '1'}
 
-var journalCRC = crc32.MakeTable(crc32.Castagnoli)
-
 // DefaultSegmentBytes is the rotation threshold when OpenJournal is given
 // zero.
-const DefaultSegmentBytes = 1 << 20
-
-// maxFrameBytes bounds a single record; a length field beyond it is treated
-// as tail corruption, not an allocation request.
-const maxFrameBytes = 1 << 22
+const DefaultSegmentBytes = wal.DefaultSegmentBytes
 
 // JournalStats describes a journal's activity, for /metrics.
 type JournalStats struct {
@@ -111,18 +85,8 @@ type JournalStats struct {
 // Journal is the append-side handle. Safe for concurrent use; appends are
 // serialised.
 type Journal struct {
-	dir      string
-	segBytes int64
-
-	mu       sync.Mutex
-	f        *os.File
-	segIndex int
-	segSize  int64
-	stats    JournalStats
+	log      *wal.Log
 	replayed []Record
-	fault    func(op, name string) error
-	failed   error // sticky: first append failure
-	closed   bool
 }
 
 // OpenJournal opens (creating if needed) the journal in dir, replays every
@@ -130,111 +94,40 @@ type Journal struct {
 // appends. segBytes is the rotation threshold (0: DefaultSegmentBytes).
 // The replayed records are available from Replayed until ConsumeReplay.
 func OpenJournal(dir string, segBytes int64) (*Journal, error) {
-	if segBytes <= 0 {
-		segBytes = DefaultSegmentBytes
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("jobs: journal dir: %w", err)
-	}
-	j := &Journal{dir: dir, segBytes: segBytes}
-
-	start := time.Now()
-	names, err := j.segmentNames()
+	log, err := wal.Open(dir, wal.Options{
+		Prefix:       "journal",
+		Magic:        journalMagic,
+		SegmentBytes: segBytes,
+		// A CRC-valid frame that does not decode as a Record is tail
+		// corruption for replay purposes, same as a torn frame.
+		Accept: func(payload []byte) bool {
+			var rec Record
+			return json.Unmarshal(payload, &rec) == nil
+		},
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("jobs: %w", err)
 	}
-	maxIdx := 0
-	for _, name := range names {
-		idx := segmentIndex(name)
-		if idx > maxIdx {
-			maxIdx = idx
+	j := &Journal{log: log}
+	for _, payload := range log.ConsumeReplay() {
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// Accept already validated the payload; a failure here is a
+			// programming error, not a disk state.
+			return nil, fmt.Errorf("jobs: journal replay: %w", err)
 		}
-		recs, truncated, err := replaySegment(filepath.Join(dir, name))
-		if err != nil {
-			return nil, fmt.Errorf("jobs: journal segment %s: %w", name, err)
-		}
-		if truncated {
-			j.stats.ReplayTruncated++
-		}
-		j.replayed = append(j.replayed, recs...)
-	}
-	j.stats.ReplayRecords = int64(len(j.replayed))
-	j.stats.ReplayTime = time.Since(start)
-	j.stats.Segments = len(names)
-
-	j.segIndex = maxIdx + 1
-	if err := j.openSegment(); err != nil {
-		return nil, err
+		j.replayed = append(j.replayed, rec)
 	}
 	return j, nil
 }
 
-// segmentNames lists the journal's segment files in index order.
-func (j *Journal) segmentNames() ([]string, error) {
-	entries, err := os.ReadDir(j.dir)
-	if err != nil {
-		return nil, fmt.Errorf("jobs: journal dir: %w", err)
-	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && segmentIndex(e.Name()) > 0 {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Slice(names, func(a, b int) bool { return segmentIndex(names[a]) < segmentIndex(names[b]) })
-	return names, nil
-}
-
-func segmentName(idx int) string { return fmt.Sprintf("journal-%06d.wal", idx) }
-
-// segmentIndex parses a segment file name, returning 0 for foreign files.
-func segmentIndex(name string) int {
-	var idx int
-	if _, err := fmt.Sscanf(name, "journal-%06d.wal", &idx); err != nil {
-		return 0
-	}
-	return idx
-}
-
-// openSegment creates the segment at j.segIndex, writes the magic header,
-// and fsyncs file and directory so the segment survives a crash.
-func (j *Journal) openSegment() error {
-	p := filepath.Join(j.dir, segmentName(j.segIndex))
-	f, err := os.OpenFile(p, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-	if err != nil {
-		return fmt.Errorf("jobs: journal segment: %w", err)
-	}
-	if _, err := f.Write(journalMagic[:]); err == nil {
-		err = f.Sync()
-	}
-	if err != nil {
-		f.Close()
-		os.Remove(p)
-		return fmt.Errorf("jobs: journal segment: %w", err)
-	}
-	if d, err := os.Open(j.dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-	j.f = f
-	j.segSize = int64(len(journalMagic))
-	j.stats.Segments++
-	return nil
-}
-
 // Replayed returns the records recovered when the journal was opened, in
 // append order.
-func (j *Journal) Replayed() []Record {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.replayed
-}
+func (j *Journal) Replayed() []Record { return j.replayed }
 
 // ConsumeReplay returns the replayed records and releases the journal's
 // reference to them.
 func (j *Journal) ConsumeReplay() []Record {
-	j.mu.Lock()
-	defer j.mu.Unlock()
 	recs := j.replayed
 	j.replayed = nil
 	return recs
@@ -246,29 +139,27 @@ func (j *Journal) ConsumeReplay() []Record {
 // disk (the signature of a crash mid-append); any error marks the journal
 // failed — every later Append returns ErrJournalUnavailable. A
 // storage.Chaos injector slots in directly.
-func (j *Journal) SetFaultInjector(fn func(op, name string) error) {
-	j.mu.Lock()
-	j.fault = fn
-	j.mu.Unlock()
-}
+func (j *Journal) SetFaultInjector(fn func(op, name string) error) { j.log.SetFaultInjector(fn) }
 
 // Stats returns a snapshot of the journal's counters.
 func (j *Journal) Stats() JournalStats {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.stats
+	s := j.log.Stats()
+	return JournalStats{
+		Records:         s.Records,
+		Bytes:           s.Bytes,
+		Segments:        s.Segments,
+		ReplayRecords:   s.ReplayRecords,
+		ReplayTruncated: s.ReplayTruncated,
+		ReplayTime:      s.ReplayTime,
+	}
 }
 
 // Err returns the sticky failure that made the journal unavailable, nil
 // while it is healthy.
-func (j *Journal) Err() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.failed
-}
+func (j *Journal) Err() error { return j.log.Err() }
 
 // Dir returns the journal directory.
-func (j *Journal) Dir() string { return j.dir }
+func (j *Journal) Dir() string { return j.log.Dir() }
 
 // Append journals rec. Submit, start, and final records are fsynced before
 // returning; progress records are buffered by the OS (their loss costs only
@@ -279,114 +170,24 @@ func (j *Journal) Append(rec Record) error {
 	if err != nil {
 		return fmt.Errorf("jobs: journal encode: %w", err)
 	}
-	frame := make([]byte, 0, 8+len(payload))
-	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, journalCRC))
-	frame = append(frame, payload...)
-
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.failed != nil {
-		return fmt.Errorf("%w: %v", ErrJournalUnavailable, j.failed)
-	}
-	if j.closed {
-		return fmt.Errorf("%w: closed", ErrJournalUnavailable)
-	}
-	if j.fault != nil {
-		if ferr := j.fault("append", segmentName(j.segIndex)); ferr != nil {
-			if errors.Is(ferr, storage.ErrTornWrite) {
-				// A crash mid-append: a prefix of the frame reaches the disk
-				// and nothing after it ever will.
-				j.f.Write(frame[:len(frame)/2])
-				j.f.Sync()
-			}
-			j.failed = ferr
-			return fmt.Errorf("%w: %w", ErrJournalUnavailable, ferr)
-		}
-	}
-	if _, err := j.f.Write(frame); err != nil {
-		j.failed = err
-		return fmt.Errorf("%w: %v", ErrJournalUnavailable, err)
-	}
-	if rec.Type != RecProgress {
-		if err := j.f.Sync(); err != nil {
-			j.failed = err
-			return fmt.Errorf("%w: %v", ErrJournalUnavailable, err)
-		}
-	}
-	j.segSize += int64(len(frame))
-	j.stats.Records++
-	j.stats.Bytes += int64(len(frame))
-	if j.segSize >= j.segBytes {
-		if err := j.rotate(); err != nil {
-			j.failed = err
-			return fmt.Errorf("%w: %v", ErrJournalUnavailable, err)
-		}
+	if err := j.log.Append(payload, rec.Type != RecProgress); err != nil {
+		return fmt.Errorf("%w: %w", ErrJournalUnavailable, err)
 	}
 	return nil
 }
 
-// rotate seals the active segment and opens the next. Called with mu held.
-func (j *Journal) rotate() error {
-	if err := j.f.Sync(); err != nil {
-		return err
-	}
-	if err := j.f.Close(); err != nil {
-		return err
-	}
-	j.segIndex++
-	return j.openSegment()
-}
-
 // Close seals the journal; subsequent appends fail with
 // ErrJournalUnavailable. Idempotent.
-func (j *Journal) Close() error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.closed {
-		return nil
-	}
-	j.closed = true
-	if j.f == nil {
-		return nil
-	}
-	serr := j.f.Sync()
-	cerr := j.f.Close()
-	return errors.Join(serr, cerr)
-}
+func (j *Journal) Close() error { return j.log.Close() }
 
-// replaySegment decodes one segment, stopping at the first bad frame.
-// truncated reports whether anything after the last good frame was
-// discarded. A missing or foreign magic header is an error — that is not
-// the signature of a crash.
-func replaySegment(path string) (recs []Record, truncated bool, err error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, false, err
+// segmentName / segmentIndex mirror the wal package's segment naming for
+// the journal's prefix; tests use them to locate and forge segment files.
+func segmentName(idx int) string { return fmt.Sprintf("journal-%06d.wal", idx) }
+
+func segmentIndex(name string) int {
+	var idx int
+	if _, err := fmt.Sscanf(name, "journal-%06d.wal", &idx); err != nil {
+		return 0
 	}
-	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != string(journalMagic[:]) {
-		return nil, false, fmt.Errorf("bad segment magic")
-	}
-	data = data[len(journalMagic):]
-	for len(data) > 0 {
-		if len(data) < 8 {
-			return recs, true, nil
-		}
-		n := binary.LittleEndian.Uint32(data)
-		want := binary.LittleEndian.Uint32(data[4:])
-		if n > maxFrameBytes || int(n) > len(data)-8 {
-			return recs, true, nil
-		}
-		payload := data[8 : 8+n]
-		if crc32.Checksum(payload, journalCRC) != want {
-			return recs, true, nil
-		}
-		var rec Record
-		if err := json.Unmarshal(payload, &rec); err != nil {
-			return recs, true, nil
-		}
-		recs = append(recs, rec)
-		data = data[8+n:]
-	}
-	return recs, false, nil
+	return idx
 }

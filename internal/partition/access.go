@@ -27,10 +27,30 @@ func (l *Layout) LoadSubBlock(i, j int) ([]graph.Edge, error) {
 // overlaps compute exactly like the reads themselves.
 func (l *Layout) LoadSubBlockInto(i, j int, dst []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
 	dst = dst[:0]
+	od := l.overlayDelta(i, j)
 	if l.Meta.SubBlockEdges(i, j) == 0 {
+		// With an overlay, Meta carries the merged count: zero means the
+		// tombstones erased every base edge, so there is nothing to read.
 		return dst, buf, nil
 	}
-	buf, err := l.Dev.ReadFileInto(SubBlockName(i, j), buf)
+	if od == nil {
+		return l.loadBaseBlockInto(i, j, dst, buf)
+	}
+	var base []graph.Edge
+	if l.Dev.Exists(l.Meta.BlockName(i, j)) {
+		var err error
+		base, buf, err = l.loadBaseBlockInto(i, j, nil, buf)
+		if err != nil {
+			return dst, buf, err
+		}
+	}
+	return MergeOverlay(dst, base, od), buf, nil
+}
+
+// loadBaseBlockInto reads and decodes sub-block (i, j)'s base payload —
+// LoadSubBlockInto without the overlay merge.
+func (l *Layout) loadBaseBlockInto(i, j int, dst []graph.Edge, buf []byte) ([]graph.Edge, []byte, error) {
+	buf, err := l.Dev.ReadFileInto(l.Meta.BlockName(i, j), buf)
 	if err != nil {
 		return dst, buf, fmt.Errorf("partition: loading sub-block (%d,%d) [%s]: %w", i, j, l.Meta.BlockCodec(), err)
 	}
@@ -64,7 +84,25 @@ func (l *Layout) LoadSubBlockPayload(i, j int) ([]byte, error) {
 	if l.Meta.SubBlockEdges(i, j) == 0 {
 		return nil, nil
 	}
-	buf, err := l.Dev.ReadFile(SubBlockName(i, j))
+	if od := l.overlayDelta(i, j); od != nil {
+		// Mutated blocks synthesize the merged payload: the compressed
+		// cache tier stores the merged view, keyed by content version like
+		// every other cache entry.
+		edges, _, err := l.LoadSubBlockInto(i, j, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(edges) == 0 {
+			return nil, nil
+		}
+		t0 := time.Now()
+		iLo, _ := l.Meta.Interval(i)
+		jLo, _ := l.Meta.Interval(j)
+		payload := graph.EncodeDeltaBlock(nil, edges, graph.VertexID(iLo), graph.VertexID(jLo), l.Meta.Weighted)
+		l.noteDecode(t0)
+		return payload, nil
+	}
+	buf, err := l.Dev.ReadFile(l.Meta.BlockName(i, j))
 	if err != nil {
 		return nil, fmt.Errorf("partition: loading sub-block (%d,%d) [%s]: %w", i, j, l.Meta.BlockCodec(), err)
 	}
@@ -97,6 +135,30 @@ func (l *Layout) LoadSubBlockPayload(i, j int) ([]byte, error) {
 func (l *Layout) StreamSubBlock(i, j int, chunkBytes int64, fn func(edges []graph.Edge) error) error {
 	total := l.Meta.SubBlockEdges(i, j)
 	if total == 0 {
+		return nil
+	}
+	if od := l.overlayDelta(i, j); od != nil {
+		// Mutated blocks are merged in full and handed out in record-count
+		// chunks: the overlay must interleave with the base stream, and a
+		// memtable-bounded delta keeps the merged cell's residency close to
+		// the base cell's.
+		edges, _, err := l.LoadSubBlockInto(i, j, nil, nil)
+		if err != nil {
+			return err
+		}
+		per := int(chunkBytes / int64(l.Meta.EdgeRecordBytes()))
+		if per < 1 {
+			per = 1
+		}
+		for off := 0; off < len(edges); off += per {
+			end := off + per
+			if end > len(edges) {
+				end = len(edges)
+			}
+			if err := fn(edges[off:end]); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	if l.Meta.BlockCodec() == graph.CodecDelta {
@@ -228,6 +290,10 @@ type Index struct {
 	Off []int64
 
 	srcBase, dstBase graph.VertexID
+	// blockJ is the destination interval of the sub-block this index
+	// belongs to, or -1 for row indexes — the coordinate the selective read
+	// path needs to look up overlay mutations.
+	blockJ int
 }
 
 // LoadIndex reads the per-vertex offset index of sub-block (i, j). The
@@ -235,7 +301,7 @@ type Index struct {
 // sequentially: indexes are small and loaded in one stream, matching the
 // 2|V|·N index/value term of the paper's C_r model.
 func (l *Layout) LoadIndex(i, j int) (*Index, error) {
-	data, err := l.Dev.ReadFile(IndexName(i, j))
+	data, err := l.Dev.ReadFile(l.Meta.BlockIndexName(i, j))
 	if err != nil {
 		return nil, fmt.Errorf("partition: loading index (%d,%d): %w", i, j, err)
 	}
@@ -246,7 +312,7 @@ func (l *Layout) LoadIndex(i, j int) (*Index, error) {
 	}
 	iLo, _ := l.Meta.Interval(i)
 	jLo, _ := l.Meta.Interval(j)
-	return &Index{Rec: rec, Off: off, srcBase: graph.VertexID(iLo), dstBase: graph.VertexID(jLo)}, nil
+	return &Index{Rec: rec, Off: off, srcBase: graph.VertexID(iLo), dstBase: graph.VertexID(jLo), blockJ: j}, nil
 }
 
 // decodeIndexData parses an index file. Format v1 stores fixed 8-byte
@@ -316,12 +382,19 @@ func decodeMonotoneDeltas(data []byte, n int) ([]int64, int, error) {
 }
 
 // OpenSubBlock opens sub-block (i, j) for positional reads. The caller must
-// Close the reader. Opening an empty sub-block returns (nil, nil).
+// Close the reader. Opening an empty sub-block returns (nil, nil) — as does
+// a block whose merged count is positive but whose base file is absent
+// (pure-overlay content): ReadVertexEdges serves those vertices from the
+// overlay alone and tolerates a nil reader.
 func (l *Layout) OpenSubBlock(i, j int) (*storage.Reader, error) {
 	if l.Meta.SubBlockEdges(i, j) == 0 {
 		return nil, nil
 	}
-	r, err := l.Dev.Open(SubBlockName(i, j))
+	name := l.Meta.BlockName(i, j)
+	if l.Overlay != nil && !l.Dev.Exists(name) {
+		return nil, nil
+	}
+	r, err := l.Dev.Open(name)
 	if err != nil {
 		return nil, fmt.Errorf("partition: opening sub-block (%d,%d): %w", i, j, err)
 	}
@@ -340,6 +413,30 @@ func (l *Layout) ReadVertexEdges(r *storage.Reader, idx *Index, i int, v graph.V
 	if int(v) < lo || int(v) >= hi {
 		return nil, buf, fmt.Errorf("partition: vertex %d outside interval %d [%d,%d)", v, i, lo, hi)
 	}
+	if l.Overlay != nil && idx.blockJ >= 0 {
+		if sub := OverlayVertexRange(l.Overlay.BlockDelta(i, idx.blockJ), v); len(sub) > 0 {
+			var base []graph.Edge
+			var err error
+			if r != nil {
+				base, buf, err = l.readVertexBase(r, idx, v, lo, buf)
+				if err != nil {
+					return nil, buf, err
+				}
+			}
+			return MergeOverlay(nil, base, sub), buf, nil
+		}
+	}
+	if r == nil {
+		// Pure-overlay block (no base file) and the overlay holds nothing
+		// for v: the vertex has no edges here.
+		return nil, buf, nil
+	}
+	return l.readVertexBase(r, idx, v, lo, buf)
+}
+
+// readVertexBase reads vertex v's base run — ReadVertexEdges without the
+// overlay merge.
+func (l *Layout) readVertexBase(r *storage.Reader, idx *Index, v graph.VertexID, lo int, buf []byte) ([]graph.Edge, []byte, error) {
 	if idx.Off != nil {
 		return l.readVertexEdgesDelta(r, idx, v, lo, buf)
 	}
@@ -391,9 +488,10 @@ func (l *Layout) readVertexEdgesDelta(r *storage.Reader, idx *Index, v graph.Ver
 	return edges, buf, nil
 }
 
-// LoadDegrees reads the per-vertex out-degree table.
+// LoadDegrees reads the per-vertex out-degree table, folding in the
+// overlay's adjustments when one is pinned.
 func (l *Layout) LoadDegrees() ([]uint32, error) {
-	data, err := l.Dev.ReadFile(DegreesName)
+	data, err := l.Dev.ReadFile(l.Meta.DegreesFile())
 	if err != nil {
 		return nil, fmt.Errorf("partition: loading degrees: %w", err)
 	}
@@ -403,6 +501,9 @@ func (l *Layout) LoadDegrees() ([]uint32, error) {
 	deg := make([]uint32, l.Meta.NumVertices)
 	for v := range deg {
 		deg[v] = binary.LittleEndian.Uint32(data[v*4:])
+	}
+	if l.Overlay != nil {
+		l.Overlay.AdjustDegrees(deg)
 	}
 	return deg, nil
 }
@@ -432,7 +533,7 @@ func (l *Layout) LoadRowIndex(i int) (*Index, error) {
 		return nil, fmt.Errorf("partition: row index %d: %w", i, err)
 	}
 	lo, _ := l.Meta.Interval(i)
-	return &Index{Rec: rec, srcBase: graph.VertexID(lo)}, nil
+	return &Index{Rec: rec, srcBase: graph.VertexID(lo), blockJ: -1}, nil
 }
 
 // OpenRow opens row block i for positional reads; (nil, nil) if absent.

@@ -49,12 +49,87 @@ type Manifest struct {
 	// Lumos uses the grid). Nil when unrecorded.
 	RowSums []uint32 `json:"row_sums,omitempty"`
 	ColSums []uint32 `json:"col_sums,omitempty"`
+
+	// Generation counts compaction publishes of a mutable layout. Immutable
+	// layouts stay at 0. Every compaction writes the blocks it rewrites
+	// under new generation-qualified file names and bumps this, so a crash
+	// between block writes and the manifest publish leaves only orphan
+	// files, never a half-updated layout.
+	Generation int `json:"generation,omitempty"`
+	// BlockGens[i][j] is the generation whose file holds sub-block (i, j)'s
+	// current payload and index: 0 names the original blocks/b_iiii_jjjj.*
+	// paths, g > 0 the generation-qualified ones. Nil means all zero.
+	BlockGens [][]int `json:"block_gens,omitempty"`
+	// DegreesGen versions the out-degree table the same way; compactions
+	// that fold delta-layer degree adjustments rewrite it under a new name.
+	DegreesGen int `json:"degrees_gen,omitempty"`
+	// DeltaLayers lists the sealed, not-yet-compacted mutation layers
+	// overlaying the base grid, oldest first. The counts, sizes and sums
+	// above always describe the base blocks only; readers overlay the
+	// layers through a merged view (see Overlay).
+	DeltaLayers []LayerRef `json:"delta_layers,omitempty"`
+	// MutationsTotal counts every mutation sealed into a delta layer over
+	// the lifetime of the layout (compaction does not reset it), so the
+	// serving metrics survive a restart.
+	MutationsTotal int64 `json:"mutations_total,omitempty"`
+	// LastLayerID is the highest delta-layer ID ever sealed. Compaction
+	// removes layers from DeltaLayers but never rolls this back, so layer
+	// IDs — and their payload file names — are never reused while an old
+	// file might still await garbage collection.
+	LastLayerID int `json:"last_layer_id,omitempty"`
+}
+
+// LayerRef describes one sealed delta layer in the manifest: which
+// sub-blocks it touches, the on-device payload of each, and the sparse
+// out-degree adjustments its mutations imply. A layer is immutable once
+// published; compaction folds a prefix of the layer list into the base grid
+// and removes it from the manifest in the same atomic publish.
+type LayerRef struct {
+	// ID is the layer's unique, monotonically increasing identifier; it
+	// names the layer's block payload files (LayerBlockName).
+	ID int `json:"id"`
+	// Mutations is the number of acknowledged mutations sealed into this
+	// layer (after per-key normalization, one per distinct mutated key).
+	Mutations int64 `json:"mutations"`
+	// Blocks lists the touched sub-blocks, in (i, j) order.
+	Blocks []LayerBlock `json:"blocks"`
+	// DegVertices/DegDeltas record the layer's sparse out-degree
+	// adjustments: degree(DegVertices[k]) changes by DegDeltas[k].
+	DegVertices []uint32 `json:"deg_vertices,omitempty"`
+	DegDeltas   []int32  `json:"deg_deltas,omitempty"`
+}
+
+// LayerBlock is one sub-block's slice of a delta layer.
+type LayerBlock struct {
+	I int `json:"i"`
+	J int `json:"j"`
+	// Upserts and Tombs count the layer's inserted/replaced keys and
+	// deletion tombstones in this sub-block.
+	Upserts int64 `json:"upserts"`
+	Tombs   int64 `json:"tombs,omitempty"`
+	// EdgeDelta is how the layer changes the sub-block's merged edge count
+	// (inserts of absent keys add, deletes of present keys subtract —
+	// counting duplicate base copies, which a mutation removes together).
+	EdgeDelta int64 `json:"edge_delta"`
+	// Bytes and Sum are the on-device size and CRC32C of the layer's block
+	// payload file.
+	Bytes int64  `json:"bytes"`
+	Sum   uint32 `json:"sum"`
 }
 
 // Layout is an opened partitioned graph on a device.
 type Layout struct {
 	Dev  *storage.Device
 	Meta Manifest
+	// Overlay, when non-nil, is a pinned set of pending edge mutations
+	// (sealed delta layers plus a frozen memtable snapshot) merged into
+	// every read: LoadSubBlockInto, StreamSubBlock, LoadSubBlockPayload,
+	// ReadVertexEdges and LoadDegrees all return the merged view. In that
+	// case Meta must be the *merged* manifest — EdgeCounts, NumEdges and
+	// BlockBytes adjusted for the overlay — while BlockSums keep the base
+	// sums (only base payloads are verified; overlay output is synthesized
+	// in memory). Nil for immutable layouts.
+	Overlay Overlay
 	// PrepCPU is the in-memory CPU time (bucketing, sorting, encoding) the
 	// preprocessor spent building this layout, exclusive of device writes.
 	// Zero for layouts opened with Load.
@@ -330,16 +405,156 @@ func (m *Manifest) Validate() error {
 	if total != m.NumEdges {
 		return fmt.Errorf("partition: edge counts sum %d != NumEdges %d", total, m.NumEdges)
 	}
+	if m.Generation < 0 || m.DegreesGen < 0 || m.DegreesGen > m.Generation {
+		return fmt.Errorf("partition: bad generations gen=%d degrees=%d", m.Generation, m.DegreesGen)
+	}
+	if m.BlockGens != nil {
+		if len(m.BlockGens) != m.P {
+			return fmt.Errorf("partition: block generation rows %d != P %d", len(m.BlockGens), m.P)
+		}
+		for i, row := range m.BlockGens {
+			if len(row) != m.P {
+				return fmt.Errorf("partition: block generation row %d has %d entries, want %d", i, len(row), m.P)
+			}
+			for _, g := range row {
+				if g < 0 || g > m.Generation {
+					return fmt.Errorf("partition: block generation %d outside [0,%d] in row %d", g, m.Generation, i)
+				}
+			}
+		}
+	}
+	lastID := 0
+	for k, l := range m.DeltaLayers {
+		if l.ID <= lastID {
+			return fmt.Errorf("partition: delta layer IDs not increasing at entry %d (%d after %d)", k, l.ID, lastID)
+		}
+		lastID = l.ID
+		if len(l.DegVertices) != len(l.DegDeltas) {
+			return fmt.Errorf("partition: delta layer %d degree arrays disagree (%d vs %d)", l.ID, len(l.DegVertices), len(l.DegDeltas))
+		}
+		for _, b := range l.Blocks {
+			if b.I < 0 || b.I >= m.P || b.J < 0 || b.J >= m.P {
+				return fmt.Errorf("partition: delta layer %d block (%d,%d) outside grid", l.ID, b.I, b.J)
+			}
+			if b.Bytes < 0 || b.Upserts < 0 || b.Tombs < 0 {
+				return fmt.Errorf("partition: delta layer %d block (%d,%d) negative sizes", l.ID, b.I, b.J)
+			}
+		}
+	}
 	return nil
 }
 
+// OverlayEdge is one resolved pending mutation: an upsert of Edge, or — when
+// Del is set — a tombstone deleting every base copy of (Edge.Src, Edge.Dst).
+type OverlayEdge struct {
+	Edge graph.Edge
+	Del  bool
+}
+
+// Overlay is a pinned, immutable set of pending edge mutations layered over
+// a layout's base grid — sealed delta layers plus a frozen memtable
+// snapshot, resolved so each mutated (src, dst) key appears exactly once.
+// The delta package provides the implementation; partition only consumes it,
+// which keeps the read path free of an upward dependency.
+type Overlay interface {
+	// BlockDelta returns sub-block (i, j)'s resolved mutations sorted by
+	// (Src, Dst), or nil when the block has none. The slice is immutable.
+	BlockDelta(i, j int) []OverlayEdge
+	// BlockVersion returns the monotone content version of sub-block
+	// (i, j) as of the pin — the generation component of cache keys.
+	BlockVersion(i, j int) int64
+	// AdjustDegrees applies the overlay's out-degree adjustments in place
+	// to a base degree table.
+	AdjustDegrees(deg []uint32)
+}
+
+// BlockVersion returns the content version of sub-block (i, j) for cache
+// keying: the overlay's pinned version, or 0 for immutable layouts.
+func (l *Layout) BlockVersion(i, j int) int64 {
+	if l.Overlay == nil {
+		return 0
+	}
+	return l.Overlay.BlockVersion(i, j)
+}
+
+// overlayDelta returns the overlay's resolved mutations for (i, j), nil
+// when there is no overlay or it leaves the block untouched.
+func (l *Layout) overlayDelta(i, j int) []OverlayEdge {
+	if l.Overlay == nil {
+		return nil
+	}
+	return l.Overlay.BlockDelta(i, j)
+}
+
 // SubBlockName returns the device-relative file name of sub-block (i, j)'s
-// edge payload.
+// edge payload at generation 0.
 func SubBlockName(i, j int) string { return fmt.Sprintf("blocks/b_%04d_%04d.edges", i, j) }
 
 // IndexName returns the device-relative file name of sub-block (i, j)'s
-// per-vertex offset index.
+// per-vertex offset index at generation 0.
 func IndexName(i, j int) string { return fmt.Sprintf("blocks/b_%04d_%04d.idx", i, j) }
+
+// SubBlockNameAt / IndexNameAt return the generation-qualified file names
+// compactions write rewritten sub-blocks under. Generation 0 is the
+// original (un-qualified) name, so immutable layouts are a degenerate case.
+func SubBlockNameAt(gen, i, j int) string {
+	if gen == 0 {
+		return SubBlockName(i, j)
+	}
+	return fmt.Sprintf("blocks/g%06d_b_%04d_%04d.edges", gen, i, j)
+}
+
+func IndexNameAt(gen, i, j int) string {
+	if gen == 0 {
+		return IndexName(i, j)
+	}
+	return fmt.Sprintf("blocks/g%06d_b_%04d_%04d.idx", gen, i, j)
+}
+
+// LayerBlockName returns the file name of delta layer id's payload for
+// sub-block (i, j).
+func LayerBlockName(id, i, j int) string {
+	return fmt.Sprintf("delta/l%06d_b_%04d_%04d.mut", id, i, j)
+}
+
+// DegreesNameAt returns the generation-qualified out-degree table name.
+func DegreesNameAt(gen int) string {
+	if gen == 0 {
+		return DegreesName
+	}
+	return fmt.Sprintf("degrees_g%06d.bin", gen)
+}
+
+// BlockGen returns the generation of sub-block (i, j)'s current files.
+func (m *Manifest) BlockGen(i, j int) int {
+	if m.BlockGens == nil {
+		return 0
+	}
+	return m.BlockGens[i][j]
+}
+
+// BlockName returns the current payload file of sub-block (i, j), resolving
+// the per-block generation.
+func (m *Manifest) BlockName(i, j int) string { return SubBlockNameAt(m.BlockGen(i, j), i, j) }
+
+// BlockIndexName returns the current index file of sub-block (i, j).
+func (m *Manifest) BlockIndexName(i, j int) string { return IndexNameAt(m.BlockGen(i, j), i, j) }
+
+// DegreesFile returns the current out-degree table file name.
+func (m *Manifest) DegreesFile() string { return DegreesNameAt(m.DegreesGen) }
+
+// DeltaDiskBytes returns the summed on-device payload of the manifest's
+// sealed delta layers — the "pending compaction" volume surfaced by stats
+// and metrics.
+func (m *Manifest) DeltaDiskBytes() int64 {
+	var total int64
+	for _, l := range m.DeltaLayers {
+		for _, b := range l.Blocks {
+			total += b.Bytes
+		}
+	}
+	return total
+}
 
 // RowName returns the file name of row block i in row-major layouts
 // (HUS-Graph and Lumos preprocessors).
@@ -377,6 +592,17 @@ func saveManifest(dev *storage.Device, m *Manifest) error {
 		return fmt.Errorf("partition: encoding manifest: %w", err)
 	}
 	return dev.WriteFile(ManifestName, data)
+}
+
+// SaveManifest atomically publishes m as the device's manifest — the single
+// commit point for delta-layer seals and compactions: WriteFile stages the
+// bytes in a temp file and renames, so readers observe either the old or
+// the new manifest, never a prefix.
+func SaveManifest(dev *storage.Device, m *Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	return saveManifest(dev, m)
 }
 
 // Load opens an existing layout on the device.

@@ -1,0 +1,65 @@
+package partition
+
+import (
+	"sort"
+
+	"github.com/graphsd/graphsd/internal/graph"
+)
+
+// keyLess orders (src, dst) pairs the way grid cells are sorted on disk.
+func keyLess(aSrc, aDst, bSrc, bDst graph.VertexID) bool {
+	if aSrc != bSrc {
+		return aSrc < bSrc
+	}
+	return aDst < bDst
+}
+
+// MergeOverlay merges a src-then-dst-sorted base edge slice with a resolved,
+// equally sorted overlay, appending the merged sub-block content to dst and
+// returning it. Overlay entries win per (src, dst) key: an upsert replaces
+// every base copy of the key (duplicate base records of the same key are a
+// single logical edge for mutation purposes), a tombstone removes them. The
+// output preserves the on-disk sort order, so a merged block is
+// byte-for-byte the cell a fresh preprocess of the merged edge set would
+// build.
+func MergeOverlay(dst, base []graph.Edge, delta []OverlayEdge) []graph.Edge {
+	b, d := 0, 0
+	for b < len(base) && d < len(delta) {
+		be, de := base[b], delta[d].Edge
+		switch {
+		case keyLess(be.Src, be.Dst, de.Src, de.Dst):
+			dst = append(dst, be)
+			b++
+		case keyLess(de.Src, de.Dst, be.Src, be.Dst):
+			if !delta[d].Del {
+				dst = append(dst, de)
+			}
+			d++
+		default:
+			// Same key: the overlay entry supersedes every base copy.
+			for b < len(base) && base[b].Src == de.Src && base[b].Dst == de.Dst {
+				b++
+			}
+			if !delta[d].Del {
+				dst = append(dst, de)
+			}
+			d++
+		}
+	}
+	dst = append(dst, base[b:]...)
+	for ; d < len(delta); d++ {
+		if !delta[d].Del {
+			dst = append(dst, delta[d].Edge)
+		}
+	}
+	return dst
+}
+
+// OverlayVertexRange returns the sub-slice of a sorted overlay whose entries
+// have source vertex v — the per-vertex slice the selective read path merges
+// with a vertex's base run.
+func OverlayVertexRange(delta []OverlayEdge, v graph.VertexID) []OverlayEdge {
+	lo := sort.Search(len(delta), func(k int) bool { return delta[k].Edge.Src >= v })
+	hi := sort.Search(len(delta), func(k int) bool { return delta[k].Edge.Src > v })
+	return delta[lo:hi]
+}

@@ -1,0 +1,79 @@
+package partition
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/graphsd/graphsd/internal/graph"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+// RewriteBlock writes sub-block (i, j)'s merged content at generation gen —
+// the compaction write path. cell must be src-then-dst sorted and lie
+// entirely inside the block's intervals. The payload and per-vertex index
+// are encoded exactly as Build would (same codec, same formats), and m's
+// EdgeCounts, BlockBytes, BlockSums and BlockGens entries are updated in
+// place; the caller publishes the updated manifest with SaveManifest once
+// every rewritten block is on the device. Like Build, an empty cell writes
+// no payload file, only the index.
+func RewriteBlock(dev *storage.Device, m *Manifest, gen, i, j int, cell []graph.Edge) error {
+	if gen <= 0 {
+		return fmt.Errorf("partition: rewrite generation must be positive, got %d", gen)
+	}
+	lo, hi := m.Interval(i)
+	rec := buildVertexIndex(cell, lo, hi, func(e graph.Edge) graph.VertexID { return e.Src })
+	var off []int64
+	if m.BlockCodec() == graph.CodecDelta {
+		off = make([]int64, len(rec))
+	}
+	var payload []byte
+	if len(cell) > 0 {
+		if m.BlockCodec() == graph.CodecDelta {
+			dstLo, _ := m.Interval(j)
+			payload = encodeDeltaCell(cell, rec, lo, dstLo, m.Weighted, off)
+		} else {
+			payload = encodeRawEdges(cell, m.Weighted)
+		}
+		if err := dev.WriteFile(SubBlockNameAt(gen, i, j), payload); err != nil {
+			return fmt.Errorf("partition: rewriting sub-block (%d,%d)@g%d: %w", i, j, gen, err)
+		}
+	}
+	buf := binary.AppendUvarint(nil, uint64(len(rec)))
+	buf = appendMonotoneDeltas(buf, rec)
+	if off != nil {
+		buf = appendMonotoneDeltas(buf, off)
+	}
+	if err := dev.WriteFile(IndexNameAt(gen, i, j), buf); err != nil {
+		return fmt.Errorf("partition: rewriting index (%d,%d)@g%d: %w", i, j, gen, err)
+	}
+	if m.BlockGens == nil {
+		m.BlockGens = make([][]int, m.P)
+		for k := range m.BlockGens {
+			m.BlockGens[k] = make([]int, m.P)
+		}
+	}
+	m.EdgeCounts[i][j] = int64(len(cell))
+	m.BlockBytes[i][j] = int64(len(payload))
+	m.BlockSums[i][j] = Checksum(payload)
+	m.BlockGens[i][j] = gen
+	return nil
+}
+
+// WriteDegreesAt writes deg as the out-degree table at generation gen and
+// points m at it. Compactions that fold delta-layer degree adjustments call
+// this before publishing the manifest, so pinned snapshots keep reading the
+// old table by its old name.
+func WriteDegreesAt(dev *storage.Device, m *Manifest, gen int, deg []uint32) error {
+	if len(deg) != m.NumVertices {
+		return fmt.Errorf("partition: degree table has %d entries, want %d", len(deg), m.NumVertices)
+	}
+	buf := make([]byte, 0, len(deg)*4)
+	for _, d := range deg {
+		buf = binary.LittleEndian.AppendUint32(buf, d)
+	}
+	if err := dev.WriteFile(DegreesNameAt(gen), buf); err != nil {
+		return fmt.Errorf("partition: rewriting degrees@g%d: %w", gen, err)
+	}
+	m.DegreesGen = gen
+	return nil
+}

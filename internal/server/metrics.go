@@ -108,6 +108,52 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Val("graphsd_device_busy_seconds_total", s.graphs[name].dev.Stats().TotalTime().Seconds(), metrics.L("graph", name))
 	}
 
+	// Mutable-graph write path: all-time mutation and compaction counts
+	// ride in the manifest (MutationsTotal, Generation), so these counters
+	// survive restarts; layer count/bytes and the memtable are live state.
+	// Read-only graphs are omitted — absence distinguishes "not mutable"
+	// from "no writes yet".
+	var mutable []string
+	for _, name := range s.names {
+		if s.graphs[name].store != nil {
+			mutable = append(mutable, name)
+		}
+	}
+	if len(mutable) > 0 {
+		p.Header("graphsd_mutations_total", "counter", "Edge mutations durably applied to the graph over its lifetime (survives restarts).")
+		for _, name := range mutable {
+			p.Int("graphsd_mutations_total", s.graphs[name].store.Stats().MutationsTotal, metrics.L("graph", name))
+		}
+		p.Header("graphsd_compactions_total", "counter", "Compactions published over the graph's lifetime (the layout generation; survives restarts).")
+		for _, name := range mutable {
+			p.Int("graphsd_compactions_total", int64(s.graphs[name].store.Stats().Generation), metrics.L("graph", name))
+		}
+		p.Header("graphsd_delta_layers", "gauge", "Sealed delta layers awaiting compaction.")
+		for _, name := range mutable {
+			p.Int("graphsd_delta_layers", int64(s.graphs[name].store.Stats().Layers), metrics.L("graph", name))
+		}
+		p.Header("graphsd_delta_bytes", "gauge", "On-disk bytes of sealed delta layers (pending-compaction volume).")
+		for _, name := range mutable {
+			p.Int("graphsd_delta_bytes", s.graphs[name].store.Stats().LayerBytes, metrics.L("graph", name))
+		}
+		p.Header("graphsd_memtable_bytes", "gauge", "Estimated bytes of unsealed mutations in the memtable.")
+		for _, name := range mutable {
+			p.Int("graphsd_memtable_bytes", s.graphs[name].store.Stats().MemtableBytes, metrics.L("graph", name))
+		}
+		p.Header("graphsd_mutation_batches_total", "counter", "Mutation batches acknowledged by this process.")
+		for _, name := range mutable {
+			p.Int("graphsd_mutation_batches_total", s.graphs[name].store.Stats().Batches, metrics.L("graph", name))
+		}
+		p.Header("graphsd_memtable_seals_total", "counter", "Memtable seals into delta layers by this process.")
+		for _, name := range mutable {
+			p.Int("graphsd_memtable_seals_total", s.graphs[name].store.Stats().Seals, metrics.L("graph", name))
+		}
+		p.Header("graphsd_snapshot_pins", "gauge", "Live job snapshots pinning a layout generation.")
+		for _, name := range mutable {
+			p.Int("graphsd_snapshot_pins", int64(s.graphs[name].store.Stats().Pins), metrics.L("graph", name))
+		}
+	}
+
 	// Shared sub-block cache, per graph.
 	p.Header("graphsd_shared_cache_hits_total", "counter", "Sub-block loads served from the cross-job shared cache (incl. single-flight dedup waits).")
 	for _, name := range s.names {

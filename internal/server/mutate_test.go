@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/graphsd/graphsd/internal/algorithms"
+	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/delta"
+	"github.com/graphsd/graphsd/internal/jobs"
+	"github.com/graphsd/graphsd/internal/partition"
+	"github.com/graphsd/graphsd/internal/storage"
+)
+
+func postMutations(t *testing.T, ts *httptest.Server, graphName string, muts []map[string]any) (int, map[string]any) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"mutations": muts})
+	resp, err := http.Post(ts.URL+"/v1/graphs/"+graphName+"/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+// scrapeMetric pulls one sample value out of the Prometheus exposition.
+func scrapeMetric(t *testing.T, ts *httptest.Server, name, graphName string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	re := regexp.MustCompile(fmt.Sprintf(`(?m)^%s\{graph="%s"[^}]*\} (\S+)$`, name, graphName))
+	m := re.FindSubmatch(text)
+	if m == nil {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		t.Fatalf("metric %s: bad value %q", name, m[1])
+	}
+	return v, true
+}
+
+// TestMutableGraphEndToEnd drives the whole write path over HTTP:
+// ingest → query → explicit compact → restart, with the mutation metrics
+// asserted before and after the restart (they ride in the manifest, not in
+// process memory).
+func TestMutableGraphEndToEnd(t *testing.T) {
+	dir, g := buildLayoutDir(t, 8, 11, 3)
+	cfg := Config{Graphs: []GraphConfig{{
+		Name: "m", Dir: dir, Profile: storage.SSD,
+		Mutable: true, MemtableBytes: 1, // seal after every batch
+	}}}
+	s, ts := newTestServer(t, cfg)
+
+	// Reference: the same query against the mutated edge set, computed on
+	// the quiet base via the delta store's reference semantics.
+	muts := []map[string]any{
+		{"op": "insert", "src": 0, "dst": 5},
+		{"op": "insert", "src": 5, "dst": 9},
+		{"op": "delete", "src": uint32(g.Edges[0].Src), "dst": uint32(g.Edges[0].Dst)},
+	}
+	code, out := postMutations(t, ts, "m", muts)
+	if code != http.StatusOK {
+		t.Fatalf("mutate: HTTP %d %v", code, out)
+	}
+	if out["accepted"].(float64) != 3 {
+		t.Fatalf("accepted = %v, want 3", out["accepted"])
+	}
+	dm := []delta.Mutation{
+		{Op: delta.OpInsert, Src: 0, Dst: 5},
+		{Op: delta.OpInsert, Src: 5, Dst: 9},
+		{Op: delta.OpDelete, Src: g.Edges[0].Src, Dst: g.Edges[0].Dst},
+	}
+	wantLayout := func() *core.Result {
+		dev2, err := storage.OpenDevice(t.TempDir(), storage.SSD)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := partition.Build(dev2, delta.ApplyToGraph(g, dm), 3); err != nil {
+			t.Fatal(err)
+		}
+		l, err := partition.Load(dev2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := algorithms.ByName("pr", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(l, prog, core.Options{DefaultBuffer: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}()
+
+	// Query through the server: the job pins a snapshot of base + deltas.
+	code, st := postJob(t, ts, jobs.Request{Graph: "m", Algorithm: "pr"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitDone(t, ts, st.ID)
+	var res struct {
+		Full []float64 `json:"full"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/result?full=1", &res); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	for i, v := range wantLayout.Outputs {
+		if res.Full[i] != v {
+			t.Fatalf("vertex %d = %v, want %v (mutations not visible to job)", i, res.Full[i], v)
+		}
+	}
+
+	// Error paths.
+	if code, _ := postMutations(t, ts, "nope", muts); code != http.StatusNotFound {
+		t.Fatalf("unknown graph: HTTP %d, want 404", code)
+	}
+	if code, _ := postMutations(t, ts, "m", []map[string]any{{"op": "upsert", "src": 1, "dst": 2}}); code != http.StatusBadRequest {
+		t.Fatalf("bad op: HTTP %d, want 400", code)
+	}
+	if code, _ := postMutations(t, ts, "m", []map[string]any{{"op": "insert", "src": 1 << 30, "dst": 2}}); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range vertex: HTTP %d, want 400", code)
+	}
+	if code, _ := postMutations(t, ts, "m", nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: HTTP %d, want 400", code)
+	}
+
+	// Metrics before compaction: three mutations, at least one sealed layer.
+	if v, ok := scrapeMetric(t, ts, "graphsd_mutations_total", "m"); !ok || v != 3 {
+		t.Fatalf("graphsd_mutations_total = %v (present=%t), want 3", v, ok)
+	}
+	if v, ok := scrapeMetric(t, ts, "graphsd_delta_layers", "m"); !ok || v < 1 {
+		t.Fatalf("graphsd_delta_layers = %v (present=%t), want >= 1", v, ok)
+	}
+	if v, ok := scrapeMetric(t, ts, "graphsd_delta_bytes", "m"); !ok || v <= 0 {
+		t.Fatalf("graphsd_delta_bytes = %v (present=%t), want > 0", v, ok)
+	}
+
+	// Explicit compaction folds the layers into a new base generation.
+	resp, err := http.Post(ts.URL+"/v1/graphs/m/compact", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cout map[string]any
+	json.NewDecoder(resp.Body).Decode(&cout)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || cout["delta_layers"].(float64) != 0 {
+		t.Fatalf("compact: HTTP %d %v", resp.StatusCode, cout)
+	}
+	if v, _ := scrapeMetric(t, ts, "graphsd_compactions_total", "m"); v != 1 {
+		t.Fatalf("graphsd_compactions_total = %v, want 1", v)
+	}
+
+	// Restart: a second server over the same directory. The lifetime
+	// counters come back from the manifest, not from process memory.
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	_, ts2 := newTestServer(t, cfg)
+	if v, ok := scrapeMetric(t, ts2, "graphsd_mutations_total", "m"); !ok || v != 3 {
+		t.Fatalf("after restart: graphsd_mutations_total = %v (present=%t), want 3", v, ok)
+	}
+	if v, _ := scrapeMetric(t, ts2, "graphsd_compactions_total", "m"); v != 1 {
+		t.Fatalf("after restart: graphsd_compactions_total = %v, want 1", v)
+	}
+	if v, _ := scrapeMetric(t, ts2, "graphsd_delta_layers", "m"); v != 0 {
+		t.Fatalf("after restart: graphsd_delta_layers = %v, want 0", v)
+	}
+
+	// And the compacted graph still answers queries identically.
+	code, st2 := postJob(t, ts2, jobs.Request{Graph: "m", Algorithm: "pr"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after restart: HTTP %d", code)
+	}
+	waitDone(t, ts2, st2.ID)
+	var res2 struct {
+		Full []float64 `json:"full"`
+	}
+	getJSON(t, ts2.URL+"/v1/jobs/"+st2.ID+"/result?full=1", &res2)
+	for i, v := range wantLayout.Outputs {
+		if res2.Full[i] != v {
+			t.Fatalf("after restart: vertex %d = %v, want %v", i, res2.Full[i], v)
+		}
+	}
+}
+
+// TestMutateReadOnlyGraphRejected pins the 405 contract for graphs served
+// without -mutable.
+func TestMutateReadOnlyGraphRejected(t *testing.T) {
+	dir, _ := buildLayoutDir(t, 8, 13, 2)
+	_, ts := newTestServer(t, Config{Graphs: []GraphConfig{{Name: "ro", Dir: dir, Profile: storage.SSD}}})
+	code, out := postMutations(t, ts, "ro", []map[string]any{{"op": "insert", "src": 1, "dst": 2}})
+	if code != http.StatusMethodNotAllowed {
+		t.Fatalf("mutating a read-only graph: HTTP %d %v, want 405", code, out)
+	}
+}
+
+// TestWALFaultSheds503 injects a WAL append failure and asserts writes are
+// shed with 503 + Retry-After while queries keep working.
+func TestWALFaultSheds503(t *testing.T) {
+	dir, _ := buildLayoutDir(t, 8, 17, 2)
+	s, ts := newTestServer(t, Config{Graphs: []GraphConfig{{
+		Name: "m", Dir: dir, Profile: storage.SSD, Mutable: true,
+	}}})
+	s.Store("m").SetWALFaultInjector(func(op, _ string) error {
+		if op == "append" {
+			return storage.ErrTornWrite
+		}
+		return nil
+	})
+	code, out := postMutations(t, ts, "m", []map[string]any{{"op": "insert", "src": 1, "dst": 2}})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("mutate with dead WAL: HTTP %d %v, want 503", code, out)
+	}
+	// Reads are unaffected: the snapshot path never touches the WAL.
+	code, st := postJob(t, ts, jobs.Request{Graph: "m", Algorithm: "cc"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit with dead WAL: HTTP %d", code)
+	}
+	waitDone(t, ts, st.ID)
+}

@@ -12,6 +12,8 @@
 //	GET    /v1/jobs/{id}         one job's status
 //	GET    /v1/jobs/{id}/result  top-k (?top=N) or full (?full=1) vertex values; 409 until done
 //	POST   /v1/jobs/{id}/cancel  request cancellation (also DELETE /v1/jobs/{id})
+//	POST   /v1/graphs/{g}/edges  apply {mutations: [{op, src, dst, weight?}]} to a mutable graph
+//	POST   /v1/graphs/{g}/compact fold sealed delta layers into the base grid now
 //	GET    /healthz              liveness
 //	GET    /metrics              Prometheus text exposition
 package server
@@ -33,6 +35,7 @@ import (
 	"github.com/graphsd/graphsd/internal/buffer"
 	"github.com/graphsd/graphsd/internal/checkpoint"
 	"github.com/graphsd/graphsd/internal/core"
+	"github.com/graphsd/graphsd/internal/delta"
 	"github.com/graphsd/graphsd/internal/graph"
 	"github.com/graphsd/graphsd/internal/jobs"
 	"github.com/graphsd/graphsd/internal/partition"
@@ -66,6 +69,15 @@ type GraphConfig struct {
 	// (zero: run to frontier drain).
 	Async        bool
 	AsyncEpsilon float64
+	// Mutable opens the graph through the delta store: POST
+	// /v1/graphs/{name}/edges accepts mutations, jobs pin a snapshot at
+	// submission, and a background compactor folds delta layers into the
+	// base grid. MemtableBytes caps the in-memory write buffer before a
+	// seal (0: delta.Options default); CompactThreshold is the sealed-layer
+	// count that triggers compaction (0: default).
+	Mutable          bool
+	MemtableBytes    int64
+	CompactThreshold int
 }
 
 // Config sizes the server.
@@ -103,9 +115,14 @@ type Config struct {
 // graphEntry is one registered graph: its device, layout, shared cache, and
 // the per-graph aggregates folded in as jobs on it complete.
 type graphEntry struct {
-	name     string
-	dev      *storage.Device
-	layout   *partition.Layout
+	name   string
+	dev    *storage.Device
+	layout *partition.Layout // nil for mutable graphs: jobs pin a snapshot instead
+	store  *delta.Store      // non-nil iff the graph is mutable
+	// meta is a sizing snapshot taken at open (vertex count, edge bytes);
+	// mutable graphs drift from it, but admission control and cache sizing
+	// only need the order of magnitude.
+	meta     partition.Manifest
 	shared   *buffer.Shared
 	sem      bool
 	async    bool
@@ -166,6 +183,12 @@ type Server struct {
 	journal *jobs.Journal // nil without Config.JournalDir
 	mux     *http.ServeMux
 	start   time.Time
+
+	// Background compactor for mutable graphs; stopCompact is closed once,
+	// by whichever of Close/Kill runs first.
+	compactWG   sync.WaitGroup
+	stopCompact chan struct{}
+	stopOnce    sync.Once
 }
 
 // New opens every configured graph and starts the job scheduler.
@@ -180,8 +203,9 @@ func New(cfg Config) (*Server, error) {
 		cfg.QueueDepth = 16
 	}
 	s := &Server{
-		graphs: make(map[string]*graphEntry, len(cfg.Graphs)),
-		start:  time.Now(),
+		graphs:      make(map[string]*graphEntry, len(cfg.Graphs)),
+		start:       time.Now(),
+		stopCompact: make(chan struct{}),
 	}
 	for _, gc := range cfg.Graphs {
 		if gc.Name == "" {
@@ -194,21 +218,43 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: graph %q: %w", gc.Name, err)
 		}
-		l, err := partition.Load(dev)
-		if err != nil {
-			return nil, fmt.Errorf("server: graph %q: %w", gc.Name, err)
-		}
-		if l.Meta.System != "graphsd" {
-			return nil, fmt.Errorf("server: graph %q: layout system %q not servable (need graphsd)", gc.Name, l.Meta.System)
+		var store *delta.Store
+		var l *partition.Layout
+		if gc.Mutable {
+			// The delta store replays the mutation WAL and sweeps crash
+			// leftovers before the graph serves its first job.
+			store, err = delta.Open(dev, delta.Options{
+				MemtableBytes: gc.MemtableBytes,
+				CompactLayers: gc.CompactThreshold,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("server: graph %q: %w", gc.Name, err)
+			}
+		} else {
+			l, err = partition.Load(dev)
+			if err != nil {
+				return nil, fmt.Errorf("server: graph %q: %w", gc.Name, err)
+			}
+			if l.Meta.System != "graphsd" {
+				return nil, fmt.Errorf("server: graph %q: layout system %q not servable (need graphsd)", gc.Name, l.Meta.System)
+			}
 		}
 		if gc.Retries > 0 {
 			pol := storage.DefaultRetryPolicy
 			pol.MaxRetries = gc.Retries
 			dev.SetRetryPolicy(pol)
 		}
+		var meta partition.Manifest
+		if store != nil {
+			v := store.Snapshot()
+			meta = *v.Meta()
+			v.Release()
+		} else {
+			meta = l.Meta
+		}
 		cache := gc.CacheBytes
 		if cache <= 0 {
-			cache = l.Meta.EdgeBytesTotal() / 2
+			cache = meta.EdgeBytesTotal() / 2
 		}
 		newShared := buffer.NewShared
 		if gc.Compressed {
@@ -218,6 +264,8 @@ func New(cfg Config) (*Server, error) {
 			name:     gc.Name,
 			dev:      dev,
 			layout:   l,
+			store:    store,
+			meta:     meta,
 			shared:   newShared(cache),
 			sem:      gc.SEM,
 			async:    gc.Async,
@@ -249,7 +297,35 @@ func New(cfg Config) (*Server, error) {
 	s.sched = jobs.New(jcfg)
 	s.mux = http.NewServeMux()
 	s.routes()
+	for _, g := range s.graphs {
+		if g.store != nil {
+			s.compactWG.Add(1)
+			go s.compactLoop(g)
+		}
+	}
 	return s, nil
+}
+
+// compactLoop folds sealed delta layers into the base grid whenever the
+// store crosses its compaction threshold. Compaction never blocks writers
+// or pinned readers (snapshots keep the retired generation alive until
+// released), so a coarse poll is enough.
+func (s *Server) compactLoop(g *graphEntry) {
+	defer s.compactWG.Done()
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopCompact:
+			return
+		case <-tick.C:
+			if g.store.NeedsCompaction() {
+				// Failures (a crashed device, a fault window) leave the old
+				// generation serving; the next tick retries.
+				g.store.Compact()
+			}
+		}
+	}
 }
 
 // Journal returns the server's job journal, nil when durability is off.
@@ -273,14 +349,32 @@ func (s *Server) Graph(name string) (*buffer.Shared, *storage.Device, bool) {
 	return g.shared, g.dev, true
 }
 
+// Store returns a mutable graph's delta store, nil for read-only graphs or
+// unknown names. For tests and the CLI.
+func (s *Server) Store(name string) *delta.Store {
+	if g, ok := s.graphs[name]; ok {
+		return g.store
+	}
+	return nil
+}
+
 // Close drains the scheduler (cancelling running jobs, waiting for the
 // workers within ctx's deadline) and seals the journal. During the drain
 // new submissions are rejected with 503 + Retry-After.
 func (s *Server) Close(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stopCompact) })
+	s.compactWG.Wait()
 	err := s.sched.Close(ctx)
 	if s.journal != nil {
 		if jerr := s.journal.Close(); err == nil {
 			err = jerr
+		}
+	}
+	for _, g := range s.graphs {
+		if g.store != nil {
+			if serr := g.store.Close(); err == nil {
+				err = serr
+			}
 		}
 	}
 	return err
@@ -290,9 +384,16 @@ func (s *Server) Close(ctx context.Context) error {
 // journal records, the on-disk journal and checkpoints frozen mid-flight —
 // for restart chaos tests that then reopen the same JournalDir.
 func (s *Server) Kill(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stopCompact) })
+	s.compactWG.Wait()
 	err := s.sched.Kill(ctx)
 	if s.journal != nil {
 		s.journal.Close()
+	}
+	for _, g := range s.graphs {
+		if g.store != nil {
+			g.store.Close()
+		}
 	}
 	return err
 }
@@ -308,6 +409,16 @@ func (s *Server) runJob(ctx context.Context, req jobs.Request, info jobs.RunInfo
 	prog, err := algorithms.ByName(req.Algorithm, graph.VertexID(req.Source))
 	if err != nil {
 		return nil, err
+	}
+	// Mutable graphs: pin a snapshot for the job's whole run. Mutations,
+	// seals, and compactions landing while it executes cannot change what
+	// it reads; the pin keeps retired base generations on disk until
+	// released.
+	layout := g.layout
+	if g.store != nil {
+		v := g.store.Snapshot()
+		defer v.Release()
+		layout = v.Layout()
 	}
 	opts := core.Options{
 		MaxIterations: req.MaxIterations,
@@ -329,7 +440,7 @@ func (s *Server) runJob(ctx context.Context, req jobs.Request, info jobs.RunInfo
 			Resume: info.Resume && s.resumableCheckpoint(info.CheckpointDir, prog.Name(), opts.Async, g),
 		}
 	}
-	res, err := core.RunContext(ctx, g.layout, prog, opts)
+	res, err := core.RunContext(ctx, layout, prog, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +460,7 @@ func (s *Server) resumableCheckpoint(dir, progName string, async bool, g *graphE
 	}
 	ci, err := checkpoint.Inspect(dir)
 	if err == nil && ci.Algorithm == progName && ci.Async == async &&
-		ci.NumVertices == g.layout.Meta.NumVertices {
+		ci.NumVertices == g.meta.NumVertices {
 		return true
 	}
 	checkpoint.Remove(dir)
@@ -365,9 +476,9 @@ func (s *Server) estimateBytes(req jobs.Request) int64 {
 	if !ok {
 		return 0
 	}
-	n := int64(g.layout.Meta.NumVertices)
+	n := int64(g.meta.NumVertices)
 	const perVertex = 4*8 + 2 // valPrev/valCur/acc/accNext + 2 bitsets
-	return n*perVertex + g.layout.Meta.EdgeBytesTotal()/4 + 16<<20
+	return n*perVertex + g.meta.EdgeBytesTotal()/4 + 16<<20
 }
 
 // validate rejects a request the scheduler would accept but the runner
@@ -383,8 +494,8 @@ func (s *Server) validate(req jobs.Request) error {
 	if _, err := algorithms.ByName(req.Algorithm, graph.VertexID(req.Source)); err != nil {
 		return err
 	}
-	if int(req.Source) >= g.layout.Meta.NumVertices {
-		return fmt.Errorf("source %d out of range (graph has %d vertices)", req.Source, g.layout.Meta.NumVertices)
+	if int(req.Source) >= g.meta.NumVertices {
+		return fmt.Errorf("source %d out of range (graph has %d vertices)", req.Source, g.meta.NumVertices)
 	}
 	if req.MaxIterations < 0 || req.TimeoutMS < 0 {
 		return errors.New("max_iterations and timeout_ms must be non-negative")
@@ -399,8 +510,116 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/edges", s.handleMutate)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// mutationReq is one entry of a POST /v1/graphs/{name}/edges batch.
+type mutationReq struct {
+	Op     string  `json:"op"` // "insert" or "delete"
+	Src    uint32  `json:"src"`
+	Dst    uint32  `json:"dst"`
+	Weight float32 `json:"weight,omitempty"`
+}
+
+// mutableGraph resolves {name} to a mutable graph or writes the error:
+// 404 for an unknown graph, 405 for one served read-only.
+func (s *Server) mutableGraph(w http.ResponseWriter, r *http.Request) (*graphEntry, bool) {
+	name := r.PathValue("name")
+	g, ok := s.graphs[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown graph %q (have %v)", name, s.names)
+		return nil, false
+	}
+	if g.store == nil {
+		writeError(w, http.StatusMethodNotAllowed, "graph %q is not mutable (serve it with -mutable)", name)
+		return nil, false
+	}
+	return g, true
+}
+
+// handleMutate applies one batch of edge mutations. The 200 response is the
+// durability acknowledgement: every mutation in the batch is in the fsynced
+// WAL and visible to snapshots taken after this call. Batches are
+// all-or-nothing — any invalid mutation rejects the whole batch with 400
+// and nothing is applied.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.mutableGraph(w, r)
+	if !ok {
+		return
+	}
+	var body struct {
+		Mutations []mutationReq `json:"mutations"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(body.Mutations) == 0 {
+		writeError(w, http.StatusBadRequest, "empty mutation batch")
+		return
+	}
+	muts := make([]delta.Mutation, len(body.Mutations))
+	for i, m := range body.Mutations {
+		switch m.Op {
+		case "insert":
+			muts[i].Op = delta.OpInsert
+		case "delete":
+			muts[i].Op = delta.OpDelete
+		default:
+			writeError(w, http.StatusBadRequest, "mutation %d: op %q (want insert or delete)", i, m.Op)
+			return
+		}
+		muts[i].Src = graph.VertexID(m.Src)
+		muts[i].Dst = graph.VertexID(m.Dst)
+		muts[i].Weight = m.Weight
+	}
+	err := g.store.Apply(muts)
+	switch {
+	case err == nil:
+		st := g.store.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"accepted":        len(muts),
+			"mutations_total": st.MutationsTotal,
+			"delta_layers":    st.Layers,
+			"memtable_bytes":  st.MemtableBytes,
+		})
+	case errors.Is(err, delta.ErrWALUnavailable):
+		// The mutation log cannot take durable appends (device fault,
+		// torn write): shed writes until a restart replays and re-opens it.
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, delta.ErrClosed):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		// Validation failures reject the batch before anything is staged.
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// handleCompact triggers a synchronous compaction, folding every sealed
+// delta layer into a new base generation. Idempotent: with nothing sealed
+// it publishes nothing and still returns 200.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.mutableGraph(w, r)
+	if !ok {
+		return
+	}
+	if err := g.store.Compact(); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := g.store.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation":   st.Generation,
+		"delta_layers": st.Layers,
+		"delta_bytes":  st.LayerBytes,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
