@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bootServe starts the real `graphsd serve` binary with extra args and
+// returns its base URL. The process is reaped on test cleanup.
+func bootServe(t *testing.T, layoutDir string, extra ...string) string {
+	t.Helper()
+	args := append([]string{"serve",
+		"-listen", "127.0.0.1:0",
+		"-graph", "g=" + layoutDir,
+	}, extra...)
+	cmd := exec.Command(graphsdBin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	procDone := make(chan error, 1)
+	var outBuf bytes.Buffer
+	var outMu sync.Mutex
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		<-procDone
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		var pending []byte
+		announced := false
+		for {
+			n, err := stdout.Read(buf)
+			if n > 0 {
+				outMu.Lock()
+				outBuf.Write(buf[:n])
+				outMu.Unlock()
+				if !announced {
+					pending = append(pending, buf[:n]...)
+					if m := regexp.MustCompile(`serving on ([^ ]+)`).FindSubmatch(pending); m != nil {
+						addrCh <- string(m[1])
+						announced = true
+					}
+				}
+			}
+			if err != nil {
+				if !announced {
+					close(addrCh)
+				}
+				procDone <- cmd.Wait()
+				return
+			}
+		}
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			outMu.Lock()
+			out := outBuf.String()
+			outMu.Unlock()
+			t.Fatalf("server exited before announcing address:\n%s", out)
+		}
+		return "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never announced its address")
+		return ""
+	}
+}
+
+// TestBenchServeEndToEnd drives the real bench-serve binary against a real
+// multi-tenant server and checks the BENCH_serve.json report and the SLO
+// gate's exit codes.
+func TestBenchServeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	layoutDir := filepath.Join(dir, "layout")
+	run(t, graphgenBin, "-kind", "rmat", "-scale", "10", "-edgefactor", "8", "-o", graphPath)
+	run(t, graphsdBin, "preprocess", "-graph", graphPath, "-layout", layoutDir, "-p", "4")
+
+	tenantsPath := filepath.Join(dir, "tenants.json")
+	tenants := `{"tenants":[
+		{"name":"alpha","token":"tok-alpha"},
+		{"name":"beta","token":"tok-beta"}
+	]}`
+	if err := os.WriteFile(tenantsPath, []byte(tenants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := bootServe(t, layoutDir,
+		"-workers", "2", "-queue", "32", "-mutable",
+		"-tenants", tenantsPath, "-retain-jobs", "100")
+
+	outPath := filepath.Join(dir, "BENCH_serve.json")
+	stdout := run(t, graphsdBin, "bench-serve",
+		"-url", base, "-graph", "g",
+		"-tenants", tenantsPath,
+		"-workers", "2", "-duration", "2s",
+		"-vertices", "1024", "-max-iterations", "4",
+		"-mutate-every", "7", "-mutate-batch", "8",
+		"-out", outPath,
+		"-min-jobs-per-sec", "1", "-min-share", "0.25")
+	if !strings.Contains(stdout, "report written to") {
+		t.Fatalf("bench-serve output missing report line:\n%s", stdout)
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Jobs    int64   `json:"jobs_done"`
+		JobsPS  float64 `json:"jobs_per_sec"`
+		P50ms   float64 `json:"p50_ms"`
+		P99ms   float64 `json:"p99_ms"`
+		Errors  int64   `json:"errors"`
+		Mutates int64   `json:"mutation_batches"`
+		Tenants []struct {
+			Name string  `json:"name"`
+			Jobs int64   `json:"jobs_done"`
+			Shr  float64 `json:"share"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Jobs == 0 || rep.JobsPS <= 0 || rep.P50ms <= 0 || rep.P99ms < rep.P50ms {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errored operations: %s", rep.Errors, data)
+	}
+	if rep.Mutates == 0 {
+		t.Fatalf("mutation traffic never landed: %s", data)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("want 2 tenant reports: %s", data)
+	}
+	var shareSum float64
+	for _, tr := range rep.Tenants {
+		if tr.Jobs == 0 {
+			t.Fatalf("tenant %s completed no jobs: %s", tr.Name, data)
+		}
+		shareSum += tr.Shr
+	}
+	if shareSum < 0.99 || shareSum > 1.01 {
+		t.Fatalf("tenant shares sum to %.3f: %s", shareSum, data)
+	}
+
+	// The gate must bite: an absurd throughput floor fails the command.
+	cmd := exec.Command(graphsdBin, "bench-serve",
+		"-url", base, "-graph", "g", "-tenants", tenantsPath,
+		"-duration", "1s", "-max-iterations", "2",
+		"-min-jobs-per-sec", "1000000")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("bench-serve passed an impossible SLO floor:\n%s", out)
+	}
+	if !strings.Contains(string(out), "SLO violation") {
+		t.Fatalf("failure output does not name the violation:\n%s", out)
+	}
+}

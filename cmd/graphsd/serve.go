@@ -61,6 +61,8 @@ func cmdServe(args []string) error {
 	mutable := fs.Bool("mutable", false, "accept edge mutations on every served graph (POST /v1/graphs/{name}/edges; WAL-backed, snapshot-isolated reads)")
 	memtableBytes := fs.Int64("memtable-bytes", 0, "mutation memtable bytes before sealing a delta layer (0: 1 MiB)")
 	compactThreshold := fs.Int("compact-threshold", 0, "sealed delta layers that trigger background compaction (0: 4)")
+	tenantsFile := fs.String("tenants", "", "multi-tenant mode: JSON tenants file (names, bearer tokens, weights, quotas); see server.LoadTenantsFile")
+	retainJobs := fs.Int("retain-jobs", 0, "retain at most N terminal jobs (older ones are evicted, results included; 0: keep all)")
 	fs.Parse(args)
 	if len(graphs) == 0 {
 		return fmt.Errorf("serve: at least one -graph name=layoutdir is required")
@@ -82,7 +84,7 @@ func cmdServe(args []string) error {
 		graphs[i].CompactThreshold = *compactThreshold
 	}
 
-	s, err := server.New(server.Config{
+	cfg := server.Config{
 		Graphs:          graphs,
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -92,7 +94,17 @@ func cmdServe(args []string) error {
 		JobRetries:      *jobRetries,
 		CheckpointEvery: *ckEvery,
 		CheckpointKeep:  *ckKeep,
-	})
+		RetainJobs:      *retainJobs,
+	}
+	if *tenantsFile != "" {
+		ts, err := server.LoadTenantsFile(*tenantsFile)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		cfg.Tenants = ts
+		fmt.Printf("graphsd: multi-tenant mode: %d tenants\n", len(ts))
+	}
+	s, err := server.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -92,6 +92,11 @@ var States = []State{Queued, Running, Done, Failed, Cancelled, Expired}
 type Request struct {
 	// Graph names a graph registered with the server.
 	Graph string `json:"graph"`
+	// Tenant is the submitting tenant ("" resolves to DefaultTenant). The
+	// HTTP server sets it from the authenticated bearer token; it is
+	// journaled with the submit record so fair-share accounting survives
+	// restarts.
+	Tenant string `json:"tenant,omitempty"`
 	// Algorithm is an algorithms.ByName name (pr, bfs, cc, sssp, ...).
 	Algorithm string `json:"algorithm"`
 	// Source is the source vertex for traversal algorithms.
@@ -156,6 +161,21 @@ type Config struct {
 	EstimateBytes func(Request) int64
 	// Run executes one job. Required.
 	Run Runner
+	// Tenants configures multi-tenant admission: per-tenant quotas and
+	// weighted fair-share dequeue. With tenants configured, submissions
+	// naming an unknown tenant are rejected with ErrUnknownTenant. Empty
+	// runs everything under DefaultTenant with no quotas (single-tenant
+	// behaviour).
+	Tenants []Tenant
+	// RetainJobs, when positive, bounds the terminal (done/failed/
+	// cancelled/expired) jobs kept in memory: once exceeded, the
+	// oldest-finished jobs — and their full result payloads — are evicted.
+	// Eviction is journal-consistent: a restarted scheduler replays every
+	// journaled job and then applies the same policy, so the retained set
+	// matches what an uninterrupted server would hold. Zero retains
+	// everything (the pre-retention behaviour, which leaks on a
+	// long-running server).
+	RetainJobs int
 	// Journal, when non-nil, makes the scheduler durable: submissions and
 	// terminal states are journaled before acknowledgement, and New replays
 	// the journal's recovered records (re-queueing unfinished jobs) before
@@ -195,7 +215,18 @@ var (
 	ErrUnavailable = errors.New("jobs: not accepting jobs (journal unavailable)")
 )
 
-// ErrNotFound reports an unknown job ID.
+// Tenant admission errors; both map to HTTP 4xx in the server.
+var (
+	// ErrTenantQueueFull rejects a submission past the tenant's MaxQueued
+	// quota (HTTP 429) while other tenants still admit fine.
+	ErrTenantQueueFull = errors.New("jobs: tenant queue quota exhausted")
+	// ErrUnknownTenant rejects a submission naming a tenant the scheduler
+	// was not configured with (only when Config.Tenants is non-empty).
+	ErrUnknownTenant = errors.New("jobs: unknown tenant")
+)
+
+// ErrNotFound reports an unknown job ID — including a terminal job already
+// evicted by the retention policy.
 var ErrNotFound = errors.New("jobs: no such job")
 
 // ErrDeadlineExpired is the terminal error of a job that ran out of
@@ -244,6 +275,7 @@ func (j *Job) Recovered() bool {
 type Status struct {
 	ID        string `json:"id"`
 	Graph     string `json:"graph"`
+	Tenant    string `json:"tenant,omitempty"`
 	Algorithm string `json:"algorithm"`
 	State     string `json:"state"`
 	Error     string `json:"error,omitempty"`
@@ -278,6 +310,7 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID:         j.id,
 		Graph:      j.req.Graph,
+		Tenant:     j.req.Tenant,
 		Algorithm:  j.req.Algorithm,
 		State:      j.state.String(),
 		Iterations: j.iterations,
@@ -365,12 +398,22 @@ type RecoveryStats struct {
 // Submit, stop with Close.
 type Scheduler struct {
 	cfg   Config
-	queue chan *Job
-	depth int // admission bound; queue capacity may exceed it after recovery
+	depth int // global admission bound on queued jobs
 
-	mu       sync.Mutex
+	mu      sync.Mutex
+	cond    *sync.Cond // workers wait here for runnable jobs
+	tenants map[string]*tenantState
+	tnames  []string // sorted tenant names, for deterministic dequeue
+	// queuedLen is the total jobs sitting in tenant FIFOs; basePass is the
+	// stride scheduler's global virtual time (see tenants.go).
+	queuedLen int
+	basePass  float64
+	strict    bool // Config.Tenants was non-empty: unknown tenants rejected
+
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
+	terminal []string // terminal order, for retention eviction
+	evicted  int64    // terminal jobs evicted by the retention policy
 	seq      int64
 	memUsed  int64
 	closed   bool
@@ -407,16 +450,25 @@ func New(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:      cfg,
 		depth:    cfg.QueueDepth,
+		tenants:  make(map[string]*tenantState),
+		strict:   len(cfg.Tenants) > 0,
 		jobs:     make(map[string]*Job),
 		finished: make(map[State]int64),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for _, tc := range cfg.Tenants {
+		t := s.tenantLocked(tc.Name) // pre-workers: no locking needed yet
+		t.cfg = tc
 	}
 	var requeue []*Job
 	if cfg.Journal != nil {
 		requeue = s.replay(cfg.Journal.ConsumeReplay())
 	}
-	s.queue = make(chan *Job, cfg.QueueDepth+len(requeue))
+	// Recovered jobs re-enter their tenants' queues ahead of new
+	// submissions, bypassing admission quotas: they were admitted once.
 	for _, j := range requeue {
-		s.queue <- j
+		t := s.tenantLocked(j.req.Tenant)
+		s.enqueueLocked(t, j)
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -430,6 +482,7 @@ func New(cfg Config) *Scheduler {
 // so no locking is needed beyond the job constructors.
 func (s *Scheduler) replay(recs []Record) []*Job {
 	start := time.Now()
+	var finOrder []string // terminal jobs in final-record (finish) order
 	for _, rec := range recs {
 		switch rec.Type {
 		case RecSubmit:
@@ -487,6 +540,7 @@ func (s *Scheduler) replay(recs []Record) []*Job {
 				j.err = errors.New(rec.Error)
 			}
 			j.cancel()
+			finOrder = append(finOrder, j.id)
 		}
 	}
 
@@ -512,10 +566,19 @@ func (s *Scheduler) replay(recs []Record) []*Job {
 		requeue = append(requeue, j)
 	}
 	// The invariant the chaos suite asserts: every journaled submit is
-	// accounted for.
+	// accounted for. Computed before retention eviction mutates the tables.
 	s.recovery.Lost = int64(len(s.order)) - (s.recovery.Recovered + s.recovery.Requeued + s.recovery.Expired)
 	s.recovery.ReplaySeconds = time.Since(start).Seconds()
 	s.gcOrphanCheckpoints(requeue)
+	// Retention replays too: terminal jobs enter the eviction ring in
+	// finish order (expiries detected above already did, via expireLocked),
+	// and the same bound an uninterrupted server enforces is applied.
+	for _, id := range finOrder {
+		if j := s.jobs[id]; j != nil && j.state.Final() {
+			s.noteTerminalLocked(j)
+		}
+	}
+	s.evictTerminalLocked()
 	return requeue
 }
 
@@ -531,6 +594,7 @@ func (s *Scheduler) expireLocked(j *Job, now time.Time) {
 	s.expired++
 	s.journalFinal(j, Expired, ErrDeadlineExpired)
 	s.gcCheckpointLocked(j.id)
+	s.noteTerminalLocked(j)
 }
 
 // checkpointDir returns the job's private checkpoint directory.
@@ -590,12 +654,12 @@ func jobSeq(id string) int64 {
 }
 
 // Submit admits req, returning the queued job or an admission error
-// (ErrQueueFull, ErrMemBudget, ErrClosed, ErrUnavailable). With a journal
-// configured the submission is durable before Submit returns. Job IDs are
-// deterministic in the submission sequence: j<seq>-<fnv32a of
-// graph|algorithm|params>, so equal request streams produce equal IDs
-// across server runs — and across restarts, because the replayed journal
-// re-seeds the sequence.
+// (ErrQueueFull, ErrTenantQueueFull, ErrUnknownTenant, ErrMemBudget,
+// ErrClosed, ErrUnavailable). With a journal configured the submission is
+// durable before Submit returns. Job IDs are deterministic in the
+// submission sequence: j<seq>-<fnv32a of tenant|graph|algorithm|params>, so
+// equal request streams produce equal IDs across server runs — and across
+// restarts, because the replayed journal re-seeds the sequence.
 func (s *Scheduler) Submit(req Request) (*Job, error) {
 	est := int64(0)
 	if s.cfg.EstimateBytes != nil {
@@ -610,11 +674,23 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	if s.cfg.Journal != nil && s.cfg.Journal.Err() != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnavailable, s.cfg.Journal.Err())
 	}
+	name := req.Tenant
+	if name == "" {
+		name = DefaultTenant
+	}
+	if s.strict && s.tenants[name] == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, name)
+	}
+	t := s.tenantLocked(name)
+	if t.cfg.MaxQueued > 0 && t.queued >= t.cfg.MaxQueued {
+		return nil, fmt.Errorf("%w: tenant %q has %d queued (quota %d)",
+			ErrTenantQueueFull, name, t.queued, t.cfg.MaxQueued)
+	}
 	if s.cfg.MemBudget > 0 && s.memUsed+est > s.cfg.MemBudget {
 		return nil, fmt.Errorf("%w: %d bytes reserved, job needs %d, budget %d",
 			ErrMemBudget, s.memUsed, est, s.cfg.MemBudget)
 	}
-	if len(s.queue) >= s.depth {
+	if s.queuedLen >= s.depth {
 		return nil, fmt.Errorf("%w: depth %d", ErrQueueFull, s.depth)
 	}
 	seq := s.seq + 1
@@ -640,19 +716,18 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 		}
 	}
 	s.seq = seq
-	// The depth check above plus the fact that only Submit (under mu) adds
-	// to the queue makes this send non-blocking.
-	s.queue <- j
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.memUsed += est
+	s.enqueueLocked(t, j)
+	s.cond.Signal()
 	return j, nil
 }
 
 // jobID derives the deterministic job identifier.
 func jobID(seq int64, req Request) string {
 	h := fnv.New32a()
-	fmt.Fprintf(h, "%s|%s|%d|%d", req.Graph, req.Algorithm, req.Source, req.MaxIterations)
+	fmt.Fprintf(h, "%s|%s|%s|%d|%d", req.Tenant, req.Graph, req.Algorithm, req.Source, req.MaxIterations)
 	return fmt.Sprintf("j%05d-%08x", seq, h.Sum32())
 }
 
@@ -664,15 +739,87 @@ func (s *Scheduler) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Jobs returns all jobs in submission order.
+// Jobs returns all retained jobs in submission order. Terminal jobs beyond
+// the retention bound have been evicted and are absent.
 func (s *Scheduler) Jobs() []*Job {
+	jobs, _ := s.JobsPage(0, -1)
+	return jobs
+}
+
+// JobsPage returns retained jobs [offset, offset+limit) in submission
+// order, plus the total retained count. A negative limit means "through the
+// end"; an offset past the end returns an empty page.
+func (s *Scheduler) JobsPage(offset, limit int) ([]*Job, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]*Job, 0, len(s.order))
+	live := make([]*Job, 0, len(s.jobs))
 	for _, id := range s.order {
-		out = append(out, s.jobs[id])
+		if j, ok := s.jobs[id]; ok {
+			live = append(live, j)
+		}
 	}
-	return out
+	total := len(live)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit >= 0 && offset+limit < end {
+		end = offset + limit
+	}
+	return live[offset:end], total
+}
+
+// Evicted returns the total terminal jobs dropped by the retention policy.
+func (s *Scheduler) Evicted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// Retained returns the jobs currently held in memory.
+func (s *Scheduler) Retained() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// noteTerminalLocked appends j to the terminal ring in finish order. Called
+// with s.mu held, exactly once per job at its terminal edge (or at replay).
+func (s *Scheduler) noteTerminalLocked(j *Job) {
+	s.terminal = append(s.terminal, j.id)
+}
+
+// evictTerminalLocked enforces Config.RetainJobs: the oldest-finished jobs
+// beyond the bound are dropped from the tables, result payloads and all.
+// Their journal records stay — a replayed journal rebuilds and re-evicts
+// them identically. Called with s.mu held.
+func (s *Scheduler) evictTerminalLocked() {
+	if s.cfg.RetainJobs <= 0 {
+		return
+	}
+	for len(s.terminal) > s.cfg.RetainJobs {
+		id := s.terminal[0]
+		s.terminal[0] = ""
+		s.terminal = s.terminal[1:]
+		if _, ok := s.jobs[id]; ok {
+			delete(s.jobs, id)
+			s.evicted++
+		}
+	}
+	// s.order keeps evicted IDs until it is mostly tombstones, then
+	// compacts, so listing stays O(live) amortised without eager splicing.
+	if len(s.order) > 2*len(s.jobs)+16 {
+		live := s.order[:0]
+		for _, id := range s.order {
+			if _, ok := s.jobs[id]; ok {
+				live = append(live, id)
+			}
+		}
+		s.order = live
+	}
 }
 
 // Cancel requests cancellation of the job: a queued job is marked cancelled
@@ -699,7 +846,7 @@ func (s *Scheduler) Cancel(id string) error {
 }
 
 // finishQueued accounts a job that went terminal without ever running:
-// journal, checkpoint GC, reservation release, counter.
+// journal, checkpoint GC, reservation release, counter, retention.
 func (s *Scheduler) finishQueued(j *Job, final State, err error) {
 	s.mu.Lock()
 	s.journalFinal(j, final, err)
@@ -709,6 +856,8 @@ func (s *Scheduler) finishQueued(j *Job, final State, err error) {
 	if final == Expired {
 		s.expired++
 	}
+	s.noteTerminalLocked(j)
+	s.evictTerminalLocked()
 	s.mu.Unlock()
 }
 
@@ -754,7 +903,11 @@ func (s *Scheduler) Counts() map[State]int64 {
 }
 
 // QueueDepth returns (queued jobs, admission capacity).
-func (s *Scheduler) QueueDepth() (int, int) { return len(s.queue), s.depth }
+func (s *Scheduler) QueueDepth() (int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queuedLen, s.depth
+}
 
 // MemReserved returns the summed memory estimates of queued and running
 // jobs, and the configured budget (0 = unlimited).
@@ -765,8 +918,9 @@ func (s *Scheduler) MemReserved() (used, budget int64) {
 }
 
 // release returns a finished job's memory reservation and tallies its
-// terminal state. Idempotence is guaranteed by callers: it runs exactly
-// once per job, at the single Queued→terminal or Running→terminal edge.
+// terminal state (and fair-share Done count). Idempotence is guaranteed by
+// callers: it runs exactly once per job, at the single Running→terminal
+// edge.
 func (s *Scheduler) release(j *Job, final State) {
 	s.mu.Lock()
 	s.memUsed -= j.estBytes
@@ -774,6 +928,11 @@ func (s *Scheduler) release(j *Job, final State) {
 	if final == Expired {
 		s.expired++
 	}
+	if final == Done {
+		s.tenantLocked(j.req.Tenant).done++
+	}
+	s.noteTerminalLocked(j)
+	s.evictTerminalLocked()
 	s.mu.Unlock()
 }
 
@@ -816,14 +975,39 @@ func (s *Scheduler) Recovery() RecoveryStats {
 
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
 		s.mu.Lock()
 		dead := s.killed
 		s.mu.Unlock()
-		if dead {
-			continue // crash simulation: nothing runs, nothing is journaled
+		if !dead { // killed: crash simulation — nothing runs, nothing is journaled
+			s.runJob(j)
 		}
-		s.runJob(j)
+		s.mu.Lock()
+		s.tenantLocked(j.req.Tenant).running--
+		s.cond.Signal() // a running slot freed: a quota-blocked tenant may now go
+		s.mu.Unlock()
+	}
+}
+
+// next blocks until a job is runnable under the fair-share policy and
+// returns it, or returns nil when the scheduler is shut down and (for a
+// graceful Close) the queues have drained. The returned job may have been
+// cancelled while queued; runJob detects that and skips it.
+func (s *Scheduler) next() *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed && (s.killed || s.queuedLen == 0) {
+			return nil
+		}
+		if j := s.nextLocked(); j != nil {
+			return j
+		}
+		s.cond.Wait()
 	}
 }
 
@@ -981,7 +1165,9 @@ func (s *Scheduler) Close(ctx context.Context) error {
 	s.closed = true
 	jobs := make([]*Job, 0, len(s.jobs))
 	for _, id := range s.order {
-		jobs = append(jobs, s.jobs[id])
+		if j := s.jobs[id]; j != nil { // nil: evicted by retention
+			jobs = append(jobs, j)
+		}
 	}
 	s.mu.Unlock()
 
@@ -1005,7 +1191,11 @@ func (s *Scheduler) Close(ctx context.Context) error {
 		j.mu.Unlock()
 		j.cancel() // running: prompt stop; terminal: no-op
 	}
-	close(s.queue)
+	// The cancelled jobs still sit in their tenants' FIFOs; woken workers
+	// pop and skip them until the queues drain, then exit.
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
 
 	done := make(chan struct{})
 	go func() {
@@ -1042,7 +1232,9 @@ func (s *Scheduler) Kill(ctx context.Context) error {
 	for _, j := range jobs {
 		j.cancel()
 	}
-	close(s.queue)
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

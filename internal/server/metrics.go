@@ -55,6 +55,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Val("graphsd_journal_replay_seconds", js.ReplayTime.Seconds())
 	}
 
+	// Retention: how many terminal jobs remain retrievable vs evicted to
+	// bound memory. evicted > 0 with lost = 0 is the healthy steady state
+	// of a long-running bounded server.
+	p.Header("graphsd_jobs_retained", "gauge", "Terminal jobs still retrievable (bounded by -retain-jobs).")
+	p.Int("graphsd_jobs_retained", int64(s.sched.Retained()))
+	p.Header("graphsd_jobs_evicted_total", "counter", "Terminal jobs evicted by retention, result payloads and all.")
+	p.Int("graphsd_jobs_evicted_total", s.sched.Evicted())
+
+	// Per-tenant scheduler state: admission counts and live queue/running
+	// occupancy, for fairness audits. A single-tenant server reports one
+	// "default" row.
+	tenants := s.sched.Tenants()
+	p.Header("graphsd_tenant_jobs_submitted_total", "counter", "Jobs admitted, by tenant.")
+	for _, t := range tenants {
+		p.Int("graphsd_tenant_jobs_submitted_total", t.Submitted, metrics.L("tenant", t.Name))
+	}
+	p.Header("graphsd_tenant_jobs_done_total", "counter", "Jobs finished Done, by tenant.")
+	for _, t := range tenants {
+		p.Int("graphsd_tenant_jobs_done_total", t.Done, metrics.L("tenant", t.Name))
+	}
+	p.Header("graphsd_tenant_jobs_queued", "gauge", "Jobs waiting in the tenant's queue.")
+	for _, t := range tenants {
+		p.Int("graphsd_tenant_jobs_queued", int64(t.Queued), metrics.L("tenant", t.Name))
+	}
+	p.Header("graphsd_tenant_jobs_running", "gauge", "Jobs the tenant has running.")
+	for _, t := range tenants {
+		p.Int("graphsd_tenant_jobs_running", int64(t.Running), metrics.L("tenant", t.Name))
+	}
+	p.Header("graphsd_tenant_weight", "gauge", "Fair-share weight.")
+	for _, t := range tenants {
+		p.Int("graphsd_tenant_weight", int64(t.Weight), metrics.L("tenant", t.Name))
+	}
+
 	p.Header("graphsd_jobs_current", "gauge", "Jobs currently queued or running.")
 	counts := s.sched.Counts()
 	for _, st := range []jobs.State{jobs.Queued, jobs.Running} {

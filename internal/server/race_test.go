@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; timing-
+// sensitive SLO tests skip themselves under it (instrumentation slows the
+// engine ~10x, so throughput and fairness floors stop meaning anything).
+const raceEnabled = true

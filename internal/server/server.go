@@ -8,14 +8,19 @@
 // API (JSON unless noted):
 //
 //	POST   /v1/jobs              submit {graph, algorithm, source?, max_iterations?, timeout_ms?} → 202 status
-//	GET    /v1/jobs              list job statuses in submission order
+//	GET    /v1/jobs              list job statuses in submission order, paginated (?offset, ?limit; default limit 100)
 //	GET    /v1/jobs/{id}         one job's status
-//	GET    /v1/jobs/{id}/result  top-k (?top=N) or full (?full=1) vertex values; 409 until done
+//	GET    /v1/jobs/{id}/result  top-k (?top=N) or full (?full=1, streamed; ?offset/&limit paginate) vertex values; 409 until done
 //	POST   /v1/jobs/{id}/cancel  request cancellation (also DELETE /v1/jobs/{id})
 //	POST   /v1/graphs/{g}/edges  apply {mutations: [{op, src, dst, weight?}]} to a mutable graph
 //	POST   /v1/graphs/{g}/compact fold sealed delta layers into the base grid now
 //	GET    /healthz              liveness
 //	GET    /metrics              Prometheus text exposition
+//
+// With Config.Tenants set, every /v1 endpoint requires `Authorization:
+// Bearer <token>`; jobs are scoped to the submitting tenant, the scheduler
+// shares workers by tenant weight, and per-tenant quotas map to 429
+// (queue, mutation rate) or 401/403 (bad token, impersonation).
 package server
 
 import (
@@ -110,6 +115,17 @@ type Config struct {
 	// when the request carries no timeout of its own.
 	JobRetries int
 	JobTimeout time.Duration
+	// Tenants, when non-empty, turns on multi-tenant serving: every /v1
+	// request must carry one of the configured bearer tokens, jobs are
+	// visible only to the tenant that submitted them, the scheduler
+	// dequeues by weighted fair share, and per-tenant quotas (queue,
+	// concurrency, mutation bytes/sec) apply. See LoadTenantsFile.
+	Tenants []jobs.Tenant
+	// RetainJobs bounds how many terminal (done/failed/cancelled/expired)
+	// jobs the scheduler keeps retrievable; beyond it the oldest-finished
+	// are evicted, result payloads and all. 0 keeps everything — only
+	// sensible for short-lived test servers.
+	RetainJobs int
 }
 
 // graphEntry is one registered graph: its device, layout, shared cache, and
@@ -119,9 +135,10 @@ type graphEntry struct {
 	dev    *storage.Device
 	layout *partition.Layout // nil for mutable graphs: jobs pin a snapshot instead
 	store  *delta.Store      // non-nil iff the graph is mutable
-	// meta is a sizing snapshot taken at open (vertex count, edge bytes);
-	// mutable graphs drift from it, but admission control and cache sizing
-	// only need the order of magnitude.
+	// meta is the sizing snapshot taken at open (vertex count, edge
+	// bytes), used for cache sizing. Mutable graphs drift from it as
+	// mutations and compactions land — anything that sizes or validates a
+	// new request must go through manifest(), not meta.
 	meta     partition.Manifest
 	shared   *buffer.Shared
 	sem      bool
@@ -147,6 +164,22 @@ type graphEntry struct {
 	schedMaxMispred   float64
 	schedCorrFull     float64
 	schedCorrOnDemand float64
+}
+
+// manifest returns the graph's current sizing manifest. Immutable graphs
+// return the open-time snapshot; mutable graphs read the store's live
+// snapshot, because EdgeBytesTotal (and with it admission estimates and
+// buffer sizing inputs) drifts as ingest and compaction land. Using the
+// stale open-time meta here was a bug: after heavy ingest, admission
+// control under-estimated job memory against the grown edge volume.
+func (g *graphEntry) manifest() partition.Manifest {
+	if g.store != nil {
+		v := g.store.Snapshot()
+		m := *v.Meta()
+		v.Release()
+		return m
+	}
+	return g.meta
 }
 
 // fold accumulates a completed run's per-job stats into the graph's
@@ -182,7 +215,15 @@ type Server struct {
 	sched   *jobs.Scheduler
 	journal *jobs.Journal // nil without Config.JournalDir
 	mux     *http.ServeMux
+	handler http.Handler // mux, behind auth when tenants are configured
 	start   time.Time
+
+	// Multi-tenant auth state, fixed at New: token → tenant name, and one
+	// mutation-rate bucket per metered tenant. authOn iff Config.Tenants
+	// was non-empty.
+	authOn  bool
+	tokens  map[string]string
+	buckets map[string]*rateBucket
 
 	// Background compactor for mutable graphs; stopCompact is closed once,
 	// by whichever of Close/Kill runs first.
@@ -274,6 +315,20 @@ func New(cfg Config) (*Server, error) {
 		s.names = append(s.names, gc.Name)
 	}
 	sort.Strings(s.names)
+	if len(cfg.Tenants) > 0 {
+		if err := ValidateTenants(cfg.Tenants); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.authOn = true
+		s.tokens = make(map[string]string, len(cfg.Tenants))
+		s.buckets = make(map[string]*rateBucket, len(cfg.Tenants))
+		for _, t := range cfg.Tenants {
+			s.tokens[t.Token] = t.Name
+			if t.MutationBytesPerSec > 0 {
+				s.buckets[t.Name] = newRateBucket(t.MutationBytesPerSec)
+			}
+		}
+	}
 	jcfg := jobs.Config{
 		Workers:        cfg.Workers,
 		QueueDepth:     cfg.QueueDepth,
@@ -282,6 +337,8 @@ func New(cfg Config) (*Server, error) {
 		Run:            s.runJob,
 		Retries:        cfg.JobRetries,
 		DefaultTimeout: cfg.JobTimeout,
+		Tenants:        cfg.Tenants,
+		RetainJobs:     cfg.RetainJobs,
 	}
 	if cfg.JournalDir != "" {
 		jr, err := jobs.OpenJournal(filepath.Join(cfg.JournalDir, "wal"), cfg.JournalSegmentBytes)
@@ -297,6 +354,10 @@ func New(cfg Config) (*Server, error) {
 	s.sched = jobs.New(jcfg)
 	s.mux = http.NewServeMux()
 	s.routes()
+	s.handler = http.Handler(s.mux)
+	if s.authOn {
+		s.handler = s.withAuth(s.mux)
+	}
 	for _, g := range s.graphs {
 		if g.store != nil {
 			s.compactWG.Add(1)
@@ -334,8 +395,9 @@ func (s *Server) Journal() *jobs.Journal { return s.journal }
 // Recovery reports what the startup journal replay did.
 func (s *Server) Recovery() jobs.RecoveryStats { return s.sched.Recovery() }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler (wrapped in bearer-token
+// auth when tenants are configured).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Scheduler exposes the job scheduler, for tests and the CLI.
 func (s *Server) Scheduler() *jobs.Scheduler { return s.sched }
@@ -460,7 +522,7 @@ func (s *Server) resumableCheckpoint(dir, progName string, async bool, g *graphE
 	}
 	ci, err := checkpoint.Inspect(dir)
 	if err == nil && ci.Algorithm == progName && ci.Async == async &&
-		ci.NumVertices == g.meta.NumVertices {
+		ci.NumVertices == g.manifest().NumVertices {
 		return true
 	}
 	checkpoint.Remove(dir)
@@ -476,9 +538,10 @@ func (s *Server) estimateBytes(req jobs.Request) int64 {
 	if !ok {
 		return 0
 	}
-	n := int64(g.meta.NumVertices)
+	m := g.manifest() // live snapshot: mutable graphs' edge volume drifts
+	n := int64(m.NumVertices)
 	const perVertex = 4*8 + 2 // valPrev/valCur/acc/accNext + 2 bitsets
-	return n*perVertex + g.meta.EdgeBytesTotal()/4 + 16<<20
+	return n*perVertex + m.EdgeBytesTotal()/4 + 16<<20
 }
 
 // validate rejects a request the scheduler would accept but the runner
@@ -494,8 +557,8 @@ func (s *Server) validate(req jobs.Request) error {
 	if _, err := algorithms.ByName(req.Algorithm, graph.VertexID(req.Source)); err != nil {
 		return err
 	}
-	if int(req.Source) >= g.meta.NumVertices {
-		return fmt.Errorf("source %d out of range (graph has %d vertices)", req.Source, g.meta.NumVertices)
+	if nv := g.manifest().NumVertices; int(req.Source) >= nv {
+		return fmt.Errorf("source %d out of range (graph has %d vertices)", req.Source, nv)
 	}
 	if req.MaxIterations < 0 || req.TimeoutMS < 0 {
 		return errors.New("max_iterations and timeout_ms must be non-negative")
@@ -549,6 +612,16 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	g, ok := s.mutableGraph(w, r)
 	if !ok {
 		return
+	}
+	// Meter the batch against the tenant's mutation-bytes budget before
+	// reading it — an over-quota tenant costs the server one header parse,
+	// not a decode of up to 8 MiB.
+	if n := r.ContentLength; n > 0 {
+		if ok, retry := s.admitMutation(r, n); !ok {
+			w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds()+0.5)))
+			writeError(w, http.StatusTooManyRequests, "tenant %q over its mutation rate; retry in %v", tenantFrom(r), retry.Round(time.Millisecond))
+			return
+		}
 	}
 	var body struct {
 		Mutations []mutationReq `json:"mutations"`
@@ -642,6 +715,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
+	// With auth on, the authenticated identity is the tenant — a request
+	// body naming someone else is an impersonation attempt, not a typo.
+	if s.authOn {
+		me := tenantFrom(r)
+		if req.Tenant != "" && req.Tenant != me {
+			writeError(w, http.StatusForbidden, "authenticated as tenant %q, cannot submit as %q", me, req.Tenant)
+			return
+		}
+		req.Tenant = me
+	}
 	if err := s.validate(req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -651,8 +734,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		w.Header().Set("Location", "/v1/jobs/"+j.ID())
 		writeJSON(w, http.StatusAccepted, j.Status())
-	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrMemBudget):
+	case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrMemBudget),
+		errors.Is(err, jobs.ErrTenantQueueFull):
 		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, jobs.ErrUnknownTenant):
+		writeError(w, http.StatusForbidden, "%v", err)
 	case errors.Is(err, jobs.ErrClosed), errors.Is(err, jobs.ErrUnavailable), errors.Is(err, jobs.ErrJournalUnavailable):
 		// Draining, or the journal is gone: the server sheds load instead
 		// of accepting work it cannot run or make durable. Clients retry
@@ -664,19 +750,70 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	all := s.sched.Jobs()
-	out := make([]jobs.Status, 0, len(all))
-	for _, j := range all {
-		out = append(out, j.Status())
+// queryInt parses a non-negative integer query parameter, def when absent.
+// ok is false (and the 400 written) on garbage or negative values.
+func queryInt(w http.ResponseWriter, r *http.Request, key string, def int) (int, bool) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, true
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		writeError(w, http.StatusBadRequest, "bad %s=%q (want a non-negative integer)", key, v)
+		return 0, false
+	}
+	return n, true
 }
 
+// listDefaultLimit pages GET /v1/jobs; clients walk next_offset for more.
+const listDefaultLimit = 100
+
+// handleList returns the caller-visible jobs in submission order, paginated:
+// ?offset=N skips, ?limit=N caps the page (default 100, 0 for just the
+// total). total counts the caller's jobs; next_offset appears while more
+// remain. With auth on, each tenant sees only its own jobs.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	offset, ok := queryInt(w, r, "offset", 0)
+	if !ok {
+		return
+	}
+	limit, ok := queryInt(w, r, "limit", listDefaultLimit)
+	if !ok {
+		return
+	}
+	// Visibility filtering needs the full (retention-bounded) list; the
+	// page is cut after filtering so offsets are stable per tenant.
+	visible := []jobs.Status{} // non-nil: an empty listing encodes as []
+	for _, j := range s.sched.Jobs() {
+		if st := j.Status(); s.visible(r, st) {
+			visible = append(visible, st)
+		}
+	}
+	total := len(visible)
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if offset+limit < end {
+		end = offset + limit
+	}
+	out := map[string]any{
+		"jobs":   visible[offset:end],
+		"total":  total,
+		"offset": offset,
+	}
+	if end < total {
+		out["next_offset"] = end
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// job resolves {id} to a job the caller may see. Cross-tenant IDs 404
+// exactly like unknown ones, so probing leaks nothing.
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
 	id := r.PathValue("id")
 	j, ok := s.sched.Get(id)
-	if !ok {
+	if !ok || !s.visible(r, j.Status()) {
 		writeError(w, http.StatusNotFound, "no such job %q", id)
 		return nil, false
 	}
@@ -725,13 +862,14 @@ type vertexValue struct {
 	Value  jsonFloat `json:"value"`
 }
 
-// resultPayload is the /result response body.
+// resultPayload is the /result response body for top-k requests. Full
+// results (?full=1) are streamed by streamFullResult instead — they never
+// materialise as one document in server memory.
 type resultPayload struct {
 	jobs.Status
 	// Top holds the top-k vertices by descending value (?top=N, default
-	// 10). Full holds every vertex value in ID order (?full=1).
-	Top  []vertexValue `json:"top,omitempty"`
-	Full []jsonFloat   `json:"full,omitempty"`
+	// 10).
+	Top []vertexValue `json:"top,omitempty"`
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -756,13 +894,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	out := resultPayload{Status: j.Status()}
 	if r.URL.Query().Get("full") == "1" {
-		out.Full = make([]jsonFloat, len(res.Outputs))
-		for i, v := range res.Outputs {
-			out.Full[i] = jsonFloat(v)
+		offset, ok := queryInt(w, r, "offset", 0)
+		if !ok {
+			return
 		}
-		writeJSON(w, http.StatusOK, out)
+		limit, ok := queryInt(w, r, "limit", -1) // no limit: stream it all
+		if !ok {
+			return
+		}
+		streamFullResult(w, j.Status(), res.Outputs,
+			resultPage{offset: offset, limit: limit, total: len(res.Outputs)})
 		return
 	}
 	top := 10
@@ -774,32 +916,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		top = n
 	}
-	out.Top = topK(res.Outputs, top)
-	writeJSON(w, http.StatusOK, out)
-}
-
-// topK returns the k largest values with their vertex IDs, descending;
-// ties break toward the lower vertex ID so output is deterministic.
-func topK(vals []float64, k int) []vertexValue {
-	if k > len(vals) {
-		k = len(vals)
-	}
-	idx := make([]uint32, len(vals))
-	for i := range idx {
-		idx[i] = uint32(i)
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		va, vb := vals[idx[a]], vals[idx[b]]
-		if va != vb {
-			return va > vb
-		}
-		return idx[a] < idx[b]
-	})
-	out := make([]vertexValue, k)
-	for i := 0; i < k; i++ {
-		out[i] = vertexValue{Vertex: idx[i], Value: jsonFloat(vals[idx[i]])}
-	}
-	return out
+	writeJSON(w, http.StatusOK, resultPayload{Status: j.Status(), Top: topK(res.Outputs, top)})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
